@@ -1,0 +1,23 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+the measured rows next to the paper-reported values (run with ``-s`` to
+see them inline; they are also echoed into the benchmark's ``extra_info``).
+Heavy experiments run exactly once via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def libraries():
+    """Characterised libraries, built (or loaded from disk cache) once."""
+    from repro.analysis.figures import load_libraries
+    return load_libraries()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,37 @@
+"""Figure 3: pentacene ID-VGS transfer characteristics.
+
+Regenerates the synthetic probe-station sweep and extracts the four DC
+figures of merit the paper annotates on the plot.
+"""
+
+from repro.analysis.figures import fig3_transfer_characteristics
+from repro.analysis.tables import format_table
+
+from .conftest import run_once
+
+
+def test_fig3_transfer_characteristics(benchmark):
+    result = run_once(benchmark, fig3_transfer_characteristics)
+
+    rows = [
+        ["linear mobility (cm^2/Vs)", f"{result.report_vds1.mobility_cm2:.3f}",
+         result.paper_mobility],
+        ["subthreshold slope (mV/dec)",
+         f"{result.report_vds1.subthreshold_slope_mv_dec:.0f}",
+         result.paper_ss],
+        ["on/off ratio", f"{result.report_vds1.on_off_ratio:.2e}",
+         f"{result.paper_on_off:.0e}"],
+        ["VT @ VDS=-1V (V)", f"{result.report_vds1.threshold_v:.2f}",
+         result.paper_vt1],
+        ["VT @ VDS=-10V (V)", f"{result.report_vds10.threshold_v:.2f}",
+         result.paper_vt10],
+    ]
+    table = format_table(["quantity", "measured", "paper"], rows,
+                         title="Figure 3 — pentacene OTFT DC extraction")
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    # Shape assertions (the reproduction contract).
+    assert abs(result.report_vds1.mobility_cm2 - 0.16) < 0.04
+    assert abs(result.report_vds1.subthreshold_slope_mv_dec - 350) < 40
+    assert result.report_vds1.threshold_v < 0 < result.report_vds10.threshold_v

@@ -1,0 +1,29 @@
+"""Figure 4: level 1 vs level 61 fits of the measured transfer curve."""
+
+from repro.analysis.figures import fig4_model_fits
+from repro.analysis.tables import format_table
+
+from .conftest import run_once
+
+
+def test_fig4_model_fits(benchmark):
+    result = run_once(benchmark, fig4_model_fits)
+
+    rows = [
+        ["level 1 (Shichman-Hodges)", f"{result.level1.rms_log_error:.3f}",
+         f"{result.level1.rms_log_error_on:.3f}"],
+        ["level 61 (unified TFT)", f"{result.level61.rms_log_error:.3f}",
+         f"{result.level61.rms_log_error_on:.3f}"],
+    ]
+    table = format_table(
+        ["model", "RMS log10 error (full sweep)", "RMS log10 error (on)"],
+        rows,
+        title="Figure 4 — device-model fit quality (paper: level 1 misses "
+              "sub-VT conduction and leakage; level 61 'fits the device "
+              "well')")
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    assert result.level1_much_worse
+    assert result.level61.rms_log_error < 0.1
+    assert result.level1.rms_log_error_on < 1.0

@@ -1,0 +1,38 @@
+"""Figure 6(d): diode-load vs biased-load vs pseudo-E DC parameters."""
+
+from repro.analysis.calibration import paper_value
+from repro.analysis.figures import fig6_inverter_comparison
+from repro.analysis.tables import format_table
+
+from .conftest import run_once
+
+
+def test_fig6_inverter_comparison(benchmark):
+    result = run_once(benchmark, fig6_inverter_comparison)
+
+    p_vm = paper_value("fig6_vm")
+    p_gain = paper_value("fig6_gain")
+    p_pl = paper_value("fig6_power_low")
+
+    rows = []
+    for label, a, pv, pg, pp in zip(
+            ("diode-load", "biased-load", "pseudo-E"),
+            (result.diode, result.biased, result.pseudo_e),
+            p_vm, p_gain, p_pl):
+        rows.append([label, f"{a.vm:.1f} / {pv}",
+                     f"{a.max_gain:.2f} / {pg}",
+                     f"{a.nm_mec:.2f}",
+                     f"{a.voh:.2f}", f"{a.vol:.3f}",
+                     f"{a.static_power_low * 1e6:.0f} / {pp:.0f}",
+                     f"{a.static_power_high * 1e6:.2f}"])
+    table = format_table(
+        ["style", "VM (ours/paper)", "gain (ours/paper)", "NM-MEC (V)",
+         "VOH", "VOL", "P@VIN=0 uW (ours/paper)", "P@VIN=hi uW"],
+        rows, title="Figure 6d — inverter style comparison at VDD = 15 V")
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    g = result.gains()
+    assert g[0] < g[1] < g[2]
+    assert result.pseudo_e.voh > 14.5
+    assert result.pseudo_e.nm_mec > 10 * max(result.diode.nm_mec, 0.05)

@@ -1,0 +1,38 @@
+"""Figure 7(d): pseudo-E inverter across VDD = 5/10/15 V."""
+
+from repro.analysis.calibration import paper_value
+from repro.analysis.figures import fig7_vdd_scaling
+from repro.analysis.tables import format_table
+
+from .conftest import run_once
+
+
+def test_fig7_vdd_scaling(benchmark):
+    result = run_once(benchmark, fig7_vdd_scaling)
+
+    p_vm = dict(zip((5.0, 10.0, 15.0), paper_value("fig7_vm")))
+    p_gain = dict(zip((5.0, 10.0, 15.0), paper_value("fig7_gain")))
+    p_pl = dict(zip((5.0, 10.0, 15.0), paper_value("fig7_power_low")))
+
+    rows = []
+    for vdd, a in sorted(result.analyses.items()):
+        rows.append([f"{vdd:.0f}", f"{result.vss_used[vdd]:.0f}",
+                     f"{a.vm:.2f} / {p_vm[vdd]}",
+                     f"{a.max_gain:.2f} / {p_gain[vdd]}",
+                     f"{a.nm_mec:.2f}",
+                     f"{a.static_power_low * 1e6:.1f} / {p_pl[vdd]:.0f}",
+                     f"{a.static_power_high * 1e6:.3f}"])
+    table = format_table(
+        ["VDD", "VSS", "VM (ours/paper)", "gain (ours/paper)", "NM-MEC",
+         "P@VIN=0 uW (ours/paper)", "P@VIN=VDD uW"],
+        rows, title="Figure 7d — pseudo-E inverter versus supply voltage")
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    a5, a15 = result.analyses[5.0], result.analyses[15.0]
+    # Paper: low VDD slashes worst-case static power.
+    assert a5.static_power_low < 0.4 * a15.static_power_low
+    # VM tracks VDD; noise margin stays a healthy fraction of VDD.
+    assert a5.vm < result.analyses[10.0].vm < a15.vm
+    for vdd, a in result.analyses.items():
+        assert a.nm_mec / vdd > 0.10

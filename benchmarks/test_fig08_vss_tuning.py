@@ -1,0 +1,24 @@
+"""Figure 8: switching threshold versus the VSS bias rail."""
+
+from repro.analysis.figures import fig8_vss_tuning
+from repro.analysis.tables import format_series
+
+from .conftest import run_once
+
+
+def test_fig8_vss_tuning(benchmark):
+    result = run_once(benchmark, fig8_vss_tuning)
+
+    chart = format_series(
+        [f"{v:.2f}" for v in result.vss_values], result.vm_values,
+        title=("Figure 8b — VM vs VSS at VDD = 5 V  "
+               f"(fit: VM = {result.slope:.3f} VSS + {result.intercept:.2f}; "
+               f"paper: VM = {result.paper_slope:.2f} VSS + 5.76)"))
+    print("\n" + chart)
+    benchmark.extra_info["series"] = chart
+
+    # Paper's qualitative law: VM rises linearly as VSS rises.
+    assert result.slope > 0
+    import numpy as np
+    fit = result.slope * result.vss_values + result.intercept
+    assert float(np.max(np.abs(fit - result.vm_values))) < 0.15

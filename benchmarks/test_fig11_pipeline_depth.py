@@ -1,0 +1,48 @@
+"""Figure 11: core area and per-benchmark performance vs pipeline depth.
+
+Regenerates all three panels for both processes: (a) normalised core
+area, (b) silicon performance, (c) organic performance — seven benchmarks
+on seven depths each, exactly the paper's grid.
+"""
+
+from repro.analysis.calibration import paper_value
+from repro.analysis.figures import fig11_pipeline_depth
+from repro.analysis.tables import format_table
+
+from .conftest import run_once
+
+
+def test_fig11_pipeline_depth(benchmark):
+    result = run_once(
+        benchmark, lambda: fig11_pipeline_depth(max_depth=15,
+                                                n_instructions=20_000))
+
+    for process in ("silicon", "organic"):
+        perf = result.normalized_performance(process)
+        area = result.normalized_area(process)
+        benches = sorted(next(iter(perf.values())))
+        rows = []
+        for depth in sorted(perf):
+            rows.append([depth, f"{area[depth]:.3f}"]
+                        + [f"{perf[depth][b]:.2f}" for b in benches])
+        table = format_table(["depth", "area"] + benches, rows,
+                             title=f"Figure 11 — {process} core vs depth "
+                                   f"(normalised to 9 stages)")
+        print("\n" + table)
+        benchmark.extra_info[process] = table
+
+    d_sil = result.optimal_depth("silicon")
+    d_org = result.optimal_depth("organic")
+    f_org9 = result.organic[0].physical.frequency
+    f_sil9 = result.silicon[0].physical.frequency
+    summary = (f"optimal depth: silicon {d_sil} (paper "
+               f"{paper_value('optimal_depth_silicon')}), organic {d_org} "
+               f"(paper {paper_value('optimal_depth_organic')}); baseline "
+               f"frequency: organic {f_org9:.0f} Hz (paper ~200 Hz), "
+               f"silicon {f_sil9 / 1e6:.0f} MHz (paper ~800 MHz)")
+    print("\n" + summary)
+    benchmark.extra_info["summary"] = summary
+
+    assert d_org > d_sil
+    assert 10 <= d_sil <= 12
+    assert 13 <= d_org <= 15

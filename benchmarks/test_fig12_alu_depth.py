@@ -1,0 +1,41 @@
+"""Figure 12: complex-ALU area and frequency versus pipeline stages."""
+
+from repro.analysis.calibration import paper_value
+from repro.analysis.figures import fig12_alu_depth
+from repro.analysis.tables import format_table
+
+from .conftest import run_once
+
+
+def test_fig12_alu_depth(benchmark):
+    result = run_once(benchmark, fig12_alu_depth)
+
+    rows = []
+    for i, n in enumerate(result.stage_counts):
+        rows.append([n,
+                     f"{result.frequency_ratios('organic')[i]:.2f}",
+                     f"{result.area_ratios('organic')[i]:.2f}",
+                     f"{result.frequency_ratios('silicon')[i]:.2f}",
+                     f"{result.area_ratios('silicon')[i]:.2f}"])
+    table = format_table(
+        ["stages", "organic f/f1", "organic area", "silicon f/f1",
+         "silicon area"],
+        rows,
+        title="Figure 12 — complex ALU (2 multipliers + 2 stallable "
+              "dividers) vs pipeline stages")
+    print("\n" + table)
+    sat_org = result.saturation_stage("organic")
+    sat_sil = result.saturation_stage("silicon")
+    summary = (f"frequency flattens near: silicon {sat_sil} stages (paper "
+               f"~{paper_value('fig12_si_saturation')}), organic {sat_org} "
+               f"stages (paper ~{paper_value('fig12_org_top')})")
+    print(summary)
+    benchmark.extra_info["table"] = table
+    benchmark.extra_info["summary"] = summary
+
+    assert sat_sil < sat_org
+    idx8 = result.stage_counts.index(8)
+    assert max(result.frequency_ratios("silicon")) < \
+        1.35 * result.frequency_ratios("silicon")[idx8]
+    assert max(result.frequency_ratios("organic")) > \
+        1.4 * result.frequency_ratios("organic")[idx8]

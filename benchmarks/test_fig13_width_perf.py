@@ -1,0 +1,35 @@
+"""Figure 13: normalised core performance across the width grid."""
+
+from repro.analysis.figures import fig13_width_performance
+from repro.analysis.tables import format_matrix
+
+from .conftest import run_once
+
+
+def test_fig13_width_performance(benchmark):
+    result = run_once(
+        benchmark, lambda: fig13_width_performance(n_instructions=15_000))
+
+    for process, matrix, paper in (
+            ("silicon", result.silicon, result.paper_silicon),
+            ("organic", result.organic, result.paper_organic)):
+        print("\n" + format_matrix(
+            matrix, title=f"Figure 13 — {process} normalised performance "
+                          f"(rows: back-end pipes 3-7, cols: front 1-6)"))
+        paper_m = {(bw + 3, fw + 1): paper[bw][fw]
+                   for bw in range(5) for fw in range(6)}
+        print(format_matrix(paper_m, title=f"  paper ({process}):"))
+        benchmark.extra_info[process] = format_matrix(matrix)
+
+    sil_opt = result.optimum("silicon")
+    org_opt = result.optimum("organic")
+    summary = (f"optima (back,front): silicon {sil_opt} (paper (4,2)), "
+               f"organic {org_opt} (paper (7,2))")
+    print("\n" + summary)
+    benchmark.extra_info["summary"] = summary
+
+    assert sil_opt[0] == 4
+    assert org_opt[0] >= sil_opt[0] + 2
+    # Organic is the flatter matrix (less width-sensitive).
+    spread = lambda m: max(m.values()) - min(m.values())  # noqa: E731
+    assert spread(result.organic) < spread(result.silicon)

@@ -1,0 +1,33 @@
+"""Figure 14: normalised core area across the width grid."""
+
+from repro.analysis.figures import fig14_width_area
+from repro.analysis.tables import format_matrix
+
+from .conftest import run_once
+
+
+def test_fig14_width_area(benchmark):
+    result = run_once(benchmark, fig14_width_area)
+
+    for process, matrix in (("silicon", result.silicon),
+                            ("organic", result.organic)):
+        text = format_matrix(
+            matrix, title=f"Figure 14 — {process} normalised area "
+                          f"(rows: back-end pipes 3-7, cols: front 1-6)")
+        print("\n" + text)
+        benchmark.extra_info[process] = text
+
+    diff = result.max_process_difference()
+    print(f"\nmax |organic - silicon| across the grid: {diff:.3f} "
+          f"(paper: 'the areas for silicon-based cores are similar to the "
+          f"organic core areas')")
+    benchmark.extra_info["max_difference"] = diff
+
+    assert diff < 0.06
+    # Area grows monotonically along both axes.
+    for bw in range(3, 8):
+        for fw in range(1, 6):
+            assert result.silicon[(bw, fw + 1)] > result.silicon[(bw, fw)]
+    for fw in range(1, 7):
+        for bw in range(3, 7):
+            assert result.silicon[(bw + 1, fw)] > result.silicon[(bw, fw)]

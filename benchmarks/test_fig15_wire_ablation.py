@@ -1,0 +1,39 @@
+"""Figure 15: frequency vs stages with and without wire delay."""
+
+from repro.analysis.figures import fig15_wire_ablation
+from repro.analysis.tables import format_table
+
+from .conftest import run_once
+
+
+def test_fig15_wire_ablation(benchmark):
+    result = run_once(benchmark, fig15_wire_ablation)
+
+    rows = [[n] + [f"{result.alu[s][i]:.2f}" for s in result.SERIES]
+            for i, n in enumerate(result.alu_stage_counts)]
+    alu_table = format_table(["stages", *result.SERIES], rows,
+                             title="Figure 15a — ALU frequency ratio vs "
+                                   "stages (with / without wire)")
+    print("\n" + alu_table)
+
+    rows = [[d] + [f"{result.core[s][i]:.2f}" for s in result.SERIES]
+            for i, d in enumerate(result.core_depths)]
+    core_table = format_table(["depth", *result.SERIES], rows,
+                              title="Figure 15b — core frequency ratio vs "
+                                    "depth (with / without wire)")
+    print("\n" + core_table)
+    benchmark.extra_info["alu"] = alu_table
+    benchmark.extra_info["core"] = core_table
+
+    # Paper's Section 5.5 claims:
+    # 1. Without wire cost, silicon's scaling matches the organic one.
+    for a, b in zip(result.core["silicon_no_wire"], result.core["organic"]):
+        assert abs(a - b) / b < 0.15
+    # 2. With wires, silicon saturates early; organic does not care.
+    assert result.core["silicon_no_wire"][-1] > 1.4 * result.core["silicon"][-1]
+    for a, b in zip(result.core["organic"], result.core["organic_no_wire"]):
+        assert abs(a - b) / b < 0.05
+    # 3. At 14 stages: organic ~2x baseline, silicon ~1.5x (paper text).
+    idx14 = result.core_depths.index(14)
+    assert result.core["organic"][idx14] > 1.7
+    assert result.core["silicon"][idx14] < 1.8

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Design a processor for a biodegradable environmental sensor node.
+
+The paper's motivating application (Sections 1-2): environmental sensors
+that biodegrade instead of becoming e-waste.  This script plays the role
+of the sensor-node architect: given a die-area budget and a duty-cycled
+sensing workload, pick the organic core configuration that maximises
+throughput per area — and check the battery maths (static power dominates
+ratioed organic logic, so the energy story is as important as speed).
+
+Run:  python examples/biodegradable_sensor_node.py
+"""
+
+from repro.analysis.energy import core_energy
+from repro.analysis.tables import format_table
+from repro.characterization import organic_library
+from repro.core.config import CoreConfig
+from repro.core.physical import core_physical
+from repro.core.superscalar import simulate
+from repro.core.tradeoffs import deepen_pipeline, make_traces
+from repro.synthesis.wires import organic_wire_model
+from repro.units import engineering
+
+#: The sensor firmware looks like a small integer kernel: mostly ALU and
+#: load/store with very predictable control — dhrystone is the stand-in.
+WORKLOAD = "dhrystone"
+
+#: Area budget: organic electronics are printed on large cheap foils —
+#: that is the technology's point.  Budget: half of an A4-class
+#: biodegradable sheet (croissant-sized cores are fine when the substrate
+#: costs cents and composts afterwards).
+AREA_BUDGET_M2 = 0.030
+
+
+def candidate_configs(library, wire) -> list[CoreConfig]:
+    """Design points a sensor architect would shortlist."""
+    base = CoreConfig()
+    deep = base
+    for _ in range(5):
+        deep = deepen_pipeline(deep, library, wire)
+    wide = base.widened(2, 5)
+    deep_wide = wide
+    for _ in range(5):
+        deep_wide = deepen_pipeline(deep_wide, library, wire)
+    return [base, deep, wide, deep_wide]
+
+
+def main() -> None:
+    library = organic_library()
+    wire = organic_wire_model()
+    trace = make_traces(workloads=[WORKLOAD], n_instructions=20_000)[WORKLOAD]
+
+    rows = []
+    best = None
+    for config in candidate_configs(library, wire):
+        phys = core_physical(config, library, wire)
+        if phys.area > AREA_BUDGET_M2:
+            rows.append([config.name, config.depth,
+                         f"{config.front_width}x{config.back_width}",
+                         f"{phys.area * 1e6:.0f}", "over budget", "-", "-",
+                         "-"])
+            continue
+        energy = core_energy(config, library, wire, trace)
+        perf = energy.ipc * phys.frequency
+        rows.append([
+            config.name, config.depth,
+            f"{config.front_width}x{config.back_width}",
+            f"{phys.area * 1e6:.0f}",
+            engineering(phys.frequency, "Hz"),
+            f"{energy.ipc:.2f}",
+            engineering(perf, "inst/s"),
+            engineering(energy.energy_per_instruction, "J"),
+        ])
+        if best is None or perf > best[1]:
+            best = (config, perf, energy)
+
+    print(format_table(
+        ["config", "depth", "width", "area (mm^2)", "freq", "IPC",
+         "performance", "energy/inst"],
+        rows,
+        title=f"Sensor-node design points (budget "
+              f"{AREA_BUDGET_M2 * 1e6:.0f} mm^2, workload {WORKLOAD})"))
+
+    config, perf, energy = best
+    print(f"\nSelected: {config.name} — {engineering(perf, 'inst/s')} at "
+          f"{engineering(energy.total_power, 'W')} total power "
+          f"({energy.static_fraction * 100:.0f}% static).")
+
+    # Battery estimate: a printed biodegradable battery holds ~1 mAh at
+    # ~1.5 V usable (paper-class transient batteries) ~ 5.4 J.
+    battery_j = 5.4
+    lifetime_s = battery_j / energy.total_power
+    samples = lifetime_s * perf
+    print(f"On a ~{battery_j:.1f} J printed biodegradable battery that buys "
+          f"{engineering(lifetime_s, 's')} of continuous compute "
+          f"(~{samples:.0f} instructions).  Because the power is ~100% "
+          f"static, the real deployment knob is rail gating: at a 0.1% "
+          f"sensing duty cycle the node lives "
+          f"~{lifetime_s / 0.001 / 86400:.0f} days — and then composts.")
+
+
+if __name__ == "__main__":
+    main()

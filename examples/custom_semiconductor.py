@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Retarget the whole flow to a different organic semiconductor.
+
+The paper (Sections 5.3 and 6.2): "Opportunities also exist to improve
+the performance of OTFTs by [...] using higher-performance organic
+semiconductors such as DNTT, which has roughly 10x the mobility of the
+archetypal pentacene used here", and the framework "can be generalized to
+other organic semiconductors."
+
+This script does exactly that: it swaps the device model for a DNTT-class
+transistor, re-characterises the standard-cell library through the same
+SPICE flow, and re-runs the core-level depth analysis to see which
+architectural conclusions survive the material change (spoiler: the
+deep-pipeline preference does — it comes from the wire/gate ratio, which
+mobility scaling does not change).
+
+Run:  python examples/custom_semiconductor.py
+(First run characterises the DNTT library: a few minutes.)
+"""
+
+from repro.analysis.tables import format_table
+from repro.characterization import organic_library
+from repro.core.config import CoreConfig
+from repro.core.physical import core_physical
+from repro.core.superscalar import simulate
+from repro.core.tradeoffs import depth_sweep, make_traces
+from repro.devices.materials import dntt_model
+from repro.synthesis.wires import organic_wire_model
+from repro.units import engineering
+
+
+def main() -> None:
+    wire = organic_wire_model()
+    traces = make_traces(workloads=["dhrystone", "gzip", "mcf"],
+                         n_instructions=12_000)
+
+    print("Characterising pentacene and DNTT libraries "
+          "(cached after the first run)...")
+    pentacene_lib = organic_library()
+    dntt_lib = organic_library(model=dntt_model())
+
+    rows = []
+    for lib in (pentacene_lib, dntt_lib):
+        phys = core_physical(CoreConfig(), lib, wire)
+        rows.append([lib.name,
+                     engineering(lib.inverter_fo4_delay(), "s"),
+                     engineering(phys.frequency, "Hz")])
+    print(format_table(["library", "FO4 delay", "baseline core frequency"],
+                       rows, title="Material comparison"))
+
+    speedup = (core_physical(CoreConfig(), dntt_lib, wire).frequency
+               / core_physical(CoreConfig(), pentacene_lib, wire).frequency)
+    print(f"\nDNTT baseline speedup over pentacene: {speedup:.1f}x "
+          f"(paper cites ~10x mobility; circuit-level gain tracks the "
+          f"drive-current gain)")
+
+    print("\nDoes the deep-pipeline preference survive the material change?")
+    for lib in (pentacene_lib, dntt_lib):
+        points = depth_sweep(lib, wire, max_depth=15, traces=traces)
+        base = points[0]
+        def mean_rel(p):
+            return sum(v / base.performance[k]
+                       for k, v in p.performance.items()) / len(p.performance)
+        best = max(points, key=mean_rel)
+        print(f"   {lib.name:28s} optimal depth = {best.depth} "
+              f"({mean_rel(best):.2f}x the 9-stage baseline)")
+    print("\nBoth organic materials favour deep pipelines: the preference "
+          "comes from the wire-to-gate delay ratio, not from absolute "
+          "mobility.")
+
+
+if __name__ == "__main__":
+    main()

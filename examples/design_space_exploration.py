@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's headline result end to end.
+
+Sweeps pipeline depth (Figure 11) and superscalar width (Figure 13) on
+both the organic and the reduced-silicon process and prints the optima
+side by side with the paper's:  organic favours deeper pipelines and
+wider superscalar back-ends, because its wires are fast relative to its
+gates.
+
+Run:  python examples/design_space_exploration.py
+(Expect a few minutes: 2 processes x 7 depths x 7 benchmarks plus the
+30-point width grid, all through the cycle simulator.)
+"""
+
+from repro.analysis.figures import fig11_pipeline_depth, fig13_width_performance
+from repro.analysis.tables import format_matrix, format_series
+
+
+def main() -> None:
+    print("Sweeping pipeline depth (9..15) on both processes...")
+    fig11 = fig11_pipeline_depth(max_depth=15, n_instructions=15_000)
+    for process in ("silicon", "organic"):
+        perf = fig11.normalized_performance(process)
+        depths = sorted(perf)
+        means = [sum(perf[d].values()) / len(perf[d]) for d in depths]
+        print()
+        print(format_series(depths, means, title=f"{process}: mean "
+                            f"normalised performance vs depth"))
+    print(f"\noptimal depth: silicon {fig11.optimal_depth('silicon')} "
+          f"(paper 10-11), organic {fig11.optimal_depth('organic')} "
+          f"(paper 14-15)")
+
+    print("\nSweeping the width grid (back-end 3-7 x front-end 1-6)...")
+    fig13 = fig13_width_performance(n_instructions=12_000)
+    for process, matrix in (("silicon", fig13.silicon),
+                            ("organic", fig13.organic)):
+        print()
+        print(format_matrix(matrix,
+                            title=f"{process}: normalised performance"))
+    sil = fig13.optimum("silicon")
+    org = fig13.optimum("organic")
+    print(f"\noptima (back, front): silicon {sil} (paper (4,2)), "
+          f"organic {org} (paper (7,2))")
+    print(f"organic back-end is {org[0] - sil[0]} pipes wider "
+          f"(paper: 'three execution pipes wider')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: the full flow in one script, bottom to top.
+
+1. Synthesise a probe-station measurement of a pentacene OTFT and extract
+   its DC figures of merit (paper Figure 3).
+2. Fit level 1 / level 61 device models (Figure 4).
+3. Build a pseudo-E inverter and analyse its VTC (Figures 5-6).
+4. Load the characterised organic + silicon libraries (Section 4.4).
+5. Evaluate the baseline 9-stage core on both processes (Section 5.3).
+
+Run:  python examples/quickstart.py
+The first run characterises the cell libraries (a few minutes of
+transistor-level transients); later runs load them from the disk cache.
+"""
+
+from repro.analysis.tables import format_table
+from repro.cells.topologies import pseudo_e_inverter
+from repro.cells.vtc import analyze_inverter
+from repro.characterization import organic_library, silicon_library
+from repro.core.config import CoreConfig
+from repro.core.physical import core_physical
+from repro.core.superscalar import simulate
+from repro.core.workloads import WORKLOADS, generate_trace
+from repro.devices import PENTACENE, measured_transfer_curve
+from repro.devices.extraction import characterize_curve, fit_level1, fit_level61
+from repro.devices.pentacene import PENTACENE_CI
+from repro.synthesis.wires import organic_wire_model, silicon_wire_model
+from repro.units import engineering
+
+
+def main() -> None:
+    # -- 1. Device measurement + extraction ---------------------------------
+    print("=" * 72)
+    print("1. Pentacene OTFT measurement (synthetic probe-station sweep)")
+    curve = measured_transfer_curve(vds=-1.0)
+    report = characterize_curve(curve, PENTACENE_CI)
+    print(format_table(
+        ["quantity", "measured", "paper"],
+        [["linear mobility (cm^2/Vs)", f"{report.mobility_cm2:.3f}", 0.16],
+         ["subthreshold slope (mV/dec)",
+          f"{report.subthreshold_slope_mv_dec:.0f}", 350],
+         ["on/off ratio", f"{report.on_off_ratio:.1e}", "1e6"],
+         ["VT @ VDS=-1V (V)", f"{report.threshold_v:.2f}", -1.3]]))
+
+    # -- 2. Device model fitting ---------------------------------------------
+    print("\n2. SPICE model fits (level 1 vs level 61)")
+    l1 = fit_level1(curve, PENTACENE_CI)
+    l61 = fit_level61(curve, PENTACENE_CI)
+    print(f"   level 1  RMS log-error: {l1.rms_log_error:.2f} decades "
+          f"(misses subthreshold conduction and leakage)")
+    print(f"   level 61 RMS log-error: {l61.rms_log_error:.3f} decades")
+
+    # -- 3. Pseudo-E inverter --------------------------------------------------
+    print("\n3. Pseudo-E inverter at the library point (VDD=5V, VSS=-15V)")
+    inv = pseudo_e_inverter(PENTACENE)
+    a = analyze_inverter(inv)
+    print(f"   VM={a.vm:.2f} V  gain={a.max_gain:.2f}  "
+          f"NM(MEC)={a.nm_mec:.2f} V  VOH={a.voh:.2f} V  "
+          f"static power={a.static_power_low * 1e6:.1f} uW")
+
+    # -- 4. Characterised libraries ---------------------------------------------
+    print("\n4. Characterised 6-cell libraries")
+    org, sil = organic_library(), silicon_library()
+    for lib in (org, sil):
+        print(f"   {lib.name:24s} FO4 = "
+              f"{engineering(lib.inverter_fo4_delay(), 's'):>9s}   "
+              f"DFF setup = {engineering(lib.dff.setup_time, 's')}")
+
+    # -- 5. Baseline core on both processes ---------------------------------------
+    print("\n5. Baseline 9-stage single-issue OOO core (AnyCore baseline)")
+    config = CoreConfig()
+    trace = generate_trace(WORKLOADS["dhrystone"], 20_000)
+    rows = []
+    for lib, wire in ((org, organic_wire_model()),
+                      (sil, silicon_wire_model())):
+        phys = core_physical(config, lib, wire)
+        ipc = simulate(config, trace).ipc
+        rows.append([lib.process, engineering(phys.frequency, "Hz"),
+                     f"{ipc:.2f}",
+                     engineering(ipc * phys.frequency, "inst/s"),
+                     phys.critical_region])
+    print(format_table(
+        ["process", "frequency", "IPC (dhrystone)", "performance",
+         "critical stage"], rows))
+    print("\npaper reference: ~200 Hz organic, ~800 MHz silicon baseline")
+
+
+if __name__ == "__main__":
+    main()

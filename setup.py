@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml; this file exists so `pip install -e .`
+works on environments whose setuptools predates PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — Architectural Tradeoffs for Biodegradable Computing.
+
+A from-scratch reproduction of Chang, Yao, Jackson, Rand and Wentzlaff's
+MICRO-50 (2017) paper: an OTFT device-to-architecture simulation stack.
+
+Layers (bottom to top):
+
+- :mod:`repro.spice` — modified-nodal-analysis circuit simulator,
+- :mod:`repro.devices` — OTFT / MOSFET compact models, the calibrated
+  pentacene golden device, extraction and fitting,
+- :mod:`repro.cells` — unipolar pseudo-E (and CMOS) standard cells with
+  VTC analysis and sizing exploration,
+- :mod:`repro.characterization` — NLDM library characterisation,
+- :mod:`repro.synthesis` — gate-level netlists, technology mapping, STA,
+  wire models, pipeline retiming,
+- :mod:`repro.core` — the paper's contribution: AnyCore-style
+  parameterised superscalar cores, IPC simulation, and the depth/width
+  tradeoff sweeps,
+- :mod:`repro.analysis` — per-figure experiment runners, calibration
+  registry, and extension studies.
+
+Run ``python -m repro list`` for the figure-regeneration CLI.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,173 @@
+"""Command-line entry point: regenerate paper figures from the shell.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro fig3                 # one experiment
+    python -m repro fig12 fig15          # several
+    python -m repro liberty out.lib --process organic
+
+Heavy experiments (fig11, fig13) accept ``--quick`` to shorten traces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import figures as F
+from repro.analysis.tables import format_matrix, format_series, format_table
+
+
+def _run_fig3(args) -> None:
+    r = F.fig3_transfer_characteristics()
+    print(format_table(
+        ["quantity", "measured", "paper"],
+        [["mobility (cm^2/Vs)", f"{r.report_vds1.mobility_cm2:.3f}", r.paper_mobility],
+         ["SS (mV/dec)", f"{r.report_vds1.subthreshold_slope_mv_dec:.0f}", r.paper_ss],
+         ["on/off", f"{r.report_vds1.on_off_ratio:.2e}", f"{r.paper_on_off:.0e}"],
+         ["VT@-1V", f"{r.report_vds1.threshold_v:.2f}", r.paper_vt1],
+         ["VT@-10V", f"{r.report_vds10.threshold_v:.2f}", r.paper_vt10]],
+        title="Figure 3"))
+
+
+def _run_fig4(args) -> None:
+    r = F.fig4_model_fits()
+    print(format_table(
+        ["model", "rms log err (full)", "rms log err (on)"],
+        [["level 1", f"{r.level1.rms_log_error:.3f}",
+          f"{r.level1.rms_log_error_on:.3f}"],
+         ["level 61", f"{r.level61.rms_log_error:.3f}",
+          f"{r.level61.rms_log_error_on:.3f}"]],
+        title="Figure 4"))
+
+
+def _run_fig6(args) -> None:
+    r = F.fig6_inverter_comparison()
+    rows = []
+    for label, a in (("diode", r.diode), ("biased", r.biased),
+                     ("pseudo-E", r.pseudo_e)):
+        rows.append([label, f"{a.vm:.2f}", f"{a.max_gain:.2f}",
+                     f"{a.nm_mec:.2f}", f"{a.voh:.2f}", f"{a.vol:.3f}",
+                     f"{a.static_power_low*1e6:.1f}",
+                     f"{a.static_power_high*1e6:.2f}"])
+    print(format_table(
+        ["style", "VM", "gain", "NM", "VOH", "VOL", "P0 uW", "P1 uW"],
+        rows, title="Figure 6d (VDD = 15 V)"))
+
+
+def _run_fig7(args) -> None:
+    r = F.fig7_vdd_scaling()
+    rows = [[f"{vdd:.0f}", f"{r.vss_used[vdd]:.0f}", f"{a.vm:.2f}",
+             f"{a.max_gain:.2f}", f"{a.nm_mec:.2f}",
+             f"{a.static_power_low*1e6:.1f}"]
+            for vdd, a in sorted(r.analyses.items())]
+    print(format_table(["VDD", "VSS", "VM", "gain", "NM", "P0 uW"], rows,
+                       title="Figure 7d"))
+
+
+def _run_fig8(args) -> None:
+    r = F.fig8_vss_tuning()
+    print(format_series([f"{v:.1f}" for v in r.vss_values], r.vm_values,
+                        title=f"Figure 8b: VM = {r.slope:.3f} VSS + "
+                              f"{r.intercept:.2f} (paper slope "
+                              f"{r.paper_slope})"))
+
+
+def _run_fig11(args) -> None:
+    n = 8000 if args.quick else 25_000
+    r = F.fig11_pipeline_depth(n_instructions=n)
+    for process in ("silicon", "organic"):
+        perf = r.normalized_performance(process)
+        depths = sorted(perf)
+        means = [sum(perf[d].values()) / len(perf[d]) for d in depths]
+        print(format_series(depths, means,
+                            title=f"Figure 11 ({process}): mean perf"))
+    print(f"optima: silicon {r.optimal_depth('silicon')}, "
+          f"organic {r.optimal_depth('organic')}")
+
+
+def _run_fig12(args) -> None:
+    r = F.fig12_alu_depth()
+    rows = [[n, f"{r.frequency_ratios('organic')[i]:.2f}",
+             f"{r.frequency_ratios('silicon')[i]:.2f}"]
+            for i, n in enumerate(r.stage_counts)]
+    print(format_table(["stages", "organic f/f1", "silicon f/f1"], rows,
+                       title="Figure 12"))
+
+
+def _run_fig13(args) -> None:
+    n = 6000 if args.quick else 20_000
+    r = F.fig13_width_performance(n_instructions=n)
+    print(format_matrix(r.silicon, title="Figure 13a (silicon)"))
+    print(format_matrix(r.organic, title="Figure 13b (organic)"))
+    print(f"optima: silicon {r.optimum('silicon')}, "
+          f"organic {r.optimum('organic')}")
+
+
+def _run_fig14(args) -> None:
+    r = F.fig14_width_area()
+    print(format_matrix(r.silicon, title="Figure 14a (silicon)"))
+    print(format_matrix(r.organic, title="Figure 14b (organic)"))
+
+
+def _run_fig15(args) -> None:
+    r = F.fig15_wire_ablation()
+    rows = [[d] + [f"{r.core[s][i]:.2f}" for s in r.SERIES]
+            for i, d in enumerate(r.core_depths)]
+    print(format_table(["depth", *r.SERIES], rows, title="Figure 15b"))
+
+
+def _run_liberty(args) -> None:
+    from repro.characterization import organic_library, silicon_library
+    from repro.characterization.liberty import write_liberty
+    lib = organic_library() if args.process == "organic" else silicon_library()
+    write_liberty(lib, args.output)
+    print(f"wrote {args.output} ({args.process})")
+
+
+EXPERIMENTS = {
+    "fig3": _run_fig3, "fig4": _run_fig4, "fig6": _run_fig6,
+    "fig7": _run_fig7, "fig8": _run_fig8, "fig11": _run_fig11,
+    "fig12": _run_fig12, "fig13": _run_fig13, "fig14": _run_fig14,
+    "fig15": _run_fig15,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate figures from 'Architectural Tradeoffs for "
+                    "Biodegradable Computing' (MICRO-50 2017).")
+    parser.add_argument("targets", nargs="+",
+                        help="'list', experiment names (fig3..fig15), or "
+                             "'liberty <out.lib>'")
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter traces for the heavy sweeps")
+    parser.add_argument("--process", choices=("organic", "silicon"),
+                        default="organic", help="library for liberty export")
+    args = parser.parse_args(argv)
+
+    targets = list(args.targets)
+    if targets[0] == "list":
+        print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+        print("also: liberty <output.lib> [--process organic|silicon]")
+        return 0
+    if targets[0] == "liberty":
+        if len(targets) != 2:
+            parser.error("liberty needs an output path")
+        args.output = targets[1]
+        _run_liberty(args)
+        return 0
+
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; try 'list'")
+    for target in targets:
+        EXPERIMENTS[target](args)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Experiment harness: one runner per paper figure, plus reporting."""
+
+from repro.analysis.calibration import PAPER, CalibrationEntry
+from repro.analysis.figures import (
+    fig3_transfer_characteristics,
+    fig4_model_fits,
+    fig6_inverter_comparison,
+    fig7_vdd_scaling,
+    fig8_vss_tuning,
+    fig11_pipeline_depth,
+    fig12_alu_depth,
+    fig13_width_performance,
+    fig14_width_area,
+    fig15_wire_ablation,
+)
+from repro.analysis.tables import format_table, format_matrix
+from repro.analysis.energy import EnergyReport, core_energy, energy_depth_sweep
+from repro.analysis.manycore import ManycoreDesign, manycore_study, best_design
+from repro.analysis.yield_mc import (
+    YieldResult,
+    compare_styles,
+    noise_margin_yield,
+    vss_recovery,
+)
+
+__all__ = [
+    "EnergyReport",
+    "core_energy",
+    "energy_depth_sweep",
+    "ManycoreDesign",
+    "manycore_study",
+    "best_design",
+    "YieldResult",
+    "compare_styles",
+    "noise_margin_yield",
+    "vss_recovery",
+    "PAPER",
+    "CalibrationEntry",
+    "fig3_transfer_characteristics",
+    "fig4_model_fits",
+    "fig6_inverter_comparison",
+    "fig7_vdd_scaling",
+    "fig8_vss_tuning",
+    "fig11_pipeline_depth",
+    "fig12_alu_depth",
+    "fig13_width_performance",
+    "fig14_width_area",
+    "fig15_wire_ablation",
+    "format_table",
+    "format_matrix",
+]

@@ -1,0 +1,110 @@
+"""Paper-reported reference values for every reproduced figure.
+
+Each entry records what the paper reports so that benchmarks, tests and
+EXPERIMENTS.md can compare measured values against it without re-reading
+the paper.  Comparisons check *shape* (orderings, factors, optima
+locations), not absolute equality — our substrate is a from-scratch
+simulator, not the authors' fab + EDA stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CalibrationEntry:
+    """One paper-reported quantity."""
+
+    figure: str
+    quantity: str
+    value: float | tuple
+    unit: str = ""
+    note: str = ""
+
+
+PAPER: dict[str, CalibrationEntry] = {}
+
+
+def _add(key: str, figure: str, quantity: str, value, unit: str = "",
+         note: str = "") -> None:
+    PAPER[key] = CalibrationEntry(figure=figure, quantity=quantity,
+                                  value=value, unit=unit, note=note)
+
+
+# --- Section 4.1 / Figure 3: device DC characteristics ----------------------
+_add("mobility", "Fig 3", "linear mobility", 0.16, "cm^2/Vs")
+_add("subthreshold_slope", "Fig 3", "subthreshold slope", 350.0, "mV/dec")
+_add("on_off_ratio", "Fig 3", "on/off current ratio", 1e6)
+_add("vt_vds1", "Fig 3", "VT at VDS=-1V (physical)", -1.3, "V")
+_add("vt_vds10", "Fig 3", "VT at VDS=-10V (physical)", +1.3, "V")
+_add("vt_spread", "Sec 4.1", "VT spread across sample", 0.5, "V")
+
+# --- Figure 6: inverter style comparison at VDD = 15 V ----------------------
+_add("fig6_vm", "Fig 6d", "VM (diode, biased, pseudo-E)", (8.1, 6.8, 7.7), "V")
+_add("fig6_gain", "Fig 6d", "max gain (diode, biased, pseudo-E)",
+     (1.2, 1.6, 3.0))
+_add("fig6_nmh", "Fig 6d", "NMH (diode, biased, pseudo-E)", (0.3, 0.9, 3.0), "V")
+_add("fig6_nml", "Fig 6d", "NML (diode, biased, pseudo-E)", (0.4, 1.2, 3.5), "V")
+_add("fig6_power_low", "Fig 6d", "static power at VIN=0 (uW)",
+     (109.0, 126.0, 215.0), "uW")
+_add("fig6_power_high", "Fig 6d", "static power at VIN=10V (uW)",
+     (0.01, 0.01, 0.83), "uW",
+     note="first two reported as <0.01 uW")
+
+# --- Figure 7: pseudo-E across VDD ------------------------------------------
+_add("fig7_vm", "Fig 7d", "VM at VDD=5/10/15", (2.4, 4.6, 7.7), "V")
+_add("fig7_gain", "Fig 7d", "gain at VDD=5/10/15", (3.2, 2.9, 3.0))
+_add("fig7_power_low", "Fig 7d", "static power at VIN=0", (13.0, 98.0, 215.0),
+     "uW")
+_add("fig7_vss", "Fig 7d", "chosen VSS", (-15.0, -20.0, -15.0), "V")
+
+# --- Figure 8: VM vs VSS ------------------------------------------------------
+_add("fig8_slope", "Fig 8b", "dVM/dVSS", 0.22,
+     note="VM = 0.22 VSS + 5.76; VM increases as VSS increases")
+_add("fig8_vss_for_center", "Fig 8b", "VSS giving VM = VDD/2", -14.8, "V")
+
+# --- Section 5.3 / Figures 11, 15: pipeline depth -----------------------------
+_add("baseline_freq_organic", "Sec 5.3", "9-stage organic frequency", 200.0,
+     "Hz", note="'approximately 200 Hz'")
+_add("baseline_freq_silicon", "Sec 5.3", "9-stage silicon frequency", 800e6,
+     "Hz")
+_add("optimal_depth_silicon", "Fig 11", "optimal depth (silicon)", (10, 11),
+     "stages")
+_add("optimal_depth_organic", "Fig 11", "optimal depth (organic)", (14, 15),
+     "stages")
+_add("fig15_core_f14_organic", "Fig 15b", "organic 14-stage frequency ratio",
+     2.0, note="'twice as high as its baseline frequency'")
+_add("fig15_core_f14_silicon", "Fig 15b", "silicon 14-stage frequency ratio",
+     1.5, note="'can only achieve 1.5x improvement'")
+
+# --- Figure 12: ALU depth -------------------------------------------------------
+_add("fig12_si_saturation", "Fig 12b", "silicon ALU frequency saturates near",
+     8, "stages")
+_add("fig12_org_top", "Fig 12b", "organic ALU frequency tops out near",
+     22, "stages")
+
+# --- Figures 13/14: width -----------------------------------------------------------
+_add("fig13_si_optimum", "Fig 13a", "silicon optimum (back, front)", (4, 2))
+_add("fig13_org_optimum", "Fig 13b", "organic optimum (back, front)", (7, 2))
+_add("fig13_si_matrix", "Fig 13a", "silicon normalised performance",
+     ((0.80, 0.97, 0.87, 0.78, 0.74, 0.69),
+      (0.82, 1.00, 0.91, 0.87, 0.84, 0.77),
+      (0.81, 0.96, 0.94, 0.91, 0.84, 0.78),
+      (0.77, 0.97, 0.91, 0.88, 0.84, 0.80),
+      (0.75, 0.95, 0.90, 0.87, 0.81, 0.79)),
+     note="rows: back-end 3..7; cols: front-end 1..6")
+_add("fig13_org_matrix", "Fig 13b", "organic normalised performance",
+     ((0.81, 0.95, 0.86, 0.79, 0.80, 0.76),
+      (0.81, 0.98, 0.91, 0.91, 0.92, 0.86),
+      (0.81, 0.98, 0.96, 0.93, 0.90, 0.84),
+      (0.79, 0.99, 0.96, 0.91, 0.91, 0.89),
+      (0.79, 1.00, 0.95, 0.91, 0.89, 0.88)),
+     note="rows: back-end 3..7; cols: front-end 1..6")
+_add("fig14_area_range", "Fig 14", "normalised area range",
+     (0.48, 1.00), note="similar for both processes")
+
+
+def paper_value(key: str):
+    """The paper-reported value for *key* (raises KeyError if unknown)."""
+    return PAPER[key].value

@@ -1,0 +1,64 @@
+"""ASCII rendering of experiment results (the repo's 'plots')."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """A simple aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_matrix(matrix: dict[tuple[int, int], float],
+                  row_label: str = "back", col_label: str = "front",
+                  title: str = "", fmt: str = "{:5.2f}") -> str:
+    """Render a (row, col) -> value dict as an aligned grid."""
+    rows = sorted({k[0] for k in matrix})
+    cols = sorted({k[1] for k in matrix})
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{row_label}\\{col_label} " + " ".join(f"{c:>5d}" for c in cols)
+    lines.append(header)
+    for r in rows:
+        vals = " ".join(fmt.format(matrix[(r, c)]) for c in cols)
+        lines.append(f"{r:>10d} {vals}")
+    return "\n".join(lines)
+
+
+def format_series(xs: Sequence, ys: Sequence, x_name: str = "x",
+                  y_name: str = "y", width: int = 40,
+                  title: str = "") -> str:
+    """A horizontal ASCII bar chart for one series."""
+    lines = []
+    if title:
+        lines.append(title)
+    peak = max(abs(float(y)) for y in ys) or 1.0
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, round(width * float(y) / peak))
+        lines.append(f"{x!s:>8} {float(y):10.4g} {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-2:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

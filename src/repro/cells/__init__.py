@@ -1,0 +1,54 @@
+"""The organic (and reduced-silicon) standard-cell substrate.
+
+Implements the paper's Section 4.3: transistor-level topologies for
+diode-load, biased-load and pseudo-E inverters, pseudo-E NAND/NOR gates, a
+NAND-based D-flip-flop with preset and clear, static (VTC) analysis with
+max-equal-criterion noise margins, a sizing design-space explorer, and the
+6-cell library definition used by characterisation and synthesis.
+"""
+
+from repro.cells.topologies import (
+    CellDesign,
+    CompositeCell,
+    DeviceSpec,
+    diode_load_inverter,
+    biased_load_inverter,
+    pseudo_e_inverter,
+    pseudo_e_nand,
+    pseudo_e_nor,
+    cmos_inverter,
+    cmos_nand,
+    cmos_nor,
+    nand_dff,
+)
+from repro.cells.vtc import VtcCurve, VtcAnalysis, compute_vtc, analyze_inverter
+from repro.cells.sizing import SizingResult, optimize_inverter_sizing
+from repro.cells.library_def import (
+    CellLibraryDefinition,
+    organic_library_definition,
+    silicon_library_definition,
+)
+
+__all__ = [
+    "CellDesign",
+    "CompositeCell",
+    "DeviceSpec",
+    "diode_load_inverter",
+    "biased_load_inverter",
+    "pseudo_e_inverter",
+    "pseudo_e_nand",
+    "pseudo_e_nor",
+    "cmos_inverter",
+    "cmos_nand",
+    "cmos_nor",
+    "nand_dff",
+    "VtcCurve",
+    "VtcAnalysis",
+    "compute_vtc",
+    "analyze_inverter",
+    "SizingResult",
+    "optimize_inverter_sizing",
+    "CellLibraryDefinition",
+    "organic_library_definition",
+    "silicon_library_definition",
+]

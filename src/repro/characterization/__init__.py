@@ -1,0 +1,46 @@
+"""NLDM standard-cell characterisation (paper Section 4.4).
+
+"The organic standard cell library is characterized with the non-linear
+delay model (NLDM) [...] a conventional and fast voltage-based model that
+relies on input signal slope and output capacitive loads.  The delay
+information is obtained from the SPICE simulation and formatted into a
+look-up table (LUT) format."
+
+This subpackage is the repro stand-in for Synopsys SiliconSmart: it drives
+:mod:`repro.spice` transients over a slew x load grid for every timing arc
+of every cell, measures propagation delay and output transition, and packs
+the results into Liberty-style lookup tables
+(:class:`repro.characterization.nldm.NldmTable`).  Characterised libraries
+serialise to JSON and are disk-cached because a full library build runs
+hundreds of transistor-level transients.
+"""
+
+from repro.characterization.nldm import NldmTable
+from repro.characterization.library import (
+    TimingArc,
+    CellTiming,
+    SequentialTiming,
+    Library,
+)
+from repro.characterization.harness import (
+    CharacterizationGrid,
+    characterize_cell,
+    characterize_dff,
+    characterize_library,
+)
+from repro.characterization.organic import organic_library
+from repro.characterization.silicon45 import silicon_library
+
+__all__ = [
+    "NldmTable",
+    "TimingArc",
+    "CellTiming",
+    "SequentialTiming",
+    "Library",
+    "CharacterizationGrid",
+    "characterize_cell",
+    "characterize_dff",
+    "characterize_library",
+    "organic_library",
+    "silicon_library",
+]

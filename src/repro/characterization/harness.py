@@ -1,0 +1,493 @@
+"""Characterisation runs: transistor-level transients -> NLDM tables.
+
+For every timing arc of every cell, the harness builds a testbench
+(:class:`repro.spice.Circuit` with a ramp input source and a capacitive
+load), runs a transient for each point of the slew x load grid, and
+measures 50%-to-50% propagation delay plus the output's 20%-80% transition.
+The flip-flop additionally gets clk->q tables and bisection-based setup and
+hold times, mirroring what a commercial characterisation tool performs.
+
+Because a library build runs hundreds of multi-transistor transients,
+:func:`characterize_library` caches its result as JSON keyed by a hash of
+the full cell-design description (device parameters, sizes, rails, grid).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import dataclass, asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.cells.library_def import CellLibraryDefinition
+from repro.cells.sizing import estimate_gate_delay
+from repro.cells.topologies import CellDesign, CompositeCell
+from repro.characterization.library import (
+    CellTiming,
+    Library,
+    SequentialTiming,
+    TimingArc,
+)
+from repro.characterization.nldm import NldmTable
+from repro.errors import (
+    AnalysisError,
+    CharacterizationError,
+    LibraryError,
+)
+from repro.spice.dc import operating_point
+from repro.spice.elements import Capacitor, VoltageSource
+from repro.spice.netlist import Circuit
+from repro.spice.transient import TransientOptions, transient
+from repro.spice.waveform import delay_between
+
+#: Measurement thresholds (fractions of the rail swing).
+DELAY_THRESHOLD = 0.5
+SLEW_LOW, SLEW_HIGH = 0.2, 0.8
+#: Ratio of full-ramp time to 20-80 slew.
+_RAMP_FACTOR = 1.0 / (SLEW_HIGH - SLEW_LOW)
+
+
+@dataclass(frozen=True)
+class CharacterizationGrid:
+    """The slew x load index grid used for every NLDM table."""
+
+    slews: tuple[float, ...]
+    loads: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.slews) < 2 or len(self.loads) < 2:
+            raise CharacterizationError("grid needs at least 2x2 points")
+        if any(s <= 0 for s in self.slews) or any(c <= 0 for c in self.loads):
+            raise CharacterizationError("grid values must be positive")
+        if (list(self.slews) != sorted(self.slews)
+                or list(self.loads) != sorted(self.loads)):
+            raise CharacterizationError("grid values must be ascending")
+
+
+def ramp_source(v0: float, v1: float, t_start: float, slew: float):
+    """A voltage-vs-time callable: hold v0, ramp to v1 over the 20-80 *slew*."""
+    duration = slew * _RAMP_FACTOR
+
+    def value(t: float) -> float:
+        if t <= t_start:
+            return v0
+        if t >= t_start + duration:
+            return v1
+        return v0 + (v1 - v0) * (t - t_start) / duration
+
+    return value
+
+
+def _non_controlling(design: CellDesign, pin: str) -> dict[str, float]:
+    """Side-input levels that let *pin* control the output.
+
+    Found by logic evaluation: a side-value assignment under which
+    toggling *pin* toggles the output.  All six library cells admit one
+    (NAND: others high; NOR: others low; INV: none).
+    """
+    vdd = design.rails["vdd"]
+    others = [p for p in design.inputs if p != pin]
+    if not others:
+        return {}
+    for assignment in itertools.product((False, True), repeat=len(others)):
+        values = dict(zip(others, assignment))
+        lo = design.evaluate(**values, **{pin: False})
+        hi = design.evaluate(**values, **{pin: True})
+        if lo != hi:
+            return {p: (vdd if v else 0.0) for p, v in values.items()}
+    raise CharacterizationError(
+        f"no sensitising side-input assignment for {design.name!r}.{pin}")
+
+
+def _arc_testbench(design: CellDesign, pin: str, v0: float, v1: float,
+                   t_start: float, slew: float, load: float) -> Circuit:
+    ckt = Circuit(f"char_{design.name}_{pin}")
+    node_map = {p: p for p in design.inputs}
+    node_map["out"] = "out"
+    for rail, volts in design.rails.items():
+        if volts == 0.0:
+            node_map[rail] = "0"
+        else:
+            node_map[rail] = rail
+            ckt.add(VoltageSource(f"v_{rail}", rail, "0", volts))
+    side = _non_controlling(design, pin)
+    for p, v in side.items():
+        ckt.add(VoltageSource(f"v_{p}", p, "0", v))
+    ckt.add(VoltageSource(f"v_{pin}", pin, "0",
+                          ramp_source(v0, v1, t_start, slew)))
+    design.instantiate(ckt, node_map)
+    ckt.add(Capacitor("c_load", "out", "0", load))
+    return ckt
+
+
+def measure_arc(design: CellDesign, pin: str, input_rise: bool,
+                slew: float, load: float,
+                delay_hint: float | None = None) -> tuple[float, float]:
+    """One (delay, output transition) measurement via transient analysis.
+
+    ``input_rise`` selects the input edge; our inverting cells produce the
+    opposite output edge.  Returns 50%-50% delay and the output's 20%-80%
+    transition time.  The time window auto-extends (up to 3 retries) if the
+    output has not completed its swing.
+    """
+    vdd = design.rails["vdd"]
+    v0, v1 = (0.0, vdd) if input_rise else (vdd, 0.0)
+    if delay_hint is None:
+        delay_hint = estimate_gate_delay(design, load + 1e-18)
+    t_start = 0.25 * slew * _RAMP_FACTOR + 0.05 * delay_hint
+
+    # The expected final output level comes from the cell's logic function,
+    # NOT from the waveform shape: slow two-stage cells can couple the
+    # output the wrong way first (capacitive overshoot), which would fool
+    # a direction guess based on initial/final samples.
+    side = _non_controlling(design, pin)
+    side_logic = {p: v > vdd / 2 for p, v in side.items()}
+    final_logic = design.evaluate(**side_logic, **{pin: input_rise})
+    target = vdd if final_logic else 0.0
+    out_direction = "rise" if final_logic else "fall"
+
+    window = max(8.0 * delay_hint, 3.0 * slew * _RAMP_FACTOR)
+    t_stop = t_start
+    for _attempt in range(5):
+        t_stop = t_start + slew * _RAMP_FACTOR + window
+        n_steps = 700
+        dt = t_stop / n_steps
+        # The ramp must be resolved by several steps.
+        dt = min(dt, slew * _RAMP_FACTOR / 8.0)
+        ckt = _arc_testbench(design, pin, v0, v1, t_start, slew, load)
+        result = transient(ckt, TransientOptions(dt=dt, t_stop=t_stop))
+        w_in = result.waveform(pin)
+        w_out = result.waveform("out")
+        if not w_out.settled(target, 0.05 * vdd):
+            window *= 4.0
+            continue
+        try:
+            delay = delay_between(
+                w_in, w_out, DELAY_THRESHOLD * vdd, DELAY_THRESHOLD * vdd,
+                cause_direction="rise" if input_rise else "fall",
+                effect_direction=out_direction)
+            out_slew = w_out.transition_time(0.0, vdd, SLEW_LOW, SLEW_HIGH)
+        except AnalysisError as exc:
+            raise CharacterizationError(
+                f"measurement failed for {design.name!r}.{pin} "
+                f"(slew={slew:g}, load={load:g}): {exc}") from exc
+        return delay, out_slew
+    raise CharacterizationError(
+        f"output of {design.name!r}.{pin} did not settle within "
+        f"{t_stop:g}s (slew={slew:g}, load={load:g})")
+
+
+def _static_power(design: CellDesign, input_levels: dict[str, float]) -> float:
+    from repro.cells.topologies import build_dc_testbench
+
+    ckt = build_dc_testbench(design, input_levels)
+    x, sys = operating_point(ckt)
+    power = 0.0
+    for rail, volts in design.rails.items():
+        if volts == 0.0:
+            continue
+        power -= volts * sys.source_current(x, f"v_{rail}")
+    return power
+
+
+def average_leakage(design: CellDesign) -> float:
+    """Static power averaged over all input states."""
+    vdd = design.rails["vdd"]
+    total = 0.0
+    states = list(itertools.product((0.0, vdd), repeat=len(design.inputs)))
+    for state in states:
+        total += _static_power(design, dict(zip(design.inputs, state)))
+    return total / len(states)
+
+
+def characterize_cell(design: CellDesign, grid: CharacterizationGrid,
+                      area: float) -> CellTiming:
+    """Full NLDM characterisation of one combinational cell."""
+    arcs: list[TimingArc] = []
+    for pin in design.inputs:
+        for input_rise in (True, False):
+            delays = np.empty((len(grid.slews), len(grid.loads)))
+            slews_out = np.empty_like(delays)
+            for j, load in enumerate(grid.loads):
+                hint = estimate_gate_delay(design, load + 1e-18)
+                for i, slew in enumerate(grid.slews):
+                    d, s = measure_arc(design, pin, input_rise, slew, load,
+                                       delay_hint=hint)
+                    delays[i, j] = d
+                    slews_out[i, j] = s
+            # Inverting cells: input rise -> output fall.
+            out_dir = "fall" if input_rise else "rise"
+            arcs.append(TimingArc(
+                input_pin=pin,
+                output_transition=out_dir,
+                delay=NldmTable(np.asarray(grid.slews),
+                                np.asarray(grid.loads), delays),
+                transition=NldmTable(np.asarray(grid.slews),
+                                     np.asarray(grid.loads), slews_out),
+            ))
+    return CellTiming(
+        name=design.name,
+        function=design.function,
+        inputs=design.inputs,
+        input_caps={p: design.input_capacitance(p) for p in design.inputs},
+        area=area,
+        arcs=tuple(arcs),
+        leakage=average_leakage(design),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Flip-flop characterisation
+# ---------------------------------------------------------------------------
+
+def _dff_testbench(dff: CompositeCell, load: float,
+                   sources: dict[str, object]) -> Circuit:
+    ckt = Circuit(f"char_{dff.name}")
+    node_map = {p: p for p in dff.inputs}
+    node_map.update({o: o for o in dff.outputs})
+    for rail, volts in dff.rails.items():
+        if volts == 0.0:
+            node_map[rail] = "0"
+        else:
+            node_map[rail] = rail
+            ckt.add(VoltageSource(f"v_{rail}", rail, "0", volts))
+    for pin in dff.inputs:
+        ckt.add(VoltageSource(f"v_{pin}", pin, "0", sources[pin]))
+    dff.instantiate(ckt, node_map)
+    ckt.add(Capacitor("c_load", "q", "0", load))
+    return ckt
+
+
+def _dff_transient(dff: CompositeCell, load: float, clk_slew: float,
+                   t_unit: float, d_level: float, q_rises: bool,
+                   d_offset_before_clk: float | None = None,
+                   t_extra: float = 0.0):
+    """Shared clk->q stimulus: clear/preset pulse, then one clock edge.
+
+    Returns (result, t_clk_edge).  When ``d_offset_before_clk`` is given,
+    D starts at the complement of ``d_level`` and toggles that long before
+    the clock edge (the setup search's knob); otherwise D is held constant.
+    """
+    vdd = dff.rails["vdd"]
+    t_release = 6.0 * t_unit
+    t_clk = t_release + 12.0 * t_unit
+    t_stop = t_clk + 14.0 * t_unit + t_extra
+
+    # Force the opposite initial state so the clock edge produces a Q edge.
+    force_pin = "clr_n" if q_rises else "pre_n"
+    idle_pin = "pre_n" if q_rises else "clr_n"
+    sources: dict[str, object] = {
+        force_pin: ramp_source(0.0, vdd, t_release, 2.0 * t_unit * 0.6),
+        idle_pin: vdd,
+        "clk": ramp_source(0.0, vdd, t_clk, clk_slew),
+    }
+    if d_offset_before_clk is None:
+        sources["d"] = d_level
+    else:
+        d0 = vdd - d_level
+        sources["d"] = ramp_source(d0, d_level, t_clk - d_offset_before_clk,
+                                   clk_slew)
+    ckt = _dff_testbench(dff, load, sources)
+    dt = min(t_stop / 900.0, clk_slew * _RAMP_FACTOR / 6.0, 2.0 * t_unit)
+    result = transient(ckt, TransientOptions(dt=dt, t_stop=t_stop))
+    return result, t_clk
+
+
+def measure_clk_to_q(dff: CompositeCell, clk_slew: float, load: float,
+                     t_unit: float, q_rises: bool = True) -> float:
+    """Clock-50% to Q-50% delay for one grid point.
+
+    The observation window grows with the Q load (a heavily loaded output
+    takes many gate delays to swing) and auto-extends if Q has not
+    completed its transition.
+    """
+    vdd = dff.rails["vdd"]
+    d_level = vdd if q_rises else 0.0
+    target = vdd if q_rises else 0.0
+    direction = "rise" if q_rises else "fall"
+    t_extra = 4.0 * t_unit
+    last_error: Exception | None = None
+    for _attempt in range(5):
+        result, t_clk = _dff_transient(dff, load, clk_slew, t_unit,
+                                       d_level, q_rises, t_extra=t_extra)
+        w_q = result.waveform("q")
+        if w_q.settled(target, 0.05 * vdd):
+            w_clk = result.waveform("clk")
+            try:
+                return delay_between(w_clk, w_q, 0.5 * vdd, 0.5 * vdd,
+                                     cause_direction="rise",
+                                     effect_direction=direction)
+            except AnalysisError as exc:
+                last_error = exc
+        t_extra *= 4.0
+    raise CharacterizationError(
+        f"clk->q measurement failed (slew={clk_slew:g}, load={load:g}): "
+        f"{last_error or 'Q did not settle'}")
+
+
+def _captures(dff: CompositeCell, load: float, clk_slew: float,
+              t_unit: float, setup_candidate: float) -> bool:
+    """Does a 0->1 D edge at ``t_clk - setup_candidate`` get captured?
+
+    D starts low (so a missed capture leaves Q low) and rises
+    *setup_candidate* before the clock's 50% point; capture is judged by
+    the final Q level.
+    """
+    vdd = dff.rails["vdd"]
+    # The flop is cleared first, so an uncaptured Q stays at 0.
+    result, _t_clk = _dff_transient(
+        dff, load, clk_slew, t_unit, d_level=vdd, q_rises=True,
+        d_offset_before_clk=setup_candidate, t_extra=4.0 * t_unit)
+    w_q = result.waveform("q")
+    return w_q.final_value > 0.6 * vdd
+
+
+def measure_setup_time(dff: CompositeCell, clk_slew: float, load: float,
+                       t_unit: float, resolution_frac: float = 0.1) -> float:
+    """Minimum D-before-clock time that still captures, via bisection."""
+    lo, hi = 0.0, 10.0 * t_unit
+    if not _captures(dff, load, clk_slew, t_unit, hi):
+        raise CharacterizationError("flop does not capture even with "
+                                    f"setup {hi:g}s; check sizing")
+    if _captures(dff, load, clk_slew, t_unit, lo):
+        return 0.0
+    resolution = resolution_frac * t_unit
+    while hi - lo > resolution:
+        mid = 0.5 * (lo + hi)
+        if _captures(dff, load, clk_slew, t_unit, mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def characterize_dff(dff: CompositeCell, grid: CharacterizationGrid,
+                     area: float, t_unit: float) -> SequentialTiming:
+    """Clk->q NLDM table plus scalar setup/hold.
+
+    ``t_unit`` is a per-process time scale (roughly one gate delay) used to
+    schedule stimulus edges and bound the setup search.
+    """
+    values = np.empty((len(grid.slews), len(grid.loads)))
+    for i, slew in enumerate(grid.slews):
+        for j, load in enumerate(grid.loads):
+            values[i, j] = measure_clk_to_q(dff, slew, load, t_unit)
+    mid_slew = grid.slews[len(grid.slews) // 2]
+    mid_load = grid.loads[len(grid.loads) // 2]
+    setup = measure_setup_time(dff, mid_slew, mid_load, t_unit)
+    # Hold: our fully-static NAND flop is hold-safe by construction (the
+    # master is opaque when the clock is high); report a conservative
+    # fraction of a gate delay.
+    hold = 0.25 * t_unit
+
+    leak_cells = {}
+    for _, design, _ in dff.subcells:
+        leak_cells.setdefault(design.name, average_leakage(design))
+    leakage = sum(leak_cells[design.name] for _, design, _ in dff.subcells)
+
+    return SequentialTiming(
+        name="dff",
+        input_caps={p: dff.input_capacitance(p) for p in dff.inputs},
+        area=area,
+        clk_to_q=NldmTable(np.asarray(grid.slews), np.asarray(grid.loads),
+                           values),
+        setup_time=setup,
+        hold_time=hold,
+        leakage=leakage,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Whole-library characterisation with disk caching
+# ---------------------------------------------------------------------------
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-biodegradable"
+
+
+def _definition_fingerprint(defn: CellLibraryDefinition,
+                            grid: CharacterizationGrid) -> str:
+    """Stable hash of everything that affects characterisation results."""
+    payload: dict = {
+        "vdd": defn.vdd,
+        "process": defn.process,
+        "grid": {"slews": grid.slews, "loads": grid.loads},
+        "cells": {},
+    }
+    for name in (*defn.COMBINATIONAL,):
+        cell = defn.cell(name)
+        payload["cells"][name] = {
+            "rails": cell.rails,
+            "devices": [
+                (d.name, d.drain, d.gate, d.source, d.w, d.l,
+                 asdict(d.model))
+                for d in cell.devices
+            ],
+        }
+    payload["area"] = {name: defn.cell_area(name)
+                       for name in (*defn.COMBINATIONAL, "dff")}
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def default_grid(defn: CellLibraryDefinition) -> CharacterizationGrid:
+    """Process-appropriate slew/load grids.
+
+    Anchored on the inverter's input capacitance and a DC-estimated FO4
+    delay so the grid lands on the cell's real operating region whatever
+    device model is plugged in.
+    """
+    inv = defn.cell("inv")
+    cin = inv.input_capacitance("a")
+    fo4 = estimate_gate_delay(inv, 4.0 * cin)
+    slews = tuple(fo4 * f for f in (0.2, 0.7, 2.0, 6.0))
+    loads = tuple(cin * f for f in (0.5, 2.0, 6.0, 16.0))
+    return CharacterizationGrid(slews=slews, loads=loads)
+
+
+def characterize_library(defn: CellLibraryDefinition,
+                         grid: CharacterizationGrid | None = None,
+                         cache_dir: Path | None = None,
+                         use_cache: bool = True) -> Library:
+    """Characterise all six cells, with JSON disk caching."""
+    grid = grid or default_grid(defn)
+    cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+    key = _definition_fingerprint(defn, grid)
+    cache_path = cache_dir / f"lib_{defn.name}_{key}.json"
+    if use_cache and cache_path.exists():
+        try:
+            return Library.from_json(cache_path)
+        except (json.JSONDecodeError, KeyError, LibraryError):
+            cache_path.unlink()
+
+    cells = {}
+    for name in defn.COMBINATIONAL:
+        cells[name] = characterize_cell(defn.cell(name), grid,
+                                        area=defn.cell_area(name))
+
+    inv = defn.cell("inv")
+    t_unit = estimate_gate_delay(inv, 4.0 * inv.input_capacitance("a"))
+    dff = characterize_dff(defn.dff, grid, area=defn.cell_area("dff"),
+                           t_unit=t_unit)
+
+    library = Library(
+        name=defn.name,
+        process=defn.process,
+        vdd=defn.vdd,
+        cells=cells,
+        dff=dff,
+        metadata={"fingerprint": key,
+                  "grid_slews": list(grid.slews),
+                  "grid_loads": list(grid.loads)},
+    )
+    if use_cache:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        library.to_json(cache_path)
+    return library

@@ -1,0 +1,82 @@
+"""Non-linear delay model lookup tables.
+
+An :class:`NldmTable` is the Liberty ``lu_table``: values indexed by input
+transition time (rows) and output load capacitance (columns), with bilinear
+interpolation inside the characterised window and linear extrapolation
+outside it (the same behaviour commercial STA engines implement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LibraryError
+
+
+@dataclass(frozen=True)
+class NldmTable:
+    """A 2-D lookup table over (input slew, output load)."""
+
+    slews: np.ndarray      # ascending, seconds
+    loads: np.ndarray      # ascending, farads
+    values: np.ndarray     # shape (len(slews), len(loads))
+
+    def __post_init__(self) -> None:
+        slews = np.asarray(self.slews, dtype=float)
+        loads = np.asarray(self.loads, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        object.__setattr__(self, "slews", slews)
+        object.__setattr__(self, "loads", loads)
+        object.__setattr__(self, "values", values)
+        if slews.ndim != 1 or loads.ndim != 1:
+            raise LibraryError("NLDM index arrays must be 1-D")
+        if values.shape != (len(slews), len(loads)):
+            raise LibraryError(
+                f"NLDM table shape {values.shape} does not match index sizes "
+                f"({len(slews)}, {len(loads)})")
+        if len(slews) < 2 or len(loads) < 2:
+            raise LibraryError("NLDM tables need at least a 2x2 grid")
+        if np.any(np.diff(slews) <= 0) or np.any(np.diff(loads) <= 0):
+            raise LibraryError("NLDM index arrays must be strictly increasing")
+        if not np.all(np.isfinite(values)):
+            raise LibraryError("NLDM table contains non-finite values")
+
+    def lookup(self, slew: float, load: float) -> float:
+        """Bilinear interpolation with linear edge extrapolation."""
+        i = _segment(self.slews, slew)
+        j = _segment(self.loads, load)
+        s0, s1 = self.slews[i], self.slews[i + 1]
+        l0, l1 = self.loads[j], self.loads[j + 1]
+        ts = (slew - s0) / (s1 - s0)
+        tl = (load - l0) / (l1 - l0)
+        v00 = self.values[i, j]
+        v01 = self.values[i, j + 1]
+        v10 = self.values[i + 1, j]
+        v11 = self.values[i + 1, j + 1]
+        return float((1 - ts) * (1 - tl) * v00 + (1 - ts) * tl * v01
+                     + ts * (1 - tl) * v10 + ts * tl * v11)
+
+    def scaled(self, factor: float) -> "NldmTable":
+        """A copy with all values multiplied by *factor* (ablations)."""
+        return NldmTable(self.slews.copy(), self.loads.copy(),
+                         self.values * factor)
+
+    def to_dict(self) -> dict:
+        return {
+            "slews": self.slews.tolist(),
+            "loads": self.loads.tolist(),
+            "values": self.values.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NldmTable":
+        return cls(np.asarray(data["slews"]), np.asarray(data["loads"]),
+                   np.asarray(data["values"]))
+
+
+def _segment(axis: np.ndarray, x: float) -> int:
+    """Index of the interpolation segment for *x* (clamped for edges)."""
+    i = int(np.searchsorted(axis, x) - 1)
+    return min(max(i, 0), len(axis) - 2)

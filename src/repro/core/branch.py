@@ -1,0 +1,66 @@
+"""Branch predictors.
+
+The mispredict penalty is the depth experiment's central IPC mechanism
+("higher branch mispredict penalties", Section 5.3), so branches are
+predicted by a real predictor rather than a fixed rate: mispredict rates
+emerge from each workload's branch-pattern structure meeting the
+predictor's capacity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class _CounterTable:
+    """A table of 2-bit saturating counters."""
+
+    def __init__(self, index_bits: int) -> None:
+        if not 4 <= index_bits <= 24:
+            raise ConfigError(f"index_bits out of range: {index_bits}")
+        self.index_bits = index_bits
+        self.mask = (1 << index_bits) - 1
+        self.table = bytearray([2] * (1 << index_bits))  # weakly taken
+
+    def predict(self, index: int) -> bool:
+        return self.table[index & self.mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        i = index & self.mask
+        c = self.table[i]
+        if taken:
+            if c < 3:
+                self.table[i] = c + 1
+        else:
+            if c > 0:
+                self.table[i] = c - 1
+
+
+class BimodalPredictor:
+    """PC-indexed 2-bit counters."""
+
+    def __init__(self, index_bits: int = 12) -> None:
+        self._table = _CounterTable(index_bits)
+
+    def predict_and_update(self, pc_key: int, taken: bool) -> bool:
+        """Returns True if the prediction was CORRECT."""
+        pred = self._table.predict(pc_key)
+        self._table.update(pc_key, taken)
+        return pred == taken
+
+
+class GsharePredictor:
+    """Global-history XOR PC indexed 2-bit counters (McFarling gshare)."""
+
+    def __init__(self, index_bits: int = 12) -> None:
+        self._table = _CounterTable(index_bits)
+        self._history = 0
+        self._history_mask = (1 << index_bits) - 1
+
+    def predict_and_update(self, pc_key: int, taken: bool) -> bool:
+        """Returns True if the prediction was CORRECT; updates state."""
+        index = (pc_key ^ self._history) & self._history_mask
+        pred = self._table.predict(index)
+        self._table.update(index, taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return pred == taken

@@ -1,0 +1,119 @@
+"""Core configuration: AnyCore's parameterised design space.
+
+The baseline (Section 5.3) is "a nine stage superscalar core which has a
+front-end width of one along with three execution pipes handling different
+types of instructions" — one memory pipe, one control (branch) pipe, one
+ALU pipe.  The width experiments vary the front-end width (1-6) and the
+back-end width (3-7 pipes, where "the back-end width only changes the
+number of ALU pipes").
+
+Pipeline depth is expressed as a per-region stage map; the baseline gives
+each of the nine canonical regions one stage, and the deepening procedure
+(:func:`repro.core.tradeoffs.deepen_pipeline`) splits whichever region is
+on the critical path, mirroring the paper's "cut the stage which is on the
+critical path manually".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+#: The nine canonical pipeline regions of the baseline core, front to back.
+REGION_NAMES = (
+    "fetch", "decode", "rename", "dispatch", "issue",
+    "regread", "execute", "writeback", "retire",
+)
+
+
+def baseline_regions() -> dict[str, int]:
+    return {name: 1 for name in REGION_NAMES}
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """One design point of the parameterised superscalar core."""
+
+    name: str = "baseline"
+    front_width: int = 1        # fetch/decode/dispatch width
+    back_width: int = 3         # execution pipes incl. 1 mem + 1 branch
+    regions: dict[str, int] = field(default_factory=baseline_regions)
+    iq_size: int = 32
+    rob_size: int = 96
+    lsq_size: int = 24
+    phys_regs: int = 96
+    data_width: int = 16        # datapath width of the synthesized blocks
+    predictor_bits: int = 12    # gshare global-history/table index bits
+    l1_hit_latency: int = 2
+    l1_miss_latency: int = 24
+
+    def __post_init__(self) -> None:
+        if self.front_width < 1 or self.front_width > 8:
+            raise ConfigError(f"front_width out of range: {self.front_width}")
+        if self.back_width < 3 or self.back_width > 10:
+            raise ConfigError(
+                f"back_width must be >= 3 (1 mem + 1 branch + >= 1 ALU pipe)"
+                f", got {self.back_width}")
+        unknown = set(self.regions) - set(REGION_NAMES)
+        if unknown:
+            raise ConfigError(f"unknown pipeline regions: {sorted(unknown)}")
+        missing = set(REGION_NAMES) - set(self.regions)
+        if missing:
+            raise ConfigError(f"missing pipeline regions: {sorted(missing)}")
+        if any(v < 1 for v in self.regions.values()):
+            raise ConfigError("every region needs at least one stage")
+        for fld in ("iq_size", "rob_size", "lsq_size", "phys_regs"):
+            if getattr(self, fld) < 4:
+                raise ConfigError(f"{fld} unreasonably small")
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Total pipeline stages."""
+        return sum(self.regions.values())
+
+    @property
+    def alu_pipes(self) -> int:
+        """Execution pipes available to plain ALU instructions."""
+        return self.back_width - 2
+
+    @property
+    def frontend_depth(self) -> int:
+        """Stages from fetch through dispatch (the refill distance)."""
+        return sum(self.regions[r] for r in
+                   ("fetch", "decode", "rename", "dispatch"))
+
+    @property
+    def mispredict_penalty(self) -> int:
+        """Cycles from a mispredicted branch's execution back to useful
+        dispatch: the branch resolves at the end of execute and the
+        front-end must refill."""
+        to_execute = sum(self.regions[r] for r in
+                         ("issue", "regread", "execute"))
+        return self.frontend_depth + to_execute
+
+    @property
+    def issue_to_execute(self) -> int:
+        """Scheduling-loop length: extra cycles between dependent issues.
+
+        With a single-cycle issue region, dependent instructions can issue
+        back-to-back; each extra issue/regread stage adds a bubble into
+        the wakeup loop.
+        """
+        return (self.regions["issue"] - 1) + (self.regions["regread"] - 1)
+
+    @property
+    def execute_latency(self) -> int:
+        """Cycles a simple ALU op spends in execution."""
+        return self.regions["execute"]
+
+    def widened(self, front_width: int, back_width: int) -> "CoreConfig":
+        return replace(self, front_width=front_width, back_width=back_width,
+                       name=f"w{front_width}x{back_width}")
+
+    def with_regions(self, regions: dict[str, int],
+                     name: str | None = None) -> "CoreConfig":
+        return replace(self, regions=dict(regions),
+                       name=name or f"d{sum(regions.values())}")

@@ -1,0 +1,63 @@
+"""Micro-ISA for the trace-driven simulator.
+
+Traces are sequences of dynamic :class:`Instruction` records — the level
+AnyCore's cycle-accurate simulator consumes after fetch/decode.  The ISA
+distinguishes only what the timing model needs: execution resource class,
+register dependences, branch behaviour and memory locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+#: Number of architectural registers (RISC-style).
+NUM_ARCH_REGS = 32
+
+
+class InstrClass(Enum):
+    """Execution resource classes."""
+
+    ALU = "alu"          # single-cycle integer op, any ALU pipe
+    MUL = "mul"          # pipelined multiplier in an ALU pipe
+    DIV = "div"          # stallable divider in an ALU pipe
+    LOAD = "load"        # memory pipe
+    STORE = "store"      # memory pipe
+    BRANCH = "branch"    # control pipe
+
+
+#: Execution latency (cycles, on top of the execute-region depth) and
+#: whether the unit is pipelined (can accept a new op every cycle).
+EXEC_LATENCY: dict[InstrClass, tuple[int, bool]] = {
+    InstrClass.ALU: (1, True),
+    InstrClass.MUL: (3, True),      # pipelined multiplier
+    InstrClass.DIV: (12, False),    # stallable divider occupies its pipe
+    InstrClass.LOAD: (1, True),     # plus cache latency
+    InstrClass.STORE: (1, True),
+    InstrClass.BRANCH: (1, True),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction.
+
+    ``srcs`` hold architectural register numbers (or -1 for none);
+    ``dst`` is -1 for instructions without a register result.  For
+    branches, ``taken`` is the actual outcome and ``pattern_key``
+    identifies the static branch site for the predictor.
+    """
+
+    klass: InstrClass
+    srcs: tuple[int, int]
+    dst: int
+    taken: bool = False
+    pattern_key: int = 0
+    is_miss: bool = False      # loads: L1 miss
+
+    def __post_init__(self) -> None:
+        for s in self.srcs:
+            if s < -1 or s >= NUM_ARCH_REGS:
+                raise ValueError(f"bad source register {s}")
+        if self.dst < -1 or self.dst >= NUM_ARCH_REGS:
+            raise ValueError(f"bad destination register {self.dst}")

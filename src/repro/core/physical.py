@@ -1,0 +1,184 @@
+"""Physical core model: configuration -> clock period and area.
+
+Each of the nine pipeline regions gets a *logic delay* — real mapped
+netlists (next-PC adder, simple ALU, the complex-ALU slice) timed by NLDM
+STA where a netlist is natural, Palacharla-style structure models
+(:mod:`repro.core.complexity`) where the structure is wire/array dominated
+(rename, issue queue, register file, bypass, ROB, BTB).  A region with k
+stages contributes ``logic/k`` (floored at a minimum stage quantum) plus
+the per-stage sequencing overhead; the clock period is the worst region.
+
+The per-stage overhead includes the cross-core feedback wire (stalls,
+bypasses, branch redirect) whose length follows the core's own floorplan
+span — this term is what separates the processes in Figures 11 and 15.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.characterization.library import Library
+from repro.core.complexity import StructureModel
+from repro.core.config import REGION_NAMES, CoreConfig
+from repro.errors import ConfigError
+from repro.synthesis.generators import carry_select_adder, complex_alu_slice, simple_alu
+from repro.synthesis.mapping import technology_map
+from repro.synthesis.pipeline import broadcast_penalty
+from repro.synthesis.sta import static_timing
+from repro.synthesis.wires import WireModel
+
+#: Smallest meaningful per-stage logic, in FO4 units (one mapped gate
+#: level plus local routing — the granularity floor).
+MIN_STAGE_LOGIC_FO4 = 1.5
+
+#: Feedback-wire length model at core level, in core-span units.
+CORE_FEEDBACK_BASE = 0.4
+CORE_FEEDBACK_PER_STAGE = 0.06
+
+
+@dataclass(frozen=True)
+class CorePhysical:
+    """Physical figures of one core design point."""
+
+    config_name: str
+    process: str
+    period: float
+    frequency: float
+    area: float
+    critical_region: str
+    overhead: float
+    region_logic: dict[str, float] = field(repr=False, default_factory=dict)
+    region_stage_delay: dict[str, float] = field(repr=False,
+                                                 default_factory=dict)
+
+
+# Cached netlist timing/area per (library fingerprint, block, width).
+_BLOCK_CACHE: dict[tuple[str, str, int], tuple[float, float]] = {}
+
+
+def _lib_key(library: Library) -> str:
+    return str(library.metadata.get("fingerprint", library.name))
+
+
+def _block_timing(block: str, width: int, library: Library,
+                  wire: WireModel) -> tuple[float, float]:
+    """(critical delay, gate area) of a named mapped block, cached."""
+    key = (_lib_key(library), block, width)
+    if key in _BLOCK_CACHE:
+        return _BLOCK_CACHE[key]
+    if block == "alu":
+        netlist = technology_map(simple_alu(width))
+    elif block == "adder":
+        netlist = technology_map(carry_select_adder(width))
+    elif block == "complex":
+        netlist = technology_map(complex_alu_slice(width))
+    else:
+        raise ConfigError(f"unknown physical block {block!r}")
+    report = static_timing(netlist, library, wire)
+    area = sum(library.cell(g.cell).area for g in netlist.gates.values())
+    _BLOCK_CACHE[key] = (report.max_delay, area)
+    return _BLOCK_CACHE[key]
+
+
+def region_logic_delays(config: CoreConfig, library: Library,
+                        wire: WireModel) -> dict[str, float]:
+    """Single-stage (unsplit) logic delay of each pipeline region."""
+    sm = StructureModel(library, wire)
+    fo4 = sm.fo4
+    w = config.data_width
+
+    adder_delay, _ = _block_timing("adder", w, library, wire)
+    alu_delay, _ = _block_timing("alu", w, library, wire)
+
+    mux_fanin = 1.0 + math.log2(max(config.front_width, 2))
+    return {
+        # Next-PC add and BTB lookup are parallel paths into the PC mux.
+        "fetch": max(sm.btb_delay(config.front_width), adder_delay)
+                 + mux_fanin * fo4,
+        "decode": (6.0 + 0.8 * (config.front_width - 1)) * fo4,
+        "rename": sm.rename_delay(config.front_width, config.phys_regs),
+        "dispatch": sm.array_delay(config.iq_size, 32,
+                                   max(config.front_width, 2)),
+        "issue": sm.wakeup_select_delay(config.iq_size, config.back_width,
+                                        config.front_width),
+        "regread": sm.regfile_delay(config.phys_regs, w, config.back_width),
+        "execute": alu_delay + sm.bypass_delay(config.back_width, w),
+        "writeback": sm.rob_delay(config.rob_size, config.front_width),
+        "retire": sm.rob_delay(config.rob_size, config.front_width)
+                  + 2.0 * fo4,
+    }
+
+
+def core_area(config: CoreConfig, library: Library,
+              wire: WireModel) -> float:
+    """Total core area from structure and datapath components."""
+    sm = StructureModel(library, wire)
+    w = config.data_width
+    fw, bw = config.front_width, config.back_width
+
+    _, alu_area = _block_timing("alu", w, library, wire)
+    _, adder_area = _block_timing("adder", w, library, wire)
+    _, complex_area = _block_timing("complex", w, library, wire)
+    nand_area = library.cell("nand2").area
+
+    area = 0.0
+    # Front end: BTB, per-way decode logic, next-PC.
+    area += sm.array_area(256, 24, 1 + fw // 2)
+    area += 350 * nand_area * fw
+    area += adder_area
+    # Rename: map table + free list.
+    tag_bits = max(1, math.ceil(math.log2(config.phys_regs)))
+    area += sm.array_area(32, tag_bits, 3 * fw)
+    area += sm.array_area(config.phys_regs, tag_bits, fw)
+    # Issue queue (payload + source tags, CAM-ported by the back end).
+    area += sm.array_area(config.iq_size, 32 + 2 * tag_bits, fw + bw)
+    # Register file.
+    area += sm.array_area(config.phys_regs, w, 3 * bw)
+    # Execution pipes: ALU per plain pipe; complex unit on one pipe;
+    # memory pipe (AGU + LSQ); branch pipe.
+    area += alu_area * config.alu_pipes + complex_area
+    area += adder_area + sm.array_area(config.lsq_size, 40, 2)   # mem pipe
+    area += alu_area                                              # branch
+    # ROB.
+    area += sm.array_area(config.rob_size, 40, 2 * fw)
+    # Extra pipeline registers beyond the 9-stage baseline: one datapath-
+    # wide latch bank per added stage per active way.
+    extra_stages = max(config.depth - len(REGION_NAMES), 0)
+    area += extra_stages * (fw + bw) * w * library.dff.area
+    return area
+
+
+def core_physical(config: CoreConfig, library: Library, wire: WireModel,
+                  skew_fo4: float = 0.5) -> CorePhysical:
+    """Clock period, frequency and area of one design point."""
+    logic = region_logic_delays(config, library, wire)
+    area = core_area(config, library, wire)
+    fo4 = library.inverter_fo4_delay()
+
+    span = math.sqrt(area)
+    feedback_length = span * (CORE_FEEDBACK_BASE
+                              + CORE_FEEDBACK_PER_STAGE * config.depth)
+    overhead = (library.register_overhead()
+                + skew_fo4 * fo4
+                + broadcast_penalty(library, wire, feedback_length))
+
+    floor = MIN_STAGE_LOGIC_FO4 * fo4
+    stage_delay: dict[str, float] = {}
+    for region, delay in logic.items():
+        k = config.regions[region]
+        stage_delay[region] = max(delay / k, floor) + overhead
+
+    critical_region = max(stage_delay, key=stage_delay.get)
+    period = stage_delay[critical_region]
+    return CorePhysical(
+        config_name=config.name,
+        process=library.process,
+        period=period,
+        frequency=1.0 / period,
+        area=area,
+        critical_region=critical_region,
+        overhead=overhead,
+        region_logic=logic,
+        region_stage_delay=stage_delay,
+    )

@@ -1,0 +1,191 @@
+"""Trace-driven out-of-order core timing model (the IPC source).
+
+This is the repro stand-in for AnyCore's cycle-accurate C++ simulator.  It
+is a greedy dataflow-scheduling model: each dynamic instruction's dispatch,
+issue, completion and retirement times are computed in trace order from
+
+- front-end bandwidth (``front_width`` per cycle) and depth (refill after
+  branch mispredicts, detected by a live gshare predictor),
+- register dataflow (RAW dependences through renamed registers; full
+  bypass, plus the extra wakeup-loop bubbles deeper issue/regread regions
+  introduce),
+- structural resources: per-type execution pipes (memory pipe, branch
+  pipe, ``back_width - 2`` ALU pipes; the stallable divider blocks its
+  pipe), issue-queue / ROB / LSQ occupancy windows, in-order retirement
+  bandwidth,
+- the data cache (hit/miss latencies; miss events come from the trace).
+
+Greedy scheduling models of this form track cycle-accurate simulators
+closely for IPC *trends* across depth/width sweeps, which is what the
+paper's Figures 11 and 13 need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.branch import GsharePredictor
+from repro.core.config import CoreConfig
+from repro.core.isa import EXEC_LATENCY, InstrClass
+from repro.core.trace import Trace
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one trace run on one configuration."""
+
+    config_name: str
+    trace_name: str
+    instructions: int
+    cycles: int
+    ipc: float
+    branch_count: int
+    mispredicts: int
+    l1_misses: int
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branch_count if self.branch_count else 0.0
+
+
+def simulate(config: CoreConfig, trace: Trace) -> SimulationResult:
+    """Run *trace* through the timing model; returns IPC and statistics."""
+    if len(trace) == 0:
+        raise SimulationError("empty trace")
+
+    predictor = GsharePredictor(config.predictor_bits)
+
+    front_width = config.front_width
+    frontend_depth = config.frontend_depth
+    sched_bubble = config.issue_to_execute
+    exec_depth = config.execute_latency
+    hit_lat = config.l1_hit_latency
+    miss_lat = config.l1_miss_latency
+
+    # Per-pipe next-free cycle.  Pipe 0 = memory, pipe 1 = branch/control,
+    # pipes 2.. = ALU pipes (paper: back-end width changes only ALU pipes).
+    alu_free = [0] * config.alu_pipes
+    mem_free = 0
+    branch_free = 0
+
+    # Renamed register file: architectural reg -> completion time of the
+    # latest in-trace-order writer.
+    reg_ready = [0] * 32
+
+    # Ring buffers for occupancy windows.
+    rob_size = config.rob_size
+    iq_size = config.iq_size
+    lsq_size = config.lsq_size
+    retire_times: list[int] = []
+    issue_times: list[int] = []
+    mem_issue_times: list[int] = []
+
+    # Front end: cycle currently being fetched into and its fill count.
+    fetch_cycle = 0
+    fetch_fill = 0
+
+    last_retire = 0
+    retire_fill = 0
+    retire_cycle = -1
+
+    mispredicts = 0
+    l1_misses = 0
+    n_branches = 0
+
+    for idx, instr in enumerate(trace.instructions):
+        # ---- fetch / front end -------------------------------------------------
+        if fetch_fill >= front_width:
+            fetch_cycle += 1
+            fetch_fill = 0
+        fetch_time = fetch_cycle
+        fetch_fill += 1
+
+        dispatch_time = fetch_time + frontend_depth
+
+        # Occupancy windows (approximate in-order reclamation).
+        if idx >= rob_size:
+            dispatch_time = max(dispatch_time, retire_times[idx - rob_size] + 1)
+        if idx >= iq_size:
+            dispatch_time = max(dispatch_time, issue_times[idx - iq_size] + 1)
+
+        # ---- source readiness ---------------------------------------------------
+        ready = dispatch_time
+        s0, s1 = instr.srcs
+        if s0 >= 0 and reg_ready[s0] > ready:
+            ready = reg_ready[s0]
+        if s1 >= 0 and reg_ready[s1] > ready:
+            ready = reg_ready[s1]
+
+        # ---- structural issue ----------------------------------------------------
+        klass = instr.klass
+        if klass is InstrClass.LOAD or klass is InstrClass.STORE:
+            n_mem = len(mem_issue_times)
+            if n_mem >= lsq_size:
+                ready = max(ready, mem_issue_times[n_mem - lsq_size] + 1)
+            issue_time = max(ready, mem_free)
+            mem_free = issue_time + 1
+            mem_issue_times.append(issue_time)
+        elif klass is InstrClass.BRANCH:
+            issue_time = max(ready, branch_free)
+            branch_free = issue_time + 1
+        else:
+            # Earliest-free ALU pipe.
+            best = 0
+            best_free = alu_free[0]
+            for p in range(1, len(alu_free)):
+                if alu_free[p] < best_free:
+                    best, best_free = p, alu_free[p]
+            issue_time = max(ready, best_free)
+            latency, pipelined = EXEC_LATENCY[klass]
+            alu_free[best] = issue_time + (1 if pipelined else latency)
+
+        # ---- completion ------------------------------------------------------------
+        latency, _pipelined = EXEC_LATENCY[klass]
+        completion = issue_time + sched_bubble + exec_depth + (latency - 1)
+        if klass is InstrClass.LOAD:
+            completion += miss_lat if instr.is_miss else hit_lat
+            if instr.is_miss:
+                l1_misses += 1
+
+        if instr.dst >= 0:
+            reg_ready[instr.dst] = completion
+
+        # ---- branches: resolve and maybe redirect ------------------------------------
+        if klass is InstrClass.BRANCH:
+            n_branches += 1
+            correct = predictor.predict_and_update(instr.pattern_key,
+                                                   instr.taken)
+            if not correct:
+                mispredicts += 1
+                redirect = completion + 1
+                if redirect > fetch_cycle:
+                    fetch_cycle = redirect
+                    fetch_fill = 0
+
+        # ---- in-order retirement -------------------------------------------------------
+        retire_ready = max(completion + 1, last_retire)
+        if retire_ready == retire_cycle:
+            if retire_fill >= front_width:
+                retire_ready += 1
+                retire_fill = 0
+        if retire_ready != retire_cycle:
+            retire_cycle = retire_ready
+            retire_fill = 0
+        retire_fill += 1
+        last_retire = retire_ready
+
+        retire_times.append(retire_ready)
+        issue_times.append(issue_time)
+
+    cycles = last_retire + 1
+    return SimulationResult(
+        config_name=config.name,
+        trace_name=trace.name,
+        instructions=len(trace),
+        cycles=cycles,
+        ipc=len(trace) / cycles,
+        branch_count=n_branches,
+        mispredicts=mispredicts,
+        l1_misses=l1_misses,
+    )

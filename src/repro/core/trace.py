@@ -1,0 +1,35 @@
+"""Instruction traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.isa import Instruction, InstrClass
+
+
+@dataclass
+class Trace:
+    """A dynamic instruction stream plus provenance metadata."""
+
+    name: str
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def class_mix(self) -> dict[InstrClass, float]:
+        """Fraction of each instruction class (for trace validation)."""
+        if not self.instructions:
+            return {}
+        counts: dict[InstrClass, int] = {}
+        for instr in self.instructions:
+            counts[instr.klass] = counts.get(instr.klass, 0) + 1
+        total = len(self.instructions)
+        return {k: v / total for k, v in counts.items()}
+
+    def branch_count(self) -> int:
+        return sum(1 for i in self.instructions
+                   if i.klass is InstrClass.BRANCH)

@@ -1,0 +1,187 @@
+"""Design-space sweep drivers: pipeline depth and superscalar width.
+
+These functions orchestrate the paper's Section 5.3/5.4 experiments:
+per-process frequency and area from :mod:`repro.core.physical`, IPC from
+:mod:`repro.core.superscalar`, and ``performance = IPC x frequency``.
+
+Depth is grown the way the paper grows it: "we synthesize the baseline
+design and cut the stage which is on the critical path" — so the stage
+allocation (and therefore the IPC penalty profile) genuinely depends on
+which process is being targeted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.characterization.library import Library
+from repro.core.config import CoreConfig
+from repro.core.physical import (
+    MIN_STAGE_LOGIC_FO4,
+    CorePhysical,
+    core_physical,
+    region_logic_delays,
+)
+from repro.core.superscalar import simulate
+from repro.core.trace import Trace
+from repro.core.workloads import WORKLOADS, generate_trace
+from repro.errors import ConfigError
+from repro.synthesis.wires import WireModel
+
+#: Default dynamic instruction count per workload for the sweeps.  The
+#: synthetic traces are statistically stationary, so this converges to
+#: the same IPC as a much longer run (checked in the test suite).
+DEFAULT_TRACE_LENGTH = 30_000
+
+
+def make_traces(workloads: list[str] | None = None,
+                n_instructions: int = DEFAULT_TRACE_LENGTH,
+                seed: int = 0) -> dict[str, Trace]:
+    """Generate (deterministically) the benchmark traces for a sweep."""
+    names = workloads or list(WORKLOADS)
+    traces = {}
+    for name in names:
+        if name not in WORKLOADS:
+            raise ConfigError(f"unknown workload {name!r}; "
+                              f"available: {sorted(WORKLOADS)}")
+        traces[name] = generate_trace(WORKLOADS[name], n_instructions, seed)
+    return traces
+
+
+# ---------------------------------------------------------------------------
+# Pipeline depth (Figure 11)
+# ---------------------------------------------------------------------------
+
+def deepen_pipeline(config: CoreConfig, library: Library,
+                    wire: WireModel) -> CoreConfig:
+    """Split the stage currently on the critical path (paper Section 5.1).
+
+    Chooses the region with the largest per-stage *logic* among those that
+    can still be usefully split (above the granularity floor); a region at
+    the floor cannot be improved by cutting, so the next-worst splittable
+    region is cut instead.
+    """
+    logic = region_logic_delays(config, library, wire)
+    fo4 = library.inverter_fo4_delay()
+    floor = MIN_STAGE_LOGIC_FO4 * fo4
+
+    candidates = sorted(logic, key=lambda r: logic[r] / config.regions[r],
+                        reverse=True)
+    for region in candidates:
+        if logic[region] / config.regions[region] > floor:
+            regions = dict(config.regions)
+            regions[region] += 1
+            return config.with_regions(
+                regions, name=f"d{config.depth + 1}_{library.process}")
+    # Everything is at the floor: deepen the nominal critical region
+    # anyway (matches the paper's observation that this only hurts IPC).
+    regions = dict(config.regions)
+    regions[candidates[0]] += 1
+    return config.with_regions(
+        regions, name=f"d{config.depth + 1}_{library.process}")
+
+
+@dataclass(frozen=True)
+class DepthSweepPoint:
+    """One pipeline depth evaluated on one process."""
+
+    depth: int
+    config: CoreConfig
+    physical: CorePhysical
+    ipc: dict[str, float]
+    performance: dict[str, float] = field(default_factory=dict)
+
+    def mean_performance(self) -> float:
+        return sum(self.performance.values()) / len(self.performance)
+
+
+def depth_sweep(library: Library, wire: WireModel,
+                max_depth: int = 15,
+                baseline: CoreConfig | None = None,
+                traces: dict[str, Trace] | None = None
+                ) -> list[DepthSweepPoint]:
+    """Evaluate pipeline depths from the baseline up to *max_depth*.
+
+    Mirrors the paper: seven configurations (9..15 stages), each obtained
+    by repeatedly cutting the process-specific critical stage; IPC from
+    all seven benchmarks; performance = IPC x frequency.
+    """
+    config = baseline or CoreConfig()
+    if traces is None:
+        traces = make_traces()
+
+    points: list[DepthSweepPoint] = []
+    while config.depth <= max_depth:
+        physical = core_physical(config, library, wire)
+        ipc = {name: simulate(config, trace).ipc
+               for name, trace in traces.items()}
+        perf = {name: v * physical.frequency for name, v in ipc.items()}
+        points.append(DepthSweepPoint(depth=config.depth, config=config,
+                                      physical=physical, ipc=ipc,
+                                      performance=perf))
+        if config.depth == max_depth:
+            break
+        config = deepen_pipeline(config, library, wire)
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Superscalar width (Figures 13/14)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WidthSweepPoint:
+    """One (front width, back width) design point on one process."""
+
+    front_width: int
+    back_width: int
+    config: CoreConfig
+    physical: CorePhysical
+    ipc: dict[str, float]
+    performance: dict[str, float]
+
+    def mean_performance(self) -> float:
+        return sum(self.performance.values()) / len(self.performance)
+
+
+def width_sweep(library: Library, wire: WireModel,
+                front_widths: range | list[int] = range(1, 7),
+                back_widths: range | list[int] = range(3, 8),
+                baseline: CoreConfig | None = None,
+                traces: dict[str, Trace] | None = None
+                ) -> list[WidthSweepPoint]:
+    """Evaluate the 30-point width grid of Figures 13/14."""
+    base = baseline or CoreConfig()
+    if traces is None:
+        traces = make_traces()
+
+    points: list[WidthSweepPoint] = []
+    for bw in back_widths:
+        for fw in front_widths:
+            config = base.widened(fw, bw)
+            physical = core_physical(config, library, wire)
+            ipc = {name: simulate(config, trace).ipc
+                   for name, trace in traces.items()}
+            perf = {name: v * physical.frequency for name, v in ipc.items()}
+            points.append(WidthSweepPoint(
+                front_width=fw, back_width=bw, config=config,
+                physical=physical, ipc=ipc, performance=perf))
+    return points
+
+
+def width_matrix(points: list[WidthSweepPoint],
+                 quantity: str = "performance") -> dict[tuple[int, int], float]:
+    """(back_width, front_width) -> normalised quantity, max = 1.0.
+
+    ``quantity`` is 'performance' (mean over workloads) or 'area'.
+    """
+    raw: dict[tuple[int, int], float] = {}
+    for p in points:
+        if quantity == "performance":
+            raw[(p.back_width, p.front_width)] = p.mean_performance()
+        elif quantity == "area":
+            raw[(p.back_width, p.front_width)] = p.physical.area
+        else:
+            raise ConfigError(f"unknown quantity {quantity!r}")
+    peak = max(raw.values())
+    return {k: v / peak for k, v in raw.items()}

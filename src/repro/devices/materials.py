@@ -1,0 +1,58 @@
+"""Alternative organic semiconductors (extension of the paper's Section 5.3).
+
+The paper notes that "higher-performance organic semiconductors such as
+DNTT, which has roughly 10x the mobility of the archetypal pentacene used
+here" offer an upgrade path, citing Zschieschang et al. 2011 (C10-DNTT,
+4.3 cm^2/Vs field-effect mobility, 68 mV/dec subthreshold slope).  This
+module provides retargeted device models so the whole flow — cells,
+characterisation, synthesis, architecture sweeps — can be re-run for a
+different organic material, which is exactly how the authors say their
+framework "can be generalized to other organic semiconductors".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.devices.pentacene import PENTACENE
+from repro.devices.tft_level61 import UnifiedTft
+
+
+def dntt_model(mobility_factor: float = 10.0, ss: float = 0.068 * 3,
+               name: str = "dntt") -> UnifiedTft:
+    """A DNTT-class device: pentacene retargeted with higher mobility.
+
+    Parameters
+    ----------
+    mobility_factor:
+        Band-mobility multiplier relative to pentacene (paper: ~10x).
+    ss:
+        Observed subthreshold slope in V/decade.  The reported C10-DNTT
+        *device* slope is 68 mV/dec; circuit-grade large-area films are
+        worse, so the default keeps a conservative 3x margin.
+    """
+    if mobility_factor <= 0:
+        raise ValueError(f"mobility_factor must be positive, got {mobility_factor}")
+    return replace(PENTACENE, mu_band=PENTACENE.mu_band * mobility_factor,
+                   ss=ss, name=name)
+
+
+def scaled_pentacene(feature_scale: float) -> UnifiedTft:
+    """Pentacene with leakage/overlap scaled for a finer patterning pitch.
+
+    ``feature_scale < 1`` models better shadow-mask resolution: the S/D
+    overlap capacitance shrinks proportionally.  Channel behaviour is per
+    unit W/L and does not change; the library builder passes the scale to
+    the cell geometry instead.
+    """
+    if feature_scale <= 0:
+        raise ValueError(f"feature_scale must be positive, got {feature_scale}")
+    return replace(PENTACENE, c_overlap=PENTACENE.c_overlap * feature_scale,
+                   name=f"pentacene_x{feature_scale:g}")
+
+
+#: Registry of named organic materials for examples and CLI-style scripts.
+MATERIALS: dict[str, UnifiedTft] = {
+    "pentacene": PENTACENE,
+    "dntt": dntt_model(),
+}

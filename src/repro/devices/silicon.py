@@ -1,0 +1,67 @@
+"""45 nm-class silicon MOSFETs for the reduced comparison library.
+
+The paper compares against a "trimmed 6 gate TSMC 45 nm standard cell
+library".  We model the underlying devices with the same
+:class:`~repro.devices.tft_level61.UnifiedTft` equations configured as an
+alpha-power-law short-channel MOSFET (alpha = 2 + gamma ~ 1.3, strong
+velocity saturation, ~100 mV/dec subthreshold slope, ~100 mV/V DIBL).
+
+Target figures of merit (checked by calibration tests, approximate):
+
+- NMOS on-current ~ 1 mA/um at VDD = 1.1 V, PMOS roughly half,
+- off-current ~ 100 nA/um (high-performance process corner),
+- FO4 inverter delay in the ~10-20 ps range.
+"""
+
+from __future__ import annotations
+
+from repro.devices.tft_level61 import UnifiedTft
+
+#: Nominal 45 nm supply voltage.
+SILICON_VDD = 1.1
+
+#: Drawn channel length, metres.
+SILICON_L = 45e-9
+
+#: Gate capacitance per area: ~1.2 nm EOT high-k stack.
+SILICON_CI = 0.029  # F/m^2
+
+
+def silicon_nmos_45() -> UnifiedTft:
+    """NMOS device for the reduced 45 nm library."""
+    return UnifiedTft(
+        polarity=+1,
+        mu_band=6.3e-3,
+        ci=SILICON_CI,
+        vt0=0.35,
+        vt_dibl=-0.10,
+        gamma=-0.7,          # alpha-power alpha = 1.3 (velocity saturated)
+        vaa=1.0,
+        ss=0.100,
+        alpha_sat=0.45,
+        m_sat=2.0,
+        lambda_=0.15,
+        i_off_w=0.10,        # 100 nA/um leakage floor
+        c_overlap=3.0e-10,   # ~0.3 fF/um overlap + fringe
+        name="si45_nmos",
+    )
+
+
+def silicon_pmos_45() -> UnifiedTft:
+    """PMOS device for the reduced 45 nm library (about half the drive)."""
+    return UnifiedTft(
+        polarity=-1,
+        mu_band=3.1e-3,
+        ci=SILICON_CI,
+        vt0=0.35,
+        vt_dibl=-0.10,
+        gamma=-0.7,
+        vaa=1.0,
+        ss=0.105,
+        alpha_sat=0.45,
+        m_sat=2.0,
+        lambda_=0.15,
+        i_off_w=0.05,
+        c_overlap=3.0e-10,
+        name="si45_pmos",
+    )

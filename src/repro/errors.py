@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the package
+layout: circuit simulation, device modelling, characterisation, synthesis,
+and architecture modelling each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CircuitError(ReproError):
+    """Malformed circuit description (unknown node, duplicate element...)."""
+
+
+class ConvergenceError(ReproError):
+    """A nonlinear or transient solve failed to converge."""
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class AnalysisError(ReproError):
+    """A post-processing measurement could not be computed."""
+
+
+class DeviceModelError(ReproError):
+    """Invalid device-model parameters or evaluation failure."""
+
+
+class ExtractionError(ReproError):
+    """Parameter extraction from measured curves failed."""
+
+
+class CharacterizationError(ReproError):
+    """Standard-cell characterisation failed."""
+
+
+class LibraryError(ReproError):
+    """A timing library is malformed or missing a requested cell/arc."""
+
+
+class SynthesisError(ReproError):
+    """Gate-level netlist construction, mapping or timing failure."""
+
+
+class PipelineError(SynthesisError):
+    """Pipeline cutting / retiming failure."""
+
+
+class ConfigError(ReproError):
+    """Invalid architectural configuration."""
+
+
+class SimulationError(ReproError):
+    """The microarchitectural simulator reached an inconsistent state."""

@@ -1,0 +1,46 @@
+"""A small modified-nodal-analysis circuit simulator.
+
+This subpackage is the repro stand-in for HSPICE in the paper's flow
+(Figure 10).  It supports:
+
+- DC operating point via damped Newton-Raphson with gmin and source
+  stepping fallbacks (:mod:`repro.spice.dc`),
+- DC sweeps with continuation (:func:`repro.spice.dc.dc_sweep`),
+- transient analysis with backward-Euler or trapezoidal integration
+  (:mod:`repro.spice.transient`),
+- waveform measurements (delay, slew, crossings) used by NLDM
+  characterisation (:mod:`repro.spice.waveform`).
+
+Circuits are built from :class:`repro.spice.netlist.Circuit` and element
+classes in :mod:`repro.spice.elements`.  Nonlinear transistors take a
+device model object from :mod:`repro.devices`.
+"""
+
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.elements import (
+    Resistor,
+    Capacitor,
+    VoltageSource,
+    CurrentSource,
+    Fet,
+)
+from repro.spice.dc import NewtonOptions, operating_point, dc_sweep
+from repro.spice.transient import TransientOptions, TransientResult, transient
+from repro.spice.waveform import Waveform
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "Fet",
+    "NewtonOptions",
+    "operating_point",
+    "dc_sweep",
+    "TransientOptions",
+    "TransientResult",
+    "transient",
+    "Waveform",
+]

@@ -1,0 +1,113 @@
+"""Modified-nodal-analysis system assembly.
+
+:class:`MnaSystem` binds a :class:`~repro.spice.netlist.Circuit` to a
+concrete unknown ordering (node voltages, then branch currents of voltage
+sources), precomputes the constant linear Jacobian, and provides the
+per-iteration residual/Jacobian assembly used by the DC and transient
+solvers.
+
+Splitting constant stamps (resistors, source incidence) from per-iteration
+stamps (transistors) keeps the Newton inner loop cheap: only nonlinear
+elements are re-stamped each iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.spice.netlist import Circuit
+
+
+class MnaSystem:
+    """Bound MNA system for one circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to bind.  The circuit must contain at least one element
+        and at least one non-ground node.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        if len(circuit) == 0:
+            raise CircuitError(f"circuit {circuit.name!r} has no elements")
+        node_names = sorted(circuit.nodes)
+        if not node_names:
+            raise CircuitError(f"circuit {circuit.name!r} has no non-ground nodes")
+
+        self.circuit = circuit
+        self.node_names = node_names
+        self.node_index = {name: i for i, name in enumerate(node_names)}
+        self.n_nodes = len(node_names)
+
+        branch = self.n_nodes
+        self.branch_index: dict[str, int] = {}
+        for element in circuit.elements:
+            element.bind(self.node_index, branch if element.n_branches else -1)
+            if element.n_branches:
+                self.branch_index[element.name] = branch
+                branch += element.n_branches
+        self.size = branch
+
+        self._nonlinear = tuple(e for e in circuit.elements if e.is_nonlinear)
+        self._linear = tuple(e for e in circuit.elements if not e.is_nonlinear)
+
+        # Constant Jacobian entries (resistors, source rows); FET channel
+        # stamps are per-iteration, FET capacitances are dynamic.
+        self._G_static = np.zeros((self.size, self.size))
+        for element in circuit.elements:
+            element.stamp_static(self._G_static)
+
+    # -- assembly -------------------------------------------------------------
+
+    def linear_jacobian(self, dt: float | None = None) -> np.ndarray:
+        """Constant Jacobian: static stamps plus storage companions for *dt*.
+
+        With ``dt=None`` (DC analysis) capacitors are open circuits.
+        """
+        G = self._G_static.copy()
+        if dt is not None:
+            for element in self.circuit.elements:
+                element.stamp_dynamic(G, dt)
+        return G
+
+    def rhs(self, t: float, x_prev: np.ndarray | None = None,
+            dt: float | None = None) -> np.ndarray:
+        """Right-hand side at time *t* (source values + storage history)."""
+        b = np.zeros(self.size)
+        for element in self.circuit.elements:
+            element.stamp_rhs(b, t, x_prev, dt)
+        return b
+
+    def residual_and_jacobian(self, x: np.ndarray, G_lin: np.ndarray,
+                              b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Full Newton residual ``F(x)`` and Jacobian ``J(x)``.
+
+        ``F = G_lin @ x - b + F_nl(x)`` and ``J = G_lin + J_nl(x)``.
+        """
+        J = G_lin.copy()
+        F = G_lin @ x - b
+        for element in self._nonlinear:
+            element.stamp_nonlinear(J, F, x)
+        return F, J
+
+    # -- solution access -------------------------------------------------------
+
+    def voltage(self, x: np.ndarray, node: str) -> float:
+        """Voltage of *node* in solution vector *x* (ground is 0 V)."""
+        if node in self.node_index:
+            return float(x[self.node_index[node]])
+        if node in ("0", "gnd", "GND", "ground"):
+            return 0.0
+        raise CircuitError(f"unknown node {node!r}")
+
+    def source_current(self, x: np.ndarray, source_name: str) -> float:
+        """Branch current through voltage source *source_name* (pos -> neg)."""
+        try:
+            k = self.branch_index[source_name]
+        except KeyError:
+            raise CircuitError(
+                f"{source_name!r} is not a voltage source in this circuit"
+            ) from None
+        return float(x[k])

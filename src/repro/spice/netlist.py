@@ -1,0 +1,97 @@
+"""Circuit container and node bookkeeping for the MNA simulator."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import CircuitError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spice.elements import Element
+
+#: Canonical name of the reference (ground) node.
+GROUND = "0"
+
+_GROUND_ALIASES = frozenset({"0", "gnd", "GND", "ground"})
+
+
+def is_ground(node: str) -> bool:
+    """True if *node* names the reference node."""
+    return node in _GROUND_ALIASES
+
+
+class Circuit:
+    """A flat netlist of elements connected by named nodes.
+
+    Nodes are created implicitly when elements reference them.  The ground
+    node (``"0"``/``"gnd"``) is always present and is the voltage reference.
+
+    >>> from repro.spice import Circuit, Resistor, VoltageSource
+    >>> ckt = Circuit("divider")
+    >>> _ = ckt.add(VoltageSource("vin", "in", "0", 1.0))
+    >>> _ = ckt.add(Resistor("r1", "in", "mid", 1e3))
+    >>> _ = ckt.add(Resistor("r2", "mid", "0", 1e3))
+    >>> sorted(ckt.nodes)
+    ['in', 'mid']
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._elements: dict[str, "Element"] = {}
+        self._nodes: set[str] = set()
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, element: "Element") -> "Element":
+        """Add *element*, returning it for chaining.
+
+        Raises :class:`CircuitError` on a duplicate element name.
+        """
+        if element.name in self._elements:
+            raise CircuitError(
+                f"duplicate element name {element.name!r} in circuit {self.name!r}"
+            )
+        self._elements[element.name] = element
+        for node in element.nodes:
+            if not is_ground(node):
+                self._nodes.add(node)
+        return element
+
+    def extend(self, elements: Iterator["Element"] | list["Element"]) -> None:
+        """Add several elements."""
+        for element in elements:
+            self.add(element)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        """Non-ground node names."""
+        return frozenset(self._nodes)
+
+    @property
+    def elements(self) -> tuple["Element", ...]:
+        return tuple(self._elements.values())
+
+    def element(self, name: str) -> "Element":
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise CircuitError(
+                f"no element named {name!r} in circuit {self.name!r}"
+            ) from None
+
+    def has_element(self, name: str) -> bool:
+        return name in self._elements
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, elements={len(self._elements)}, "
+            f"nodes={len(self._nodes)})"
+        )

@@ -1,0 +1,134 @@
+"""Transient analysis with backward-Euler integration.
+
+Backward Euler is L-stable, which suits the stiff ratioed organic gates
+(microsecond channel time constants driving millisecond logic transitions).
+The step controller is simple and robust: a nominal step, halved locally on
+Newton failure and gently re-grown on easy convergence.  Delay/slew
+measurements (the only consumers of these waveforms) are insensitive to the
+first-order accuracy as long as the step is well below the transition time,
+which the characterisation harness guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice.dc import NewtonOptions, _newton, solve_operating_point
+from repro.spice.mna import MnaSystem
+from repro.spice.netlist import Circuit
+from repro.spice.waveform import Waveform
+
+
+@dataclass(frozen=True)
+class TransientOptions:
+    """Transient analysis knobs.
+
+    ``dt`` is the nominal step; the controller may locally reduce it by up
+    to a factor ``2**max_halvings`` to get through sharp source edges.
+    """
+
+    dt: float
+    t_stop: float
+    max_halvings: int = 12
+    growth: float = 1.25
+    newton: NewtonOptions = NewtonOptions()
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0 or self.t_stop <= 0:
+            raise ValueError("dt and t_stop must be positive")
+        if self.dt > self.t_stop:
+            raise ValueError("dt must not exceed t_stop")
+
+
+class TransientResult:
+    """Sampled node voltages over time."""
+
+    def __init__(self, sys: MnaSystem, times: np.ndarray,
+                 solutions: np.ndarray) -> None:
+        self.sys = sys
+        self.times = times
+        self.solutions = solutions
+
+    def voltage(self, node: str) -> np.ndarray:
+        if node in ("0", "gnd", "GND", "ground"):
+            return np.zeros(len(self.times))
+        idx = self.sys.node_index[node]
+        return self.solutions[:, idx].copy()
+
+    def waveform(self, node: str) -> Waveform:
+        """Waveform of *node* for measurement post-processing."""
+        return Waveform(self.times, self.voltage(node))
+
+    def source_current(self, source_name: str) -> np.ndarray:
+        idx = self.sys.branch_index[source_name]
+        return self.solutions[:, idx].copy()
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def transient(circuit: Circuit, options: TransientOptions,
+              x0: np.ndarray | None = None) -> TransientResult:
+    """Integrate *circuit* from a DC initial condition to ``t_stop``.
+
+    If *x0* is not given, the initial state is the DC operating point with
+    all sources evaluated at ``t = 0``.
+    """
+    sys = MnaSystem(circuit)
+    if x0 is None:
+        x = solve_operating_point(sys, options=options.newton)
+    else:
+        x = x0.copy()
+
+    times = [0.0]
+    states = [x.copy()]
+
+    t = 0.0
+    dt = options.dt
+    dt_min = options.dt / (2 ** options.max_halvings)
+    # Damped retry options for states where full-step Newton oscillates.
+    damped = replace(options.newton,
+                     max_step_v=options.newton.max_step_v / 8.0,
+                     max_iterations=options.newton.max_iterations * 3)
+    # Cache the linear Jacobian per dt value: rebuilding it is the main
+    # per-step cost and dt rarely changes.
+    jac_cache: dict[float, np.ndarray] = {}
+
+    # Stop when the remaining interval is below the minimum step — a
+    # sub-dt_min remainder (float round-off) is not worth integrating and
+    # its huge C/dt companion conductances only invite trouble.
+    while options.t_stop - t > dt_min:
+        dt_step = min(dt, options.t_stop - t)
+        accepted = False
+        while not accepted:
+            G_lin = jac_cache.get(dt_step)
+            if G_lin is None:
+                G_lin = sys.linear_jacobian(dt=dt_step)
+                jac_cache[dt_step] = G_lin
+            b = sys.rhs(t + dt_step, x_prev=x, dt=dt_step)
+            try:
+                newton_opts = (options.newton if dt_step > 8 * dt_min
+                               else damped)
+                x_new = _newton(sys, G_lin, b, x, newton_opts)
+                accepted = True
+            except ConvergenceError:
+                dt_step /= 2.0
+                if dt_step < dt_min:
+                    raise ConvergenceError(
+                        f"transient step failed at t={t:g}s in circuit "
+                        f"{circuit.name!r} even at minimum step {dt_min:g}s"
+                    ) from None
+        t += dt_step
+        x = x_new
+        times.append(t)
+        states.append(x.copy())
+        # Re-grow toward the nominal step after local halvings.
+        if dt_step >= dt:
+            dt = min(options.dt, dt * options.growth)
+        else:
+            dt = min(options.dt, dt_step * options.growth)
+
+    return TransientResult(sys, np.asarray(times), np.vstack(states))

@@ -1,0 +1,148 @@
+"""Waveform measurements for characterisation.
+
+A :class:`Waveform` is a piecewise-linear sampled signal.  The NLDM
+characterisation harness uses three measurements:
+
+- :meth:`Waveform.crossing_time` — when the signal crosses a threshold,
+- ``delay`` between two waveforms' 50% crossings,
+- :meth:`Waveform.transition_time` — slew between e.g. 20% and 80% of the
+  swing (the paper's library uses standard NLDM input-transition indexing).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+Direction = Literal["rise", "fall", "any"]
+
+
+class Waveform:
+    """A sampled signal with linear interpolation between samples."""
+
+    def __init__(self, times: np.ndarray | list[float],
+                 values: np.ndarray | list[float]) -> None:
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.ndim != 1 or times.shape != values.shape:
+            raise AnalysisError("times and values must be 1-D arrays of equal length")
+        if len(times) < 2:
+            raise AnalysisError("waveform needs at least two samples")
+        if np.any(np.diff(times) <= 0):
+            raise AnalysisError("times must be strictly increasing")
+        self.times = times
+        self.values = values
+
+    # -- basic access ----------------------------------------------------------
+
+    @property
+    def t_start(self) -> float:
+        return float(self.times[0])
+
+    @property
+    def t_stop(self) -> float:
+        return float(self.times[-1])
+
+    @property
+    def initial_value(self) -> float:
+        return float(self.values[0])
+
+    @property
+    def final_value(self) -> float:
+        return float(self.values[-1])
+
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated value at time *t* (clamped to the ends)."""
+        return float(np.interp(t, self.times, self.values))
+
+    # -- measurements -----------------------------------------------------------
+
+    def crossing_times(self, level: float, direction: Direction = "any"
+                       ) -> np.ndarray:
+        """All times where the waveform crosses *level* in *direction*."""
+        v = self.values - level
+        crossings: list[float] = []
+        sign = np.sign(v)
+        for i in range(len(v) - 1):
+            s0, s1 = sign[i], sign[i + 1]
+            if s0 == s1 or s1 == 0 and s0 == 0:
+                continue
+            rising = v[i + 1] > v[i]
+            if direction == "rise" and not rising:
+                continue
+            if direction == "fall" and rising:
+                continue
+            # Linear interpolation for the crossing instant.
+            frac = -v[i] / (v[i + 1] - v[i])
+            crossings.append(float(self.times[i] + frac * (self.times[i + 1] - self.times[i])))
+        return np.asarray(crossings)
+
+    def crossing_time(self, level: float, direction: Direction = "any",
+                      occurrence: int = 0) -> float:
+        """Time of the *occurrence*-th crossing of *level*.
+
+        Raises :class:`AnalysisError` if the crossing never happens — the
+        characterisation harness treats that as "the gate did not switch".
+        """
+        crossings = self.crossing_times(level, direction)
+        if len(crossings) <= occurrence:
+            raise AnalysisError(
+                f"waveform never crosses {level:g} ({direction}) "
+                f"{occurrence + 1} time(s); range is "
+                f"[{self.values.min():g}, {self.values.max():g}]"
+            )
+        return float(crossings[occurrence])
+
+    def transition_time(self, low: float, high: float,
+                        low_frac: float = 0.2, high_frac: float = 0.8) -> float:
+        """Slew between *low_frac* and *high_frac* of the (low, high) swing.
+
+        Works for both rising and falling transitions; returns the absolute
+        time difference between the two fractional crossings of the final
+        transition direction.
+        """
+        if high <= low:
+            raise AnalysisError("transition_time needs high > low")
+        swing = high - low
+        v_lo = low + low_frac * swing
+        v_hi = low + high_frac * swing
+        rising = self.final_value > self.initial_value
+        direction: Direction = "rise" if rising else "fall"
+        t_lo = self.crossing_time(v_lo, direction)
+        t_hi = self.crossing_time(v_hi, direction)
+        return abs(t_hi - t_lo)
+
+    def settled(self, target: float, tolerance: float) -> bool:
+        """True if the final sample is within *tolerance* of *target*."""
+        return abs(self.final_value - target) <= tolerance
+
+    def __repr__(self) -> str:
+        return (f"Waveform(n={len(self.times)}, t=[{self.t_start:g}, "
+                f"{self.t_stop:g}], v=[{self.values.min():g}, "
+                f"{self.values.max():g}])")
+
+
+def delay_between(cause: Waveform, effect: Waveform, cause_level: float,
+                  effect_level: float, cause_direction: Direction = "any",
+                  effect_direction: Direction = "any") -> float:
+    """Propagation delay: effect's threshold crossing minus cause's.
+
+    The effect crossing searched is the first one *after* the cause
+    crossing, which handles gates whose outputs glitch before settling.
+    """
+    t_cause = cause.crossing_time(cause_level, cause_direction)
+    candidates = effect.crossing_times(effect_level, effect_direction)
+    after = candidates[candidates >= t_cause]
+    if len(after) == 0:
+        if len(candidates):
+            # Output switched slightly before the measured input crossing
+            # (heavy input loading); fall back to the closest crossing.
+            return float(candidates[-1] - t_cause)
+        raise AnalysisError(
+            f"effect waveform never crosses {effect_level:g} "
+            f"({effect_direction}) after t={t_cause:g}"
+        )
+    return float(after[0] - t_cause)

@@ -1,0 +1,260 @@
+"""Pipeline cutting / retiming: minimum clock period for N stages.
+
+The repro equivalent of the paper's methodology: "we synthesize the
+baseline design and cut the stage which is on the critical path manually to
+ensure an improved clock rate" plus DesignWare's "parameterized number of
+pipeline stages and automatic pipeline retiming" (Section 5.1).
+
+Given a mapped netlist and per-gate delays (NLDM + wire, from STA), a
+greedy ASAP leveling assigns each gate to the earliest stage whose
+remaining logic budget fits it.  Binary search over the budget finds the
+minimum clock period achievable with N stages:
+
+    period(N) = logic_budget(N) + clk->q + setup + skew + feedback-wire
+
+The last term is the per-cycle cost of the cross-pipeline feedback signals
+(bypasses, stalls, branch resolution) travelling the block's physical span
+— the wire cost that, per the paper, silicon pays in gate-delay terms and
+the organic process does not.  Gate granularity emerges naturally: no
+budget can go below the largest single gate delay, which is what tops out
+the organic curves around 22 stages in Figure 12.
+
+Registers inserted at stage boundaries are counted per crossed boundary
+(a value consumed k stages after production needs k flops), which drives
+the area growth with depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.characterization.library import Library
+from repro.errors import PipelineError
+from repro.synthesis.netlist import Netlist
+from repro.synthesis.sta import static_timing
+from repro.synthesis.wires import WireModel, block_span
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Minimum-period pipelining of one netlist into ``n_stages``."""
+
+    netlist_name: str
+    n_stages: int
+    period: float
+    frequency: float
+    logic_budget: float
+    overhead: float
+    n_registers: int
+    gate_area: float
+    register_area: float
+    stage_of_gate: dict[str, int] = field(repr=False, default_factory=dict)
+
+    @property
+    def area(self) -> float:
+        return self.gate_area + self.register_area
+
+
+def per_gate_delays(netlist: Netlist, library: Library, wire: WireModel,
+                    input_slew: float | None = None,
+                    output_load: float | None = None) -> dict[str, float]:
+    """Per-gate delay (NLDM + output wire RC) from one STA pass."""
+    report = static_timing(netlist, library, wire, input_slew=input_slew,
+                           output_load=output_load)
+    return report.gate_delay
+
+
+def stages_needed(netlist: Netlist, delays: dict[str, float],
+                  budget: float) -> tuple[int, dict[str, int]] | None:
+    """Greedy ASAP leveling: stages required for a per-stage logic budget.
+
+    Returns ``(n_stages, stage_of_gate)``; ``None`` if some single gate
+    exceeds the budget (gate granularity bound).
+    """
+    net_state: dict[str, tuple[int, float]] = {
+        net: (0, 0.0) for net in netlist.primary_inputs}
+    stage_of: dict[str, int] = {}
+    max_stage = 0
+    for gate in netlist.topological_order():
+        d = delays[gate.name]
+        if d > budget:
+            return None
+        s = 0
+        t_in = 0.0
+        for net in gate.inputs:
+            ns, nt = net_state[net]
+            if ns > s:
+                s, t_in = ns, nt
+            elif ns == s:
+                t_in = max(t_in, nt)
+        t_out = t_in + d
+        if t_out > budget:
+            s += 1
+            t_out = d
+        stage_of[gate.name] = s
+        net_state[gate.output] = (s, t_out)
+        if s > max_stage:
+            max_stage = s
+    return max_stage + 1, stage_of
+
+
+def count_registers(netlist: Netlist, stage_of: dict[str, int],
+                    n_stages: int) -> int:
+    """Pipeline flops: one per net per crossed stage boundary.
+
+    Primary inputs are produced at stage 0's boundary; primary outputs are
+    registered at the final boundary.
+    """
+    fanout = netlist.fanout_map()
+    po_set = set(netlist.primary_outputs)
+    total = 0
+    for net, sinks in fanout.items():
+        driver = netlist.driver_of(net)
+        s_driver = stage_of[driver.name] if driver is not None else 0
+        s_last = s_driver
+        for sink, _pin in sinks:
+            s_last = max(s_last, stage_of[sink.name])
+        if net in po_set:
+            s_last = max(s_last, n_stages - 1)
+            total += 1                     # final output register
+        total += s_last - s_driver
+    return total
+
+
+def broadcast_penalty(library: Library, wire: WireModel,
+                      span_length: float) -> float:
+    """Per-cycle cost of a feedback signal crossing the block's span.
+
+    Modelled as the extra delay of an inverter driving the span wire's
+    capacitance (NLDM lookup, so it is priced in *this process's* gate
+    currents) plus the wire's own Elmore delay.
+    """
+    inv = library.cell("inv")
+    cin = inv.input_caps["a"]
+    slew = library.typical_slew()
+    c_span = wire.span_capacitance(span_length)
+    loaded = inv.delay("a", slew, 4.0 * cin + c_span)
+    unloaded = inv.delay("a", slew, 4.0 * cin)
+    return (loaded - unloaded) + wire.span_elmore(span_length, cin)
+
+
+#: Feedback-wire length model: stall/bypass/branch-resolution signals must
+#: cross the block each cycle; their routed length grows with pipeline
+#: depth (they span more stage boundaries — the Pentium-4 "wire stages"
+#: effect the paper cites in Section 5.5).
+FEEDBACK_BASE_SPANS = 0.5
+FEEDBACK_SPANS_PER_STAGE = 0.15
+
+
+def sequencing_overhead(netlist: Netlist, library: Library, wire: WireModel,
+                        n_stages: int = 1, skew_fo4: float = 0.5) -> float:
+    """Per-stage overhead: clk->q + setup + skew + feedback wire.
+
+    The feedback term is where the processes diverge: it is priced by
+    NLDM tables and the per-process wire model, so the same physical
+    length costs silicon several FO4 and the organic process almost
+    nothing (Section 5.5's "relatively fast wires").
+    """
+    fo4 = library.inverter_fo4_delay()
+    gate_area = sum(library.cell(g.cell).area
+                    for g in netlist.gates.values())
+    span = block_span(gate_area)
+    feedback_length = span * (FEEDBACK_BASE_SPANS
+                              + FEEDBACK_SPANS_PER_STAGE * n_stages)
+    return (library.register_overhead()
+            + skew_fo4 * fo4
+            + broadcast_penalty(library, wire, feedback_length))
+
+
+def min_period_for_stages(netlist: Netlist, library: Library,
+                          wire: WireModel, n_stages: int,
+                          delays: dict[str, float] | None = None,
+                          skew_fo4: float = 0.5,
+                          tolerance: float = 1e-3) -> PipelineResult:
+    """Minimum clock period cutting *netlist* into *n_stages* stages."""
+    if n_stages < 1:
+        raise PipelineError(f"n_stages must be >= 1, got {n_stages}")
+    if delays is None:
+        delays = per_gate_delays(netlist, library, wire)
+
+    overhead = sequencing_overhead(netlist, library, wire, n_stages,
+                                   skew_fo4)
+
+    # Budget bounds: one gate .. whole critical path.
+    lo = max(delays.values())
+    order = netlist.topological_order()
+    arrival: dict[str, float] = {n: 0.0 for n in netlist.primary_inputs}
+    for gate in order:
+        arrival[gate.output] = delays[gate.name] + max(
+            arrival[n] for n in gate.inputs)
+    # Upper bound over ALL nets: the leveler assigns every gate, including
+    # any not on an input-to-output path.  Tiny slack because summation
+    # order differs between this bound and the greedy leveling.
+    hi = max(arrival.values(), default=0.0)
+    hi = max(hi, lo) * (1.0 + 1e-9)
+
+    feasible_hi = stages_needed(netlist, delays, hi)
+    if feasible_hi is None:
+        raise PipelineError("critical-path budget infeasible (bug)")
+
+    # If even the single-gate bound needs more stages than allowed, the
+    # request is infeasible only when n_stages < stages at budget hi.
+    if feasible_hi[0] > n_stages:
+        raise PipelineError(
+            f"netlist {netlist.name!r} cannot fit in {n_stages} stage(s)")
+
+    best_budget = hi
+    best_assignment = feasible_hi[1]
+    best_stages = feasible_hi[0]
+    lo_b, hi_b = lo, hi
+    for _ in range(60):
+        if hi_b - lo_b <= tolerance * hi_b:
+            break
+        mid = 0.5 * (lo_b + hi_b)
+        res = stages_needed(netlist, delays, mid)
+        if res is not None and res[0] <= n_stages:
+            best_budget, best_stages, best_assignment = mid, res[0], res[1]
+            hi_b = mid
+        else:
+            lo_b = mid
+
+    n_regs = count_registers(netlist, best_assignment, best_stages)
+    gate_area = sum(library.cell(g.cell).area
+                    for g in netlist.gates.values())
+    reg_area = n_regs * library.dff.area
+    # Overhead is priced at the stage count actually achieved: asking for
+    # more stages than the gate granularity permits does not add feedback
+    # wire that was never built.
+    if best_stages < n_stages:
+        overhead = sequencing_overhead(netlist, library, wire, best_stages,
+                                       skew_fo4)
+    period = best_budget + overhead
+    return PipelineResult(
+        netlist_name=netlist.name,
+        n_stages=best_stages,
+        period=period,
+        frequency=1.0 / period,
+        logic_budget=best_budget,
+        overhead=overhead,
+        n_registers=n_regs,
+        gate_area=gate_area,
+        register_area=reg_area,
+        stage_of_gate=best_assignment,
+    )
+
+
+def pipeline_sweep(netlist: Netlist, library: Library, wire: WireModel,
+                   stage_counts: list[int] | range,
+                   skew_fo4: float = 0.5) -> list[PipelineResult]:
+    """Minimum period across a range of stage counts (Figure 12 driver).
+
+    Per-gate delays are computed once and shared; stage counts beyond the
+    gate-granularity bound return the deepest feasible pipelining (the
+    flat tail of the organic curve in Figure 12b).
+    """
+    delays = per_gate_delays(netlist, library, wire)
+    results = []
+    for n in stage_counts:
+        results.append(min_period_for_stages(
+            netlist, library, wire, n, delays=delays, skew_fo4=skew_fo4))
+    return results

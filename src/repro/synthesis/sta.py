@@ -1,0 +1,150 @@
+"""NLDM static timing analysis with wire parasitics.
+
+A single topological pass computes, per net: arrival time, transition
+(slew) and capacitive load.  Gate delays and output slews come from the
+characterised library's NLDM tables (bilinear lookup on the propagated
+input slew and the computed output load); wire delay adds the Elmore term
+of the fanout-based wire model.
+
+This is the repro equivalent of Design Compiler's timing engine for the
+minimum-clock-period measurements in Figures 11, 12 and 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.characterization.library import Library
+from repro.errors import SynthesisError
+from repro.synthesis.netlist import Gate, Netlist
+from repro.synthesis.wires import WireModel
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of a static timing pass."""
+
+    netlist_name: str
+    max_delay: float
+    critical_path: tuple[str, ...]          # gate names, input to output
+    arrival: dict[str, float] = field(repr=False, default_factory=dict)
+    slew: dict[str, float] = field(repr=False, default_factory=dict)
+    load: dict[str, float] = field(repr=False, default_factory=dict)
+    gate_delay: dict[str, float] = field(repr=False, default_factory=dict)
+
+    @property
+    def critical_length(self) -> int:
+        return len(self.critical_path)
+
+
+def _net_loading(netlist: Netlist, library: Library, wire: WireModel,
+                 output_load: float | None
+                 ) -> tuple[dict[str, float], dict[str, float], dict[str, int]]:
+    """Per-net (total load, pin-only load, sink count).
+
+    Total load = sink pin caps + wire cap; primary outputs additionally
+    drive *output_load* (default: one inverter input of the next block).
+    """
+    inv_cin = library.cell("inv").input_caps["a"]
+    if output_load is None:
+        output_load = inv_cin
+    fanout = netlist.fanout_map()
+    po_set = set(netlist.primary_outputs)
+    loads: dict[str, float] = {}
+    pin_loads: dict[str, float] = {}
+    sink_counts: dict[str, int] = {}
+    for net, sinks in fanout.items():
+        pin_cap = 0.0
+        for gate, pin_index in sinks:
+            cell = library.cell(gate.cell)
+            pin_name = cell.inputs[pin_index]
+            pin_cap += cell.input_caps[pin_name]
+        n_sinks = len(sinks) + (1 if net in po_set else 0)
+        if net in po_set:
+            pin_cap += output_load
+        loads[net] = pin_cap + wire.net_capacitance(max(n_sinks, 1))
+        pin_loads[net] = pin_cap
+        sink_counts[net] = max(n_sinks, 1)
+    return loads, pin_loads, sink_counts
+
+
+def net_loads(netlist: Netlist, library: Library, wire: WireModel,
+              output_load: float | None = None) -> dict[str, float]:
+    """Capacitive load of every net (pins + wire + primary-output load)."""
+    loads, _, _ = _net_loading(netlist, library, wire, output_load)
+    return loads
+
+
+def static_timing(netlist: Netlist, library: Library, wire: WireModel,
+                  input_slew: float | None = None,
+                  output_load: float | None = None) -> TimingReport:
+    """Arrival-time propagation over the mapped netlist."""
+    if not netlist.is_mapped:
+        raise SynthesisError(
+            f"netlist {netlist.name!r} must be technology-mapped before STA")
+    if input_slew is None:
+        input_slew = library.typical_slew()
+
+    loads, pin_loads, sink_counts = _net_loading(netlist, library, wire,
+                                                 output_load)
+
+    arrival: dict[str, float] = {}
+    slew: dict[str, float] = {}
+    worst_input: dict[str, str | None] = {}   # gate -> critical fanin net
+    gate_delay: dict[str, float] = {}
+
+    for net in netlist.primary_inputs:
+        arrival[net] = 0.0
+        slew[net] = input_slew
+
+    for gate in netlist.topological_order():
+        cell = library.cell(gate.cell)
+        load = loads[gate.output]
+        # Wire RC from this gate's output to its sinks (Elmore, shared).
+        t_wire = wire.elmore_delay(sink_counts[gate.output],
+                                   pin_loads[gate.output])
+
+        best_t = -1.0
+        best_net: str | None = None
+        best_slew = input_slew
+        for pin_index, net in enumerate(gate.inputs):
+            pin_name = cell.inputs[pin_index]
+            d = cell.delay(pin_name, slew[net], load)
+            t = arrival[net] + d + t_wire
+            if t > best_t:
+                best_t = t
+                best_net = net
+                best_slew = cell.output_slew(pin_name, slew[net], load)
+        arrival[gate.output] = best_t
+        slew[gate.output] = best_slew
+        worst_input[gate.name] = best_net
+        gate_delay[gate.name] = best_t - arrival[best_net]
+
+    max_delay = 0.0
+    end_net: str | None = None
+    for net in netlist.primary_outputs:
+        t = arrival.get(net, 0.0)
+        if t > max_delay:
+            max_delay = t
+            end_net = net
+
+    # Backtrace the critical path.
+    path: list[str] = []
+    net = end_net
+    while net is not None:
+        driver = netlist.driver_of(net)
+        if driver is None:
+            break
+        path.append(driver.name)
+        net = worst_input[driver.name]
+    path.reverse()
+
+    return TimingReport(
+        netlist_name=netlist.name,
+        max_delay=max_delay,
+        critical_path=tuple(path),
+        arrival=arrival,
+        slew=slew,
+        load=loads,
+        gate_delay=gate_delay,
+    )

@@ -1,0 +1,80 @@
+"""Unit constants and helpers.
+
+All internal quantities are SI (volts, amperes, seconds, farads, metres).
+These constants make device/cell code read like the paper, e.g.
+``50 * NANO`` metres of pentacene or a ``350 * MILLI`` V/decade subthreshold
+slope.
+"""
+
+from __future__ import annotations
+
+import math
+
+# SI prefixes ---------------------------------------------------------------
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+# Physical constants --------------------------------------------------------
+BOLTZMANN = 1.380649e-23     # J/K
+ELEMENTARY_CHARGE = 1.602176634e-19   # C
+VACUUM_PERMITTIVITY = 8.8541878128e-12  # F/m
+THERMAL_VOLTAGE_300K = 0.025852        # kT/q at 300 K, volts
+
+# Relative permittivities used by the device models
+EPS_R_AL2O3 = 9.0        # ALD alumina gate dielectric (paper Section 3.3)
+EPS_R_SIO2 = 3.9
+
+# Unit conversions ----------------------------------------------------------
+CM2_PER_M2 = 1e4
+
+
+def mobility_cm2_to_m2(mu_cm2: float) -> float:
+    """Convert a mobility from cm^2/(V*s) (paper units) to m^2/(V*s)."""
+    return mu_cm2 / CM2_PER_M2
+
+
+def mobility_m2_to_cm2(mu_m2: float) -> float:
+    """Convert a mobility from m^2/(V*s) to cm^2/(V*s) (paper units)."""
+    return mu_m2 * CM2_PER_M2
+
+
+def oxide_capacitance_per_area(eps_r: float, thickness_m: float) -> float:
+    """Gate-dielectric capacitance per unit area in F/m^2."""
+    if thickness_m <= 0:
+        raise ValueError(f"dielectric thickness must be positive, got {thickness_m}")
+    return eps_r * VACUUM_PERMITTIVITY / thickness_m
+
+
+def decades(ratio: float) -> float:
+    """Number of decades spanned by a positive ratio (e.g. on/off current)."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return math.log10(ratio)
+
+
+def engineering(value: float, unit: str = "") -> str:
+    """Format a value with an engineering SI prefix, e.g. 2.2e-5 -> '22 u'.
+
+    Used by reports and example scripts; the numeric core never parses these
+    strings back.
+    """
+    if value == 0:
+        return f"0 {unit}".strip()
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+    ]
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.3g} {prefix}{unit}".strip()
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.3g} {prefix}{unit}".strip()

@@ -1,0 +1,133 @@
+"""Tests for the Section-7 extension studies (energy, manycore, yield)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import (
+    core_energy,
+    energy_depth_sweep,
+    leakage_density,
+    switched_capacitance_density,
+)
+from repro.analysis.manycore import (
+    amdahl_throughput,
+    best_design,
+    manycore_study,
+)
+from repro.analysis.yield_mc import (
+    compare_styles,
+    noise_margin_yield,
+    perturb_cell,
+    vss_recovery,
+)
+from repro.cells.topologies import pseudo_e_inverter
+from repro.core.config import CoreConfig
+from repro.core.tradeoffs import make_traces
+from repro.devices import PENTACENE, VariationModel
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def short_trace():
+    return make_traces(workloads=["gzip"], n_instructions=4000)["gzip"]
+
+
+class TestEnergy:
+    def test_densities_positive(self, organic_lib, silicon_lib):
+        for lib in (organic_lib, silicon_lib):
+            assert leakage_density(lib) > 0
+            assert switched_capacitance_density(lib) > 0
+
+    def test_organic_core_static_dominated(self, organic_lib, organic_wire,
+                                           short_trace):
+        """Ratioed pseudo-E logic: static power >> dynamic power."""
+        report = core_energy(CoreConfig(), organic_lib, organic_wire,
+                             short_trace)
+        assert report.static_fraction > 0.9
+
+    def test_energy_report_consistent(self, organic_lib, organic_wire,
+                                      short_trace):
+        report = core_energy(CoreConfig(), organic_lib, organic_wire,
+                             short_trace)
+        assert report.total_power == pytest.approx(
+            report.static_power + report.dynamic_power)
+        assert report.energy_per_instruction > 0
+
+    def test_deeper_organic_pipeline_saves_energy(self, organic_lib,
+                                                  organic_wire, short_trace):
+        """Static-dominated logic: higher throughput amortises the burn."""
+        reports = energy_depth_sweep(organic_lib, organic_wire,
+                                     max_depth=14, trace=short_trace)
+        assert (reports[-1].energy_per_instruction
+                < reports[0].energy_per_instruction)
+
+
+class TestManycore:
+    def test_amdahl_limits(self):
+        assert amdahl_throughput(100.0, 1, 0.1) == pytest.approx(100.0)
+        assert amdahl_throughput(100.0, 10**6, 0.1) == pytest.approx(
+            1000.0, rel=0.01)
+
+    def test_amdahl_validation(self):
+        with pytest.raises(ConfigError):
+            amdahl_throughput(1.0, 0, 0.1)
+        with pytest.raises(ConfigError):
+            amdahl_throughput(1.0, 4, 1.5)
+
+    def test_study_fills_budget(self, organic_lib, organic_wire,
+                                short_trace):
+        designs = manycore_study(organic_lib, organic_wire,
+                                 area_budget_factor=6.0, trace=short_trace)
+        base_area = designs[0].core_area
+        for d in designs:
+            assert d.total_area <= 6.0 * base_area * 1.001
+            assert d.n_cores >= 1
+
+    def test_parallel_beats_single_wide_core(self, organic_lib,
+                                             organic_wire, short_trace):
+        """With a mostly-parallel workload, many small organic cores out-
+        run one wide core — the paper's 'massive parallelism' thesis."""
+        designs = manycore_study(organic_lib, organic_wire,
+                                 area_budget_factor=8.0,
+                                 serial_fraction=0.05, trace=short_trace)
+        winner = best_design(designs)
+        assert winner.n_cores > 1
+
+    def test_serial_workload_prefers_big_core(self, organic_lib,
+                                              organic_wire, short_trace):
+        designs = manycore_study(organic_lib, organic_wire,
+                                 area_budget_factor=8.0,
+                                 serial_fraction=0.9, trace=short_trace)
+        winner = best_design(designs)
+        assert winner.per_core_performance == max(
+            d.per_core_performance for d in designs)
+
+
+class TestYield:
+    def test_perturbed_cell_has_distinct_devices(self):
+        cell = pseudo_e_inverter(PENTACENE)
+        rng = np.random.default_rng(0)
+        inst = perturb_cell(cell, VariationModel(), rng)
+        vts = {d.model.vt0 for d in inst.devices}
+        assert len(vts) == len(inst.devices)
+
+    def test_yield_result_fields(self):
+        cell = pseudo_e_inverter(PENTACENE)
+        res = noise_margin_yield(cell, n_samples=8, seed=2)
+        assert res.n_samples == 8
+        assert 0.0 <= res.yield_fraction <= 1.0
+        assert len(res.noise_margins) == 8
+
+    def test_pseudo_e_yields_better_than_diode(self):
+        """The robustness argument for pseudo-E, quantified."""
+        results = compare_styles(n_samples=12, seed=3)
+        assert (results["pseudo_e"].yield_fraction
+                >= results["diode_load"].yield_fraction)
+        assert results["pseudo_e"].yield_fraction > 0.8
+
+    def test_vss_recovery_moves_vm_toward_center(self):
+        vm_nominal, best_vss = vss_recovery(vt_shift=0.25)
+        # A positive VT shift pushes VM off-centre; the trim must respond
+        # by choosing a different VSS than an unshifted device would need.
+        assert -22.0 <= best_vss <= -8.0
+        assert vm_nominal != pytest.approx(2.5, abs=0.05)

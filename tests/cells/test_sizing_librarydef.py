@@ -1,0 +1,113 @@
+"""Sizing explorer and library-definition tests."""
+
+import pytest
+
+from repro.cells.library_def import (
+    ORGANIC_SIZES,
+    organic_library_definition,
+    silicon_library_definition,
+)
+from repro.cells.sizing import (
+    UtilityWeights,
+    estimate_area,
+    estimate_gate_delay,
+    optimize_inverter_sizing,
+)
+from repro.cells.topologies import pseudo_e_inverter
+from repro.devices import PENTACENE
+from repro.errors import LibraryError
+
+
+class TestDelayEstimate:
+    def test_positive(self):
+        cell = pseudo_e_inverter(PENTACENE)
+        d = estimate_gate_delay(cell, 10e-12)
+        assert d > 0
+
+    def test_scales_with_load(self):
+        cell = pseudo_e_inverter(PENTACENE)
+        d1 = estimate_gate_delay(cell, 5e-12)
+        d2 = estimate_gate_delay(cell, 50e-12)
+        assert d2 == pytest.approx(10 * d1, rel=1e-6)
+
+    def test_organic_timescale(self):
+        """Pentacene FO4-ish delay is in the tens-of-us range."""
+        cell = pseudo_e_inverter(PENTACENE)
+        d = estimate_gate_delay(cell, 4 * cell.input_capacitance("a"))
+        assert 1e-6 < d < 1e-2
+
+
+class TestOptimizer:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Reduced grid to keep the suite fast.
+        return optimize_inverter_sizing(
+            PENTACENE,
+            w_drive_grid=(100e-6,),
+            load_ratio_grid=(0.1, 0.3),
+            down_ratio_grid=(0.5, 1.5),
+            n_vtc_points=41,
+        )
+
+    def test_returns_scored_candidates(self, result):
+        assert len(result.candidates) == 4
+        assert result.best is result.candidates[0]
+
+    def test_ranking_is_descending(self, result):
+        utils = [c.utility for c in result.candidates]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_prefers_weak_shifter_load(self, result):
+        """The known-good design point: weak load (ratio 0.1) wins."""
+        assert result.best.sizes["w_shift_load"] == pytest.approx(10e-6)
+
+    def test_weights_validation_free(self):
+        w = UtilityWeights(noise_margin=5.0)
+        assert w.noise_margin == 5.0
+
+    def test_area_estimate(self):
+        cell = pseudo_e_inverter(PENTACENE)
+        assert estimate_area(cell) > 0
+
+
+class TestLibraryDefinitions:
+    def test_organic_has_six_cells(self):
+        lib = organic_library_definition()
+        assert set(lib.cells) == {"inv", "nand2", "nand3", "nor2", "nor3"}
+        assert lib.dff is not None
+        assert lib.process == "organic"
+
+    def test_silicon_has_six_cells(self):
+        lib = silicon_library_definition()
+        assert set(lib.cells) == {"inv", "nand2", "nand3", "nor2", "nor3"}
+        assert lib.process == "silicon"
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(LibraryError):
+            organic_library_definition().cell("xor9")
+
+    def test_areas_ordered_by_complexity(self):
+        lib = organic_library_definition()
+        assert (lib.cell_area("inv") < lib.cell_area("nand2")
+                < lib.cell_area("nand3"))
+        assert lib.cell_area("dff") > 5 * lib.cell_area("nand3")
+
+    def test_organic_cells_much_larger_than_silicon(self):
+        org = organic_library_definition()
+        sil = silicon_library_definition()
+        assert org.cell_area("inv") > 1e4 * sil.cell_area("inv")
+
+    def test_size_overrides(self):
+        lib = organic_library_definition(sizes={"w_drive": 150e-6})
+        drive = [d for d in lib.cell("inv").devices
+                 if d.name == "m_shift_drive"][0]
+        assert drive.w == pytest.approx(150e-6)
+
+    def test_default_sizes_document_weak_load(self):
+        ratio = ORGANIC_SIZES["w_shift_load"] / ORGANIC_SIZES["l_shift_load"]
+        assert ratio == pytest.approx(0.1)
+
+    def test_input_capacitance_accessor(self):
+        lib = organic_library_definition()
+        assert lib.input_capacitance("inv", "a") > 0
+        assert lib.input_capacitance("dff", "clk") > 0

@@ -1,0 +1,123 @@
+"""Cell topology tests: structure, logic functions, DC behaviour."""
+
+import itertools
+
+import pytest
+
+from repro.cells.topologies import (
+    CellDesign,
+    biased_load_inverter,
+    build_dc_testbench,
+    cmos_inverter,
+    cmos_nand,
+    cmos_nor,
+    diode_load_inverter,
+    nand_dff,
+    pseudo_e_inverter,
+    pseudo_e_nand,
+    pseudo_e_nor,
+)
+from repro.devices import PENTACENE, silicon_nmos_45, silicon_pmos_45
+from repro.errors import CircuitError
+from repro.spice.dc import operating_point
+
+
+def _dc_logic_output(cell: CellDesign, inputs: dict[str, bool]) -> float:
+    vdd = cell.rails["vdd"]
+    levels = {p: (vdd if v else 0.0) for p, v in inputs.items()}
+    ckt = build_dc_testbench(cell, levels)
+    x, sys = operating_point(ckt)
+    return sys.voltage(x, "out")
+
+
+ORGANIC_GATES = [
+    pseudo_e_nand(PENTACENE, 2),
+    pseudo_e_nand(PENTACENE, 3),
+    pseudo_e_nor(PENTACENE, 2),
+    pseudo_e_nor(PENTACENE, 3),
+    pseudo_e_inverter(PENTACENE),
+]
+
+_nmos, _pmos = silicon_nmos_45(), silicon_pmos_45()
+CMOS_GATES = [
+    cmos_nand(_nmos, _pmos, 2),
+    cmos_nand(_nmos, _pmos, 3),
+    cmos_nor(_nmos, _pmos, 2),
+    cmos_nor(_nmos, _pmos, 3),
+    cmos_inverter(_nmos, _pmos),
+]
+
+
+@pytest.mark.parametrize("cell", ORGANIC_GATES + CMOS_GATES,
+                         ids=lambda c: f"{c.style}_{c.name}")
+def test_dc_output_matches_logic_function(cell):
+    """Every input combination produces the boolean the function says."""
+    vdd = cell.rails["vdd"]
+    for values in itertools.product((False, True), repeat=len(cell.inputs)):
+        inputs = dict(zip(cell.inputs, values))
+        expected = cell.evaluate(**inputs)
+        vout = _dc_logic_output(cell, inputs)
+        if expected:
+            assert vout > 0.7 * vdd, (inputs, vout)
+        else:
+            assert vout < 0.3 * vdd, (inputs, vout)
+
+
+class TestStructure:
+    def test_pseudo_e_inverter_is_4t(self):
+        assert pseudo_e_inverter(PENTACENE).transistor_count == 4
+
+    def test_diode_load_is_2t(self):
+        assert diode_load_inverter(PENTACENE).transistor_count == 2
+
+    def test_nand_transistor_counts(self):
+        assert pseudo_e_nand(PENTACENE, 2).transistor_count == 6
+        assert pseudo_e_nand(PENTACENE, 3).transistor_count == 8
+
+    def test_cmos_nand2_is_4t(self):
+        assert cmos_nand(_nmos, _pmos, 2).transistor_count == 4
+
+    def test_dff_structure(self):
+        lib_nand2 = pseudo_e_nand(PENTACENE, 2)
+        lib_nand3 = pseudo_e_nand(PENTACENE, 3)
+        dff = nand_dff(lib_nand2, lib_nand3)
+        assert dff.transistor_count == 6 * lib_nand3.transistor_count
+        assert set(dff.inputs) == {"d", "clk", "pre_n", "clr_n"}
+        assert set(dff.outputs) == {"q", "q_n"}
+
+    def test_input_capacitance_positive(self):
+        cell = pseudo_e_nand(PENTACENE, 2)
+        for pin in cell.inputs:
+            assert cell.input_capacitance(pin) > 0
+
+    def test_unknown_pin_rejected(self):
+        with pytest.raises(CircuitError):
+            pseudo_e_inverter(PENTACENE).input_capacitance("z")
+
+    def test_nand_width_bounds(self):
+        with pytest.raises(CircuitError):
+            pseudo_e_nand(PENTACENE, 1)
+        with pytest.raises(CircuitError):
+            pseudo_e_nand(PENTACENE, 5)
+
+    def test_polarity_checks(self):
+        with pytest.raises(CircuitError):
+            pseudo_e_inverter(silicon_nmos_45())
+        with pytest.raises(CircuitError):
+            cmos_inverter(_pmos, _pmos)
+
+
+class TestEvaluate:
+    def test_nand3_function(self):
+        cell = pseudo_e_nand(PENTACENE, 3)
+        assert cell.evaluate(a=True, b=True, c=True) is False
+        assert cell.evaluate(a=True, b=True, c=False) is True
+
+    def test_missing_input_raises(self):
+        with pytest.raises(CircuitError):
+            pseudo_e_nand(PENTACENE, 2).evaluate(a=True)
+
+    def test_dff_has_no_function(self):
+        dff = nand_dff(pseudo_e_nand(PENTACENE, 2), pseudo_e_nand(PENTACENE, 3))
+        with pytest.raises(CircuitError):
+            dff.input_capacitance("nope")

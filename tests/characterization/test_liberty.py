@@ -1,0 +1,43 @@
+"""Liberty export tests."""
+
+import pytest
+
+from repro.characterization.liberty import _liberty_function, write_liberty
+
+
+class TestLibertyExport:
+    @pytest.fixture(scope="class")
+    def lib_text(self, organic_lib, tmp_path_factory):
+        path = tmp_path_factory.mktemp("lib") / "organic.lib"
+        write_liberty(organic_lib, path)
+        return path.read_text()
+
+    def test_header(self, lib_text):
+        assert lib_text.startswith("library (organic_pentacene)")
+        assert 'time_unit : "1us";' in lib_text
+
+    def test_all_cells_present(self, lib_text):
+        for cell in ("inv", "nand2", "nand3", "nor2", "nor3", "dff"):
+            assert f"cell ({cell})" in lib_text
+
+    def test_timing_groups(self, lib_text):
+        assert lib_text.count("timing ()") >= 23   # 22 comb arcs + dff
+        assert "cell_rise" in lib_text and "cell_fall" in lib_text
+
+    def test_functions_translated(self, lib_text):
+        assert '"!(a * b)"' in lib_text     # nand2
+        assert '"!(a + b + c)"' in lib_text  # nor3
+
+    def test_balanced_braces(self, lib_text):
+        assert lib_text.count("{") == lib_text.count("}")
+
+    def test_silicon_units(self, silicon_lib, tmp_path):
+        path = tmp_path / "sil.lib"
+        write_liberty(silicon_lib, path)
+        assert 'time_unit : "1ns";' in path.read_text()
+
+
+def test_function_translation():
+    assert _liberty_function("not a") == "!a"
+    assert _liberty_function("not (a and b)") == "!(a * b)"
+    assert _liberty_function("not (a or b or c)") == "!(a + b + c)"

@@ -1,0 +1,103 @@
+"""Characterised-library tests for both processes.
+
+These exercise the real (disk-cached) libraries: timing sanity, NLDM
+monotonicity, process contrast, and JSON round-tripping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.characterization.library import Library
+from repro.errors import LibraryError
+
+
+class TestLibraryContents:
+    def test_six_cells(self, organic_lib, silicon_lib):
+        for lib in (organic_lib, silicon_lib):
+            assert set(lib.cells) == {"inv", "nand2", "nand3", "nor2", "nor3"}
+            assert lib.dff.setup_time >= 0
+            assert lib.dff.hold_time >= 0
+
+    def test_unknown_cell(self, organic_lib):
+        with pytest.raises(LibraryError):
+            organic_lib.cell("latch")
+
+    def test_arcs_cover_all_pins(self, organic_lib):
+        for name, cell in organic_lib.cells.items():
+            pins_with_arcs = {a.input_pin for a in cell.arcs}
+            assert pins_with_arcs == set(cell.inputs), name
+
+    def test_leakage_positive(self, organic_lib, silicon_lib):
+        for lib in (organic_lib, silicon_lib):
+            for cell in lib.cells.values():
+                assert cell.leakage > 0
+
+
+class TestTimingSanity:
+    def test_delay_increases_with_load(self, organic_lib, silicon_lib):
+        for lib in (organic_lib, silicon_lib):
+            inv = lib.cell("inv")
+            slew = lib.typical_slew()
+            cin = inv.input_caps["a"]
+            assert inv.delay("a", slew, 8 * cin) > inv.delay("a", slew, cin)
+
+    def test_slew_increases_with_load(self, organic_lib):
+        inv = organic_lib.cell("inv")
+        slew = organic_lib.typical_slew()
+        cin = inv.input_caps["a"]
+        assert (inv.output_slew("a", slew, 8 * cin)
+                > inv.output_slew("a", slew, cin))
+
+    def test_nand3_slower_than_nand2(self, organic_lib, silicon_lib):
+        """Stacked pull-ups make the 3-input gate slower (Section 5.5)."""
+        for lib in (organic_lib, silicon_lib):
+            slew = lib.typical_slew()
+            load = 4 * lib.cell("inv").input_caps["a"]
+            assert (lib.cell("nand3").worst_delay(slew, load)
+                    > lib.cell("nand2").worst_delay(slew, load) * 0.9)
+
+    def test_all_table_values_positive(self, organic_lib, silicon_lib):
+        for lib in (organic_lib, silicon_lib):
+            for cell in lib.cells.values():
+                for arc in cell.arcs:
+                    assert np.all(arc.delay.values > 0)
+                    assert np.all(arc.transition.values > 0)
+
+    def test_clk_to_q_positive(self, organic_lib):
+        assert np.all(organic_lib.dff.clk_to_q.values > 0)
+
+
+class TestProcessContrast:
+    def test_fo4_gap_is_millionsfold(self, organic_lib, silicon_lib):
+        """~1000x mobility + unipolar logic => ~1e6-1e7x FO4 gap."""
+        ratio = organic_lib.inverter_fo4_delay() / silicon_lib.inverter_fo4_delay()
+        assert 1e5 < ratio < 1e8
+
+    def test_organic_fo4_timescale(self, organic_lib):
+        """Organic FO4 in the 10us-1ms range (kHz-scale logic)."""
+        assert 1e-5 < organic_lib.inverter_fo4_delay() < 1e-3
+
+    def test_silicon_fo4_timescale(self, silicon_lib):
+        """45 nm FO4 in the 5-50 ps range."""
+        assert 5e-12 < silicon_lib.inverter_fo4_delay() < 5e-11
+
+    def test_register_overhead_few_fo4(self, organic_lib, silicon_lib):
+        """clk->q + setup lands at a few FO4 for both processes."""
+        for lib in (organic_lib, silicon_lib):
+            ratio = lib.register_overhead() / lib.inverter_fo4_delay()
+            assert 1.5 < ratio < 8.0
+
+
+class TestSerialization:
+    def test_json_round_trip(self, organic_lib, tmp_path):
+        path = tmp_path / "lib.json"
+        organic_lib.to_json(path)
+        loaded = Library.from_json(path)
+        assert loaded.name == organic_lib.name
+        assert set(loaded.cells) == set(organic_lib.cells)
+        slew = organic_lib.typical_slew()
+        cin = organic_lib.cell("inv").input_caps["a"]
+        assert loaded.cell("inv").delay("a", slew, 4 * cin) == pytest.approx(
+            organic_lib.cell("inv").delay("a", slew, 4 * cin))
+        assert loaded.dff.setup_time == pytest.approx(
+            organic_lib.dff.setup_time)

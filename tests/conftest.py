@@ -1,0 +1,34 @@
+"""Shared fixtures.
+
+Characterised libraries are expensive (hundreds of transistor-level
+transients), so they are session-scoped here and disk-cached by the
+characterisation harness itself; the first run of the suite pays the
+characterisation cost once, later runs load JSON.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterization import organic_library, silicon_library
+from repro.synthesis.wires import organic_wire_model, silicon_wire_model
+
+
+@pytest.fixture(scope="session")
+def organic_lib():
+    return organic_library()
+
+
+@pytest.fixture(scope="session")
+def silicon_lib():
+    return silicon_library()
+
+
+@pytest.fixture(scope="session")
+def organic_wire():
+    return organic_wire_model()
+
+
+@pytest.fixture(scope="session")
+def silicon_wire():
+    return silicon_wire_model()

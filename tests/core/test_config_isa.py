@@ -1,0 +1,69 @@
+"""CoreConfig and ISA tests."""
+
+import pytest
+
+from repro.core.config import REGION_NAMES, CoreConfig
+from repro.core.isa import EXEC_LATENCY, Instruction, InstrClass
+from repro.errors import ConfigError
+
+
+class TestCoreConfig:
+    def test_baseline_is_nine_stages(self):
+        assert CoreConfig().depth == 9
+
+    def test_baseline_widths(self):
+        cfg = CoreConfig()
+        assert cfg.front_width == 1
+        assert cfg.back_width == 3
+        assert cfg.alu_pipes == 1
+
+    def test_mispredict_penalty_grows_with_depth(self):
+        base = CoreConfig()
+        deep = base.with_regions({**base.regions, "fetch": 3, "issue": 2})
+        assert deep.mispredict_penalty > base.mispredict_penalty
+
+    def test_issue_to_execute_bubbles(self):
+        base = CoreConfig()
+        assert base.issue_to_execute == 0
+        deep = base.with_regions({**base.regions, "issue": 3})
+        assert deep.issue_to_execute == 2
+
+    def test_region_validation(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(regions={"fetch": 1})
+        with pytest.raises(ConfigError):
+            CoreConfig(regions={name: 0 for name in REGION_NAMES})
+
+    def test_width_bounds(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(front_width=0)
+        with pytest.raises(ConfigError):
+            CoreConfig(back_width=2)
+
+    def test_widened(self):
+        cfg = CoreConfig().widened(4, 6)
+        assert cfg.front_width == 4 and cfg.back_width == 6
+        assert cfg.alu_pipes == 4
+
+    def test_structure_minimums(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(iq_size=1)
+
+
+class TestIsa:
+    def test_register_bounds(self):
+        with pytest.raises(ValueError):
+            Instruction(klass=InstrClass.ALU, srcs=(40, -1), dst=0)
+        with pytest.raises(ValueError):
+            Instruction(klass=InstrClass.ALU, srcs=(0, -1), dst=99)
+
+    def test_latency_table_complete(self):
+        assert set(EXEC_LATENCY) == set(InstrClass)
+
+    def test_divider_not_pipelined(self):
+        latency, pipelined = EXEC_LATENCY[InstrClass.DIV]
+        assert latency > 1 and not pipelined
+
+    def test_multiplier_pipelined(self):
+        latency, pipelined = EXEC_LATENCY[InstrClass.MUL]
+        assert pipelined

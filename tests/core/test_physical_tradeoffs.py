@@ -1,0 +1,99 @@
+"""Physical core model and tradeoff-sweep tests (the Fig 11/13/14 claims)."""
+
+import pytest
+
+from repro.core.complexity import StructureModel
+from repro.core.config import CoreConfig
+from repro.core.physical import core_area, core_physical, region_logic_delays
+from repro.core.tradeoffs import deepen_pipeline, make_traces
+from repro.errors import ConfigError
+
+
+class TestStructureModel:
+    def test_array_delay_grows_with_entries(self, silicon_lib, silicon_wire):
+        sm = StructureModel(silicon_lib, silicon_wire)
+        assert sm.array_delay(128, 32, 4) > sm.array_delay(16, 32, 4)
+
+    def test_array_delay_grows_with_ports(self, silicon_lib, silicon_wire):
+        sm = StructureModel(silicon_lib, silicon_wire)
+        assert sm.array_delay(64, 32, 10) > sm.array_delay(64, 32, 2)
+
+    def test_bypass_wire_hits_silicon_harder(self, organic_lib, organic_wire,
+                                             silicon_lib, silicon_wire):
+        """The Figure 13 mechanism: bypass cost per pipe, in FO4 terms."""
+        sm_org = StructureModel(organic_lib, organic_wire)
+        sm_sil = StructureModel(silicon_lib, silicon_wire)
+        def growth(sm):
+            fo4 = sm.fo4
+            return (sm.bypass_delay(7, 16) - sm.bypass_delay(3, 16)) / fo4
+        assert growth(sm_sil) > 4 * max(growth(sm_org), 0.01)
+
+    def test_rename_quadratic_in_width(self, organic_lib, organic_wire):
+        sm = StructureModel(organic_lib, organic_wire)
+        d2 = sm.rename_delay(2, 96) - sm.rename_delay(1, 96)
+        d6 = sm.rename_delay(6, 96) - sm.rename_delay(5, 96)
+        assert d6 > 2 * d2
+
+    def test_area_scales_with_ports(self, organic_lib, organic_wire):
+        sm = StructureModel(organic_lib, organic_wire)
+        assert sm.array_area(32, 16, 8) > sm.array_area(32, 16, 2)
+
+
+class TestCorePhysical:
+    def test_baseline_frequencies_in_paper_range(self, organic_lib,
+                                                 organic_wire, silicon_lib,
+                                                 silicon_wire):
+        """Paper Section 5.3: ~200 Hz organic, ~800 MHz silicon."""
+        f_org = core_physical(CoreConfig(), organic_lib, organic_wire).frequency
+        f_sil = core_physical(CoreConfig(), silicon_lib, silicon_wire).frequency
+        assert 50 < f_org < 800
+        assert 3e8 < f_sil < 4e9
+
+    def test_region_map_complete(self, organic_lib, organic_wire):
+        logic = region_logic_delays(CoreConfig(), organic_lib, organic_wire)
+        assert set(logic) == set(CoreConfig().regions)
+        assert all(v > 0 for v in logic.values())
+
+    def test_deeper_pipeline_higher_frequency(self, organic_lib,
+                                              organic_wire):
+        base = CoreConfig()
+        deep = base
+        for _ in range(4):
+            deep = deepen_pipeline(deep, organic_lib, organic_wire)
+        assert (core_physical(deep, organic_lib, organic_wire).frequency
+                > core_physical(base, organic_lib, organic_wire).frequency)
+
+    def test_deepen_splits_critical_region(self, organic_lib, organic_wire):
+        base = CoreConfig()
+        nxt = deepen_pipeline(base, organic_lib, organic_wire)
+        assert nxt.depth == base.depth + 1
+        changed = [r for r in base.regions
+                   if nxt.regions[r] != base.regions[r]]
+        assert len(changed) == 1
+
+    def test_area_grows_with_width(self, silicon_lib, silicon_wire):
+        a_small = core_area(CoreConfig(), silicon_lib, silicon_wire)
+        a_big = core_area(CoreConfig().widened(4, 6), silicon_lib,
+                          silicon_wire)
+        assert a_big > 1.3 * a_small
+
+    def test_unknown_block_rejected(self, organic_lib, organic_wire):
+        from repro.core.physical import _block_timing
+        with pytest.raises(ConfigError):
+            _block_timing("fpu", 16, organic_lib, organic_wire)
+
+    def test_critical_region_identified(self, organic_lib, organic_wire):
+        phys = core_physical(CoreConfig(), organic_lib, organic_wire)
+        assert phys.critical_region in CoreConfig().regions
+        assert phys.period == pytest.approx(
+            max(phys.region_stage_delay.values()))
+
+
+class TestTraces:
+    def test_make_traces_default_seven(self):
+        traces = make_traces(n_instructions=256)
+        assert len(traces) == 7
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigError):
+            make_traces(workloads=["quake"], n_instructions=256)

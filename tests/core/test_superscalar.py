@@ -1,0 +1,114 @@
+"""Out-of-order timing-model tests: limit cases and sensitivities."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.isa import Instruction, InstrClass
+from repro.core.superscalar import simulate
+from repro.core.trace import Trace
+from repro.core.workloads import WORKLOADS, generate_trace
+from repro.errors import SimulationError
+
+
+def alu(dst, s0=-1, s1=-1):
+    return Instruction(klass=InstrClass.ALU, srcs=(s0, s1), dst=dst)
+
+
+def chain_trace(n):
+    """Fully serial dependency chain."""
+    return Trace("chain", [alu(dst=(i % 30) + 1, s0=((i - 1) % 30) + 1)
+                           for i in range(n)])
+
+
+def independent_trace(n):
+    """No dependencies at all."""
+    return Trace("indep", [alu(dst=(i % 15) + 1) for i in range(n)])
+
+
+class TestLimitBehaviour:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate(CoreConfig(), Trace("empty"))
+
+    def test_serial_chain_ipc_near_one(self):
+        """Back-to-back dependent single-cycle ops: IPC -> 1."""
+        r = simulate(CoreConfig(front_width=4, back_width=5),
+                     chain_trace(5000))
+        assert r.ipc == pytest.approx(1.0, abs=0.05)
+
+    def test_independent_ops_hit_width_limit(self):
+        """Independent ALU ops: IPC limited by fetch width."""
+        r1 = simulate(CoreConfig(front_width=1, back_width=5),
+                      independent_trace(5000))
+        r4 = simulate(CoreConfig(front_width=4, back_width=7),
+                      independent_trace(5000))
+        assert r1.ipc == pytest.approx(1.0, abs=0.05)
+        assert r4.ipc > 2.5
+
+    def test_alu_pipe_structural_limit(self):
+        """With a wide front, ALU throughput caps at the pipe count."""
+        r = simulate(CoreConfig(front_width=6, back_width=3),
+                     independent_trace(5000))
+        assert r.ipc == pytest.approx(1.0, abs=0.1)  # 1 ALU pipe
+
+    def test_divider_serialises(self):
+        divs = Trace("divs", [
+            Instruction(klass=InstrClass.DIV, srcs=(-1, -1), dst=(i % 20) + 1)
+            for i in range(500)])
+        r = simulate(CoreConfig(front_width=4, back_width=4), divs)
+        # Two non-pipelined 12-cycle dividers -> IPC ~ 2/12.
+        assert r.ipc < 0.25
+
+    def test_load_misses_hurt(self):
+        hits = Trace("hits", [
+            Instruction(klass=InstrClass.LOAD, srcs=(1, -1),
+                        dst=(i % 20) + 2, is_miss=False)
+            for i in range(2000)])
+        misses = Trace("misses", [
+            Instruction(klass=InstrClass.LOAD, srcs=(1, -1),
+                        dst=(i % 20) + 2, is_miss=True)
+            for i in range(2000)])
+        cfg = CoreConfig()
+        assert simulate(cfg, misses).ipc < simulate(cfg, hits).ipc
+
+
+class TestDepthSensitivity:
+    def test_deeper_frontend_lowers_ipc_on_branchy_code(self):
+        trace = generate_trace(WORKLOADS["parser"], 20_000)
+        base = CoreConfig()
+        deep = base.with_regions({**base.regions, "fetch": 3, "decode": 2,
+                                  "rename": 2})
+        assert simulate(deep, trace).ipc < simulate(base, trace).ipc
+
+    def test_deeper_issue_hurts_dependent_code(self):
+        trace = chain_trace(5000)
+        base = CoreConfig()
+        deep = base.with_regions({**base.regions, "issue": 3})
+        assert simulate(deep, trace).ipc < 0.7 * simulate(base, trace).ipc
+
+    def test_mispredicts_counted(self):
+        trace = generate_trace(WORKLOADS["gzip"], 20_000)
+        r = simulate(CoreConfig(), trace)
+        assert 0 < r.mispredicts < r.branch_count
+        assert r.mispredict_rate == pytest.approx(
+            r.mispredicts / r.branch_count)
+
+
+class TestWorkloadOrdering:
+    @pytest.fixture(scope="class")
+    def ipcs(self):
+        cfg = CoreConfig()
+        return {name: simulate(cfg, generate_trace(spec, 25_000)).ipc
+                for name, spec in WORKLOADS.items()}
+
+    def test_dhrystone_fastest(self, ipcs):
+        assert ipcs["dhrystone"] == max(ipcs.values())
+
+    def test_mcf_slowest(self, ipcs):
+        """Pointer-chasing mcf is the clear laggard (as on real cores)."""
+        assert ipcs["mcf"] == min(ipcs.values())
+        assert ipcs["mcf"] < 0.7 * ipcs["dhrystone"]
+
+    def test_all_ipcs_plausible(self, ipcs):
+        for name, ipc in ipcs.items():
+            assert 0.1 < ipc <= 1.0, name

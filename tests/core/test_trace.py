@@ -1,0 +1,28 @@
+"""Trace container tests."""
+
+from repro.core.isa import Instruction, InstrClass
+from repro.core.trace import Trace
+
+
+def test_class_mix_and_counts():
+    instrs = [Instruction(klass=InstrClass.ALU, srcs=(-1, -1), dst=1),
+              Instruction(klass=InstrClass.ALU, srcs=(-1, -1), dst=2),
+              Instruction(klass=InstrClass.BRANCH, srcs=(1, -1), dst=-1,
+                          taken=True, pattern_key=7),
+              Instruction(klass=InstrClass.LOAD, srcs=(2, -1), dst=3)]
+    t = Trace("t", instrs)
+    assert len(t) == 4
+    mix = t.class_mix()
+    assert mix[InstrClass.ALU] == 0.5
+    assert t.branch_count() == 1
+
+
+def test_empty_trace_mix():
+    assert Trace("e").class_mix() == {}
+
+
+def test_iteration_order():
+    instrs = [Instruction(klass=InstrClass.ALU, srcs=(-1, -1), dst=i)
+              for i in range(5)]
+    t = Trace("o", instrs)
+    assert [i.dst for i in t] == [0, 1, 2, 3, 4]

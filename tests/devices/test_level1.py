@@ -1,0 +1,65 @@
+"""Shichman-Hodges level 1 model tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import Level1Mosfet
+from repro.errors import DeviceModelError
+
+MODEL = Level1Mosfet(polarity=1, kp=1e-5, vt0=0.5, lambda_=0.05,
+                     ci=1e-3, c_overlap=1e-9)
+W, L = 10e-6, 1e-6
+
+
+class TestRegions:
+    def test_cutoff_is_exactly_zero(self):
+        """Level 1's defining flaw: no subthreshold conduction at all."""
+        i, gm, gds = MODEL.ids(0.4, 1.0, W, L)
+        assert i == 0.0 and gm == 0.0 and gds == 0.0
+
+    def test_triode_current(self):
+        vgs, vds = 2.0, 0.5
+        i, _, _ = MODEL.ids(vgs, vds, W, L)
+        beta = MODEL.kp * W / L
+        expected = beta * ((vgs - 0.5) * vds - 0.5 * vds ** 2) \
+            * (1 + MODEL.lambda_ * vds)
+        assert i == pytest.approx(expected)
+
+    def test_saturation_current(self):
+        vgs, vds = 2.0, 3.0
+        i, _, _ = MODEL.ids(vgs, vds, W, L)
+        beta = MODEL.kp * W / L
+        expected = 0.5 * beta * (vgs - 0.5) ** 2 * (1 + MODEL.lambda_ * vds)
+        assert i == pytest.approx(expected)
+
+    def test_continuity_at_pinchoff(self):
+        vgs = 2.0
+        vov = vgs - MODEL.vt0
+        below, _, _ = MODEL.ids(vgs, vov - 1e-9, W, L)
+        above, _, _ = MODEL.ids(vgs, vov + 1e-9, W, L)
+        assert below == pytest.approx(above, rel=1e-6)
+
+
+@given(vgs=st.floats(0.6, 5.0), vds=st.floats(0.01, 5.0))
+@settings(max_examples=100, deadline=None)
+def test_derivatives_match_finite_difference(vgs, vds):
+    h = 1e-7
+    i0, gm, gds = MODEL.ids(vgs, vds, W, L)
+    i_g, _, _ = MODEL.ids(vgs + h, vds, W, L)
+    i_d, _, _ = MODEL.ids(vgs, vds + h, W, L)
+    assert gm == pytest.approx((i_g - i0) / h, rel=1e-3, abs=1e-12)
+    assert gds == pytest.approx((i_d - i0) / h, rel=1e-3, abs=1e-12)
+
+
+class TestValidation:
+    def test_bad_kp(self):
+        with pytest.raises(DeviceModelError):
+            Level1Mosfet(polarity=1, kp=0.0, vt0=0.5)
+
+    def test_bad_polarity(self):
+        with pytest.raises(DeviceModelError):
+            Level1Mosfet(polarity=2, kp=1e-5, vt0=0.5)
+
+    def test_negative_lambda(self):
+        with pytest.raises(DeviceModelError):
+            Level1Mosfet(polarity=1, kp=1e-5, vt0=0.5, lambda_=-0.1)

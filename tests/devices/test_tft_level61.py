@@ -1,0 +1,127 @@
+"""Unified TFT model tests: physics invariants and exact derivatives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import PENTACENE, UnifiedTft
+from repro.errors import DeviceModelError
+
+W, L = 100e-6, 20e-6
+
+
+class TestValidation:
+    def test_bad_polarity(self):
+        with pytest.raises(DeviceModelError):
+            UnifiedTft(polarity=0, mu_band=1e-5, ci=1e-3, vt0=0.0)
+
+    def test_negative_mobility(self):
+        with pytest.raises(DeviceModelError):
+            UnifiedTft(polarity=-1, mu_band=-1e-5, ci=1e-3, vt0=0.0)
+
+    def test_gamma_floor(self):
+        with pytest.raises(DeviceModelError):
+            UnifiedTft(polarity=1, mu_band=1e-5, ci=1e-3, vt0=0.0,
+                       gamma=-2.5)
+
+
+class TestPhysicsInvariants:
+    def test_zero_vds_zero_current(self):
+        i, _, gds = PENTACENE.ids(5.0, 0.0, W, L)
+        assert i == 0.0
+        assert gds > 0.0  # finite channel conductance at the origin
+
+    def test_current_increases_with_vgs(self):
+        i1, _, _ = PENTACENE.ids(3.0, 2.0, W, L)
+        i2, _, _ = PENTACENE.ids(5.0, 2.0, W, L)
+        assert i2 > i1
+
+    def test_current_increases_with_vds(self):
+        i1, _, _ = PENTACENE.ids(5.0, 1.0, W, L)
+        i2, _, _ = PENTACENE.ids(5.0, 3.0, W, L)
+        assert i2 > i1
+
+    def test_current_scales_with_geometry(self):
+        i1, _, _ = PENTACENE.ids(5.0, 2.0, W, L)
+        i2, _, _ = PENTACENE.ids(5.0, 2.0, 2 * W, L)
+        # Channel part doubles; leakage also scales with W.
+        assert i2 == pytest.approx(2 * i1, rel=0.01)
+
+    def test_subthreshold_is_exponential(self):
+        """One observed-SS step below threshold drops current ~10x."""
+        vt = PENTACENE.threshold(1.0)
+        v1 = vt - 4 * PENTACENE.ss
+        v2 = v1 - PENTACENE.ss
+        i1, _, _ = PENTACENE.ids(v1, 1.0, W, L)
+        i2, _, _ = PENTACENE.ids(v2, 1.0, W, L)
+        ratio = (i1 - PENTACENE.i_off_w * W) / max(i2 - PENTACENE.i_off_w * W,
+                                                   1e-30)
+        assert 6.0 < ratio < 14.0
+
+    def test_leakage_floor(self):
+        """Deep off: the current approaches the leakage floor."""
+        i, _, _ = PENTACENE.ids(-10.0, 1.0, W, L)
+        floor = PENTACENE.i_off_w * W * math.tanh(1.0 / 0.1)
+        assert i == pytest.approx(floor, rel=0.05)
+
+    def test_saturation_flattens(self):
+        """Beyond vdsat, current grows only via CLM/DIBL (slowly)."""
+        i1, _, _ = PENTACENE.ids(5.0, 4.0, W, L)
+        i2, _, _ = PENTACENE.ids(5.0, 8.0, W, L)
+        assert i2 < 1.5 * i1
+
+
+@given(vgs=st.floats(-8.0, 8.0), vds=st.floats(0.01, 10.0))
+@settings(max_examples=120, deadline=None)
+def test_gm_matches_finite_difference(vgs, vds):
+    h = 1e-6
+    i0, gm, _ = PENTACENE.ids(vgs, vds, W, L)
+    i1, _, _ = PENTACENE.ids(vgs + h, vds, W, L)
+    numeric = (i1 - i0) / h
+    scale = max(abs(gm), abs(numeric), 1e-15)
+    assert abs(gm - numeric) / scale < 1e-2
+
+
+@given(vgs=st.floats(-8.0, 8.0), vds=st.floats(0.01, 10.0))
+@settings(max_examples=120, deadline=None)
+def test_gds_matches_finite_difference(vgs, vds):
+    h = 1e-6
+    i0, _, gds = PENTACENE.ids(vgs, vds, W, L)
+    i1, _, _ = PENTACENE.ids(vgs, vds + h, W, L)
+    numeric = (i1 - i0) / h
+    scale = max(abs(gds), abs(numeric), 1e-15)
+    assert abs(gds - numeric) / scale < 1e-2
+
+
+@given(vgs=st.floats(-50.0, 50.0), vds=st.floats(0.0, 50.0))
+@settings(max_examples=120, deadline=None)
+def test_no_overflow_in_extreme_bias(vgs, vds):
+    """Far outside the calibrated range the model stays finite."""
+    i, gm, gds = PENTACENE.ids(vgs, vds, W, L)
+    assert math.isfinite(i) and math.isfinite(gm) and math.isfinite(gds)
+    assert i >= 0.0
+
+
+@given(vgs=st.floats(-5.0, 8.0), vds=st.floats(0.0, 10.0),
+       w=st.floats(10e-6, 1000e-6), l=st.floats(5e-6, 100e-6))
+@settings(max_examples=80, deadline=None)
+def test_current_nonnegative_and_monotone_in_w(vgs, vds, w, l):
+    i1, _, _ = PENTACENE.ids(vgs, vds, w, l)
+    i2, _, _ = PENTACENE.ids(vgs, vds, 1.5 * w, l)
+    assert 0.0 <= i1 <= i2 + 1e-30
+
+
+class TestCapacitances:
+    def test_gate_capacitance_positive(self):
+        assert PENTACENE.gate_capacitance(W, L) > 0
+
+    def test_capacitance_scaling(self):
+        c1 = PENTACENE.gate_capacitance(W, L)
+        c2 = PENTACENE.gate_capacitance(2 * W, L)
+        assert c2 == pytest.approx(2 * c1, rel=1e-9)
+
+    def test_split_convention(self):
+        cgs, cgd, cds = PENTACENE.capacitances(W, L)
+        assert cgs == cgd
+        assert cds == 0.0

@@ -1,0 +1,75 @@
+"""Process variation and alternative-material tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import MATERIALS, PENTACENE, VariationModel, dntt_model
+from repro.devices.materials import scaled_pentacene
+
+
+class TestVariation:
+    def test_spread_matches_paper(self):
+        """Paper: VT spread across a sample 'within 0.5 V' (+/- 2 sigma)."""
+        model = VariationModel()
+        devices = model.sample_many(PENTACENE, 400, seed=3)
+        vts = np.array([d.vt0 for d in devices])
+        spread_95 = np.percentile(vts, 97.7) - np.percentile(vts, 2.3)
+        assert spread_95 == pytest.approx(0.5, rel=0.25)
+
+    def test_deterministic_per_seed(self):
+        m = VariationModel()
+        a = m.sample_many(PENTACENE, 5, seed=1)
+        b = m.sample_many(PENTACENE, 5, seed=1)
+        assert [d.vt0 for d in a] == [d.vt0 for d in b]
+
+    def test_mobility_lognormal_positive(self):
+        m = VariationModel(mu_sigma_rel=0.5)
+        devices = m.sample_many(PENTACENE, 100, seed=2)
+        assert all(d.mu_band > 0 for d in devices)
+
+    def test_zero_variation(self):
+        m = VariationModel(vt_spread=0.0, mu_sigma_rel=0.0)
+        d = m.sample_many(PENTACENE, 3, seed=0)
+        assert all(x.vt0 == PENTACENE.vt0 for x in d)
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError):
+            VariationModel(vt_spread=-0.1)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_samples_remain_valid_devices(self, seed):
+        m = VariationModel()
+        rng = np.random.default_rng(seed)
+        d = m.sample(PENTACENE, rng)
+        i, gm, gds = d.ids(5.0, 2.0, 100e-6, 20e-6)
+        assert i > 0 and gm >= 0 and gds >= 0
+
+
+class TestMaterials:
+    def test_dntt_mobility_factor(self):
+        d = dntt_model(mobility_factor=10.0)
+        assert d.mu_band == pytest.approx(10 * PENTACENE.mu_band)
+        assert d.polarity == -1
+
+    def test_dntt_faster_device(self):
+        d = dntt_model()
+        i_dntt, _, _ = d.ids(5.0, 2.0, 100e-6, 20e-6)
+        i_pent, _, _ = PENTACENE.ids(5.0, 2.0, 100e-6, 20e-6)
+        assert i_dntt > 5 * i_pent
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            dntt_model(mobility_factor=-1)
+
+    def test_registry(self):
+        assert "pentacene" in MATERIALS and "dntt" in MATERIALS
+
+    def test_scaled_pentacene_overlap(self):
+        s = scaled_pentacene(0.5)
+        assert s.c_overlap == pytest.approx(0.5 * PENTACENE.c_overlap)
+
+    def test_scaled_pentacene_validation(self):
+        with pytest.raises(ValueError):
+            scaled_pentacene(0.0)

@@ -1,0 +1,163 @@
+"""End-to-end reproduction checks of the paper's headline claims.
+
+These run the actual experiment drivers (with reduced trace lengths to
+stay test-suite-friendly) and assert the *shape* results the paper
+reports:  organic favours deeper pipelines and wider superscalars.
+"""
+
+import pytest
+
+from repro.analysis.figures import (
+    fig11_pipeline_depth,
+    fig12_alu_depth,
+    fig14_width_area,
+    fig15_wire_ablation,
+)
+from repro.core.config import CoreConfig
+from repro.core.physical import core_physical
+from repro.core.superscalar import simulate
+from repro.core.tradeoffs import make_traces, width_sweep, width_matrix
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return fig11_pipeline_depth(max_depth=15, n_instructions=12_000)
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return fig12_alu_depth()
+
+
+class TestHeadlineDepthClaim:
+    def test_organic_optimal_depth_deeper(self, fig11):
+        """THE claim: organic favours deeper pipelines than silicon."""
+        d_org = fig11.optimal_depth("organic")
+        d_sil = fig11.optimal_depth("silicon")
+        assert d_org > d_sil
+
+    def test_silicon_optimum_near_10_11(self, fig11):
+        assert 10 <= fig11.optimal_depth("silicon") <= 12
+
+    def test_organic_optimum_near_14_15(self, fig11):
+        assert 13 <= fig11.optimal_depth("organic") <= 15
+
+    def test_area_flat_with_depth(self, fig11):
+        """Paper: 'respective areas of the two processes are flat'."""
+        for process in ("organic", "silicon"):
+            areas = fig11.normalized_area(process)
+            assert max(areas.values()) < 1.10
+
+    def test_baseline_frequencies(self, fig11):
+        f_org = fig11.organic[0].physical.frequency
+        f_sil = fig11.silicon[0].physical.frequency
+        assert 50 < f_org < 800          # paper: ~200 Hz
+        assert 3e8 < f_sil < 4e9         # paper: ~800 MHz
+
+
+class TestAluDepthClaim:
+    def test_silicon_saturates_before_organic(self, fig12):
+        assert (fig12.saturation_stage("silicon")
+                < fig12.saturation_stage("organic"))
+
+    def test_silicon_flat_beyond_saturation(self, fig12):
+        """Paper: silicon frequency stops improving past ~8 stages."""
+        ratios = fig12.frequency_ratios("silicon")
+        idx_8 = fig12.stage_counts.index(8)
+        assert max(ratios) < 1.35 * ratios[idx_8]
+
+    def test_organic_keeps_scaling(self, fig12):
+        """Paper: organic grows roughly linearly well past 8 stages."""
+        ratios = fig12.frequency_ratios("organic")
+        idx_8 = fig12.stage_counts.index(8)
+        assert max(ratios) > 1.4 * ratios[idx_8]
+
+    def test_area_grows_with_stages(self, fig12):
+        for process in ("organic", "silicon"):
+            areas = fig12.area_ratios(process)
+            assert areas[-1] > 2.0
+
+
+class TestWidthClaim:
+    @pytest.fixture(scope="class")
+    def matrices(self, organic_lib, organic_wire, silicon_lib, silicon_wire):
+        traces = make_traces(n_instructions=10_000)
+        org = width_matrix(width_sweep(organic_lib, organic_wire,
+                                       traces=traces), "performance")
+        sil = width_matrix(width_sweep(silicon_lib, silicon_wire,
+                                       traces=traces), "performance")
+        return org, sil
+
+    def test_silicon_optimum_at_4_2(self, matrices):
+        """Paper: 'the optimal point for silicon is located at M[4][2]'."""
+        _, sil = matrices
+        best_bw, best_fw = max(sil, key=sil.get)
+        assert best_bw == 4
+        assert best_fw in (2, 3)
+
+    def test_organic_optimum_wider_backend(self, matrices):
+        """Paper: organic optimum ~3 execution pipes wider than silicon."""
+        org, sil = matrices
+        org_bw = max(org, key=org.get)[0]
+        sil_bw = max(sil, key=sil.get)[0]
+        assert org_bw >= sil_bw + 2
+
+    def test_organic_less_width_sensitive(self, matrices):
+        """Paper: 'organic technology is less sensitive to width change'."""
+        org, sil = matrices
+        spread = lambda m: max(m.values()) - min(m.values())  # noqa: E731
+        assert spread(org) < spread(sil)
+
+    def test_front_width_one_starves(self, matrices):
+        """Both processes: the fetch-1 column clearly underperforms."""
+        for m in matrices:
+            assert m[(4, 1)] < 0.9 * m[(4, 2)]
+
+
+class TestAreaMatrixClaim:
+    def test_area_nearly_process_independent(self):
+        """Paper Fig 14: normalised areas 'similar' across processes."""
+        result = fig14_width_area()
+        assert result.max_process_difference() < 0.06
+
+
+class TestWireAblationClaim:
+    @pytest.fixture(scope="class")
+    def fig15(self):
+        return fig15_wire_ablation()
+
+    def test_silicon_without_wire_behaves_like_organic(self, fig15):
+        """Paper Section 5.5: remove wire cost and silicon's depth
+        scaling matches the organic process's."""
+        si_nw = fig15.core["silicon_no_wire"]
+        org = fig15.core["organic"]
+        for a, b in zip(si_nw, org):
+            assert a == pytest.approx(b, rel=0.15)
+
+    def test_wire_limits_silicon_depth_scaling(self, fig15):
+        si = fig15.core["silicon"]
+        si_nw = fig15.core["silicon_no_wire"]
+        assert si_nw[-1] > 1.4 * si[-1]
+
+    def test_organic_insensitive_to_wire(self, fig15):
+        org = fig15.core["organic"]
+        org_nw = fig15.core["organic_no_wire"]
+        for a, b in zip(org, org_nw):
+            assert a == pytest.approx(b, rel=0.05)
+
+    def test_14_stage_frequency_ratios(self, fig15):
+        """Paper: organic 2x vs silicon 1.5x at 14 stages."""
+        idx = fig15.core_depths.index(14)
+        assert fig15.core["organic"][idx] > 1.7
+        assert fig15.core["silicon"][idx] < 1.8
+
+
+class TestSimulatorPhysicalConsistency:
+    def test_performance_product_positive(self, organic_lib, organic_wire):
+        cfg = CoreConfig()
+        traces = make_traces(workloads=["dhrystone"], n_instructions=2000)
+        ipc = simulate(cfg, traces["dhrystone"]).ipc
+        f = core_physical(cfg, organic_lib, organic_wire).frequency
+        mips = ipc * f
+        # Organic baseline: order of 100 instructions/second.
+        assert 10 < mips < 1e3

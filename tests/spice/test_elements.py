@@ -1,0 +1,121 @@
+"""Element stamp tests, including property-based Jacobian consistency.
+
+The FET stamp must satisfy, at any operating point: the Jacobian entries
+equal the numerical derivative of the stamped residual currents.  This
+holds for n-type and p-type models in both drain/source orientations,
+which is exactly where sign errors hide.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import PENTACENE, silicon_nmos_45, silicon_pmos_45
+from repro.spice import Circuit, Fet, Resistor, VoltageSource
+from repro.spice.mna import MnaSystem
+
+
+def _residual_currents(model, w, l, voltages):
+    """Stamped FET residual at the given (vd, vg, vs) node voltages."""
+    ckt = Circuit()
+    ckt.add(Resistor("rd", "d", "0", 1e12))
+    ckt.add(Resistor("rg", "g", "0", 1e12))
+    ckt.add(Resistor("rs", "s", "0", 1e12))
+    fet = ckt.add(Fet("m", "d", "g", "s", model, w, l))
+    sys = MnaSystem(ckt)
+    x = np.zeros(sys.size)
+    for node, v in voltages.items():
+        x[sys.node_index[node]] = v
+    J = np.zeros((sys.size, sys.size))
+    F = np.zeros(sys.size)
+    fet.stamp_nonlinear(J, F, x)
+    return sys, x, J, F
+
+
+MODELS = {
+    "pentacene": (PENTACENE, 100e-6, 20e-6, 5.0),
+    "nmos45": (silicon_nmos_45(), 1e-6, 45e-9, 1.1),
+    "pmos45": (silicon_pmos_45(), 1e-6, 45e-9, 1.1),
+}
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_fet_jacobian_matches_finite_difference(model_name, data):
+    model, w, l, vmax = MODELS[model_name]
+    vd = data.draw(st.floats(-vmax, vmax))
+    vg = data.draw(st.floats(-vmax, vmax))
+    vs = data.draw(st.floats(-vmax, vmax))
+    voltages = {"d": vd, "g": vg, "s": vs}
+
+    sys, x, J, F = _residual_currents(model, w, l, voltages)
+    h = 1e-7 * max(vmax, 1.0)
+    for node in ("d", "g", "s"):
+        # Skip points within h of the drain/source swap kink, where the
+        # one-sided derivative genuinely differs.
+        if abs(vd - vs) < 10 * h:
+            continue
+        xp = x.copy()
+        xp[sys.node_index[node]] += h
+        Jp = np.zeros_like(J)
+        Fp = np.zeros_like(F)
+        sys.circuit.element("m").stamp_nonlinear(Jp, Fp, xp)
+        numeric = (Fp - F) / h
+        col = sys.node_index[node]
+        for row_node in ("d", "s"):
+            row = sys.node_index[row_node]
+            analytic = J[row, col]
+            scale = max(abs(analytic), abs(numeric[row]), 1e-9)
+            assert abs(analytic - numeric[row]) / scale < 5e-2, (
+                f"dF[{row_node}]/dV[{node}] mismatch: "
+                f"{analytic} vs {numeric[row]}")
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_fet_current_conservation(model_name):
+    """Channel current leaving the drain equals current entering source."""
+    model, w, l, vmax = MODELS[model_name]
+    sys, x, J, F = _residual_currents(
+        model, w, l, {"d": 0.7 * vmax, "g": vmax, "s": 0.0})
+    i_d = F[sys.node_index["d"]]
+    i_s = F[sys.node_index["s"]]
+    assert i_d == pytest.approx(-i_s, rel=1e-12)
+    assert F[sys.node_index["g"]] == 0.0  # no DC gate current
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_fet_symmetric_swap(model_name):
+    """Swapping drain/source terminals flips the current sign exactly."""
+    model, w, l, vmax = MODELS[model_name]
+    _, xa, _, Fa = _residual_currents(
+        model, w, l, {"d": 0.5 * vmax, "g": vmax, "s": 0.0})
+    sys, xb, _, Fb = _residual_currents(
+        model, w, l, {"d": 0.0, "g": vmax, "s": 0.5 * vmax})
+    assert Fa[sys.node_index["d"]] == pytest.approx(
+        Fb[sys.node_index["s"]], rel=1e-9)
+
+
+def test_fet_operating_point_reports_physical_current():
+    """operating_point's drain current matches the stamped residual."""
+    model, w, l, vmax = MODELS["nmos45"]
+    sys, x, _, F = _residual_currents(
+        model, w, l, {"d": 1.0, "g": 1.1, "s": 0.0})
+    fet = sys.circuit.element("m")
+    i_d, gm, gds = fet.operating_point(x)
+    # Residual at d = current leaving node d = current INTO the drain.
+    assert i_d == pytest.approx(F[sys.node_index["d"]], rel=1e-6)
+    assert gm > 0 and gds > 0
+
+
+def test_capacitances_attached():
+    fet = Fet("m", "d", "g", "s", PENTACENE, 100e-6, 20e-6)
+    assert fet.cgs > 0 and fet.cgd > 0
+    # Channel + overlap for this geometry is picofarad-scale.
+    assert 1e-13 < fet.cgs < 1e-10
+
+
+def test_invalid_geometry_rejected():
+    from repro.errors import CircuitError
+    with pytest.raises(CircuitError):
+        Fet("m", "d", "g", "s", PENTACENE, -1e-6, 20e-6)

@@ -1,0 +1,79 @@
+"""MNA assembly tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.spice import Capacitor, Circuit, Resistor, VoltageSource
+from repro.spice.mna import MnaSystem
+
+
+def rc_circuit():
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("v1", "in", "0", 1.0))
+    ckt.add(Resistor("r1", "in", "out", 1e3))
+    ckt.add(Capacitor("c1", "out", "0", 1e-9))
+    return ckt
+
+
+class TestAssembly:
+    def test_unknown_ordering_nodes_then_branches(self):
+        sys = MnaSystem(rc_circuit())
+        assert sys.n_nodes == 2
+        assert sys.size == 3      # 2 nodes + 1 source branch
+        assert sys.branch_index["v1"] == 2
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            MnaSystem(Circuit("empty"))
+
+    def test_all_ground_circuit_rejected(self):
+        ckt = Circuit("g")
+        ckt.add(Resistor("r1", "0", "gnd", 1.0))
+        with pytest.raises(CircuitError):
+            MnaSystem(ckt)
+
+    def test_capacitor_open_in_dc(self):
+        sys = MnaSystem(rc_circuit())
+        G_dc = sys.linear_jacobian(dt=None)
+        G_tr = sys.linear_jacobian(dt=1e-9)
+        out = sys.node_index["out"]
+        # DC: only the resistor loads node 'out'; transient adds C/dt = 1S.
+        assert G_dc[out, out] == pytest.approx(1e-3)
+        assert G_tr[out, out] == pytest.approx(1e-3 + 1.0)
+
+    def test_jacobian_symmetric_for_rc(self):
+        sys = MnaSystem(rc_circuit())
+        G = sys.linear_jacobian(dt=1e-9)
+        n = sys.n_nodes
+        assert np.allclose(G[:n, :n], G[:n, :n].T)
+
+    def test_rhs_contains_source_value(self):
+        sys = MnaSystem(rc_circuit())
+        b = sys.rhs(t=0.0)
+        assert b[sys.branch_index["v1"]] == pytest.approx(1.0)
+
+    def test_rhs_history_term(self):
+        sys = MnaSystem(rc_circuit())
+        x_prev = np.zeros(sys.size)
+        x_prev[sys.node_index["out"]] = 0.5
+        b = sys.rhs(t=0.0, x_prev=x_prev, dt=1e-9)
+        # Capacitor history: (C/dt) * v_prev = 1 S * 0.5 V.
+        assert b[sys.node_index["out"]] == pytest.approx(0.5)
+
+    def test_source_current_unknown_name(self):
+        sys = MnaSystem(rc_circuit())
+        with pytest.raises(CircuitError):
+            sys.source_current(np.zeros(sys.size), "r1")
+
+
+class TestResidual:
+    def test_linear_residual_zero_at_solution(self):
+        from repro.spice.dc import solve_operating_point
+        sys = MnaSystem(rc_circuit())
+        x = solve_operating_point(sys)
+        G = sys.linear_jacobian()
+        b = sys.rhs(0.0)
+        F, J = sys.residual_and_jacobian(x, G, b)
+        assert np.max(np.abs(F)) < 1e-9
+        assert np.allclose(J, G)   # no nonlinear elements

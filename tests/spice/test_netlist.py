@@ -1,0 +1,77 @@
+"""Circuit container tests."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.spice import Circuit, Resistor, VoltageSource
+from repro.spice.netlist import is_ground
+
+
+class TestGroundAliases:
+    def test_canonical_names(self):
+        for name in ("0", "gnd", "GND", "ground"):
+            assert is_ground(name)
+
+    def test_other_names(self):
+        for name in ("vdd", "out", "", "g"):
+            assert not is_ground(name)
+
+
+class TestCircuit:
+    def test_nodes_exclude_ground(self):
+        ckt = Circuit()
+        ckt.add(Resistor("r1", "a", "0", 1.0))
+        ckt.add(Resistor("r2", "a", "gnd", 1.0))
+        assert ckt.nodes == frozenset({"a"})
+
+    def test_duplicate_element_rejected(self):
+        ckt = Circuit()
+        ckt.add(Resistor("r1", "a", "0", 1.0))
+        with pytest.raises(CircuitError, match="duplicate"):
+            ckt.add(Resistor("r1", "b", "0", 1.0))
+
+    def test_element_lookup(self):
+        ckt = Circuit()
+        r = ckt.add(Resistor("r1", "a", "0", 5.0))
+        assert ckt.element("r1") is r
+        assert "r1" in ckt
+        assert ckt.has_element("r1")
+        assert not ckt.has_element("r2")
+
+    def test_unknown_element_raises(self):
+        ckt = Circuit("c")
+        ckt.add(Resistor("r1", "a", "0", 1.0))
+        with pytest.raises(CircuitError, match="no element"):
+            ckt.element("missing")
+
+    def test_extend_and_len(self):
+        ckt = Circuit()
+        ckt.extend([Resistor("r1", "a", "b", 1.0),
+                    VoltageSource("v1", "a", "0", 1.0)])
+        assert len(ckt) == 2
+
+    def test_repr_mentions_counts(self):
+        ckt = Circuit("mycirc")
+        ckt.add(Resistor("r1", "a", "0", 1.0))
+        text = repr(ckt)
+        assert "mycirc" in text
+        assert "elements=1" in text
+
+
+class TestElementValidation:
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(CircuitError):
+            Resistor("r", "a", "b", -1.0)
+
+    def test_zero_resistance_rejected(self):
+        with pytest.raises(CircuitError):
+            Resistor("r", "a", "b", 0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Resistor("", "a", "b", 1.0)
+
+    def test_negative_capacitance_rejected(self):
+        from repro.spice import Capacitor
+        with pytest.raises(CircuitError):
+            Capacitor("c", "a", "b", -1e-12)

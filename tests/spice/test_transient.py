@@ -1,0 +1,101 @@
+"""Transient analysis tests against closed-form RC behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Resistor,
+    TransientOptions,
+    VoltageSource,
+    transient,
+)
+
+
+def rc_step_circuit(r=1e3, c=1e-9, v_final=1.0, t_step=1e-7):
+    ckt = Circuit("rc")
+
+    def vsrc(t):
+        return v_final if t >= t_step else 0.0
+
+    ckt.add(VoltageSource("vin", "in", "0", vsrc))
+    ckt.add(Resistor("r1", "in", "out", r))
+    ckt.add(Capacitor("c1", "out", "0", c))
+    return ckt
+
+
+class TestRcStep:
+    def test_exponential_charge(self):
+        r, c = 1e3, 1e-9
+        tau = r * c
+        t_step = tau / 2
+        ckt = rc_step_circuit(r, c, v_final=1.0, t_step=t_step)
+        res = transient(ckt, TransientOptions(dt=tau / 100,
+                                              t_stop=t_step + 5 * tau))
+        w = res.waveform("out")
+        for n_tau in (1.0, 2.0, 3.0):
+            expected = 1.0 - math.exp(-n_tau)
+            assert w.value_at(t_step + n_tau * tau) == pytest.approx(
+                expected, abs=0.02)
+
+    def test_final_value(self):
+        tau = 1e-6
+        ckt = rc_step_circuit(v_final=2.5, t_step=tau)
+        res = transient(ckt, TransientOptions(dt=tau / 50, t_stop=9 * tau))
+        assert res.waveform("out").final_value == pytest.approx(2.5, abs=0.01)
+
+    def test_initial_condition_from_dc(self):
+        """With the source at 1 V from t=0, the DC init starts charged."""
+        ckt = Circuit("rc")
+        ckt.add(VoltageSource("vin", "in", "0", 1.0))
+        ckt.add(Resistor("r1", "in", "out", 1e3))
+        ckt.add(Capacitor("c1", "out", "0", 1e-9))
+        res = transient(ckt, TransientOptions(dt=1e-8, t_stop=1e-6))
+        assert res.waveform("out").initial_value == pytest.approx(1.0, abs=1e-6)
+
+    def test_times_strictly_increasing(self):
+        ckt = rc_step_circuit()
+        res = transient(ckt, TransientOptions(dt=1e-8, t_stop=1e-6))
+        assert np.all(np.diff(res.times) > 0)
+
+    def test_stop_time_reached(self):
+        ckt = rc_step_circuit()
+        opts = TransientOptions(dt=1e-8, t_stop=1e-6)
+        res = transient(ckt, opts)
+        # Ends within one minimum step of t_stop.
+        assert res.times[-1] >= opts.t_stop - opts.dt / 2 ** opts.max_halvings - 1e-12
+
+    def test_sharp_edge_resolved(self):
+        """A mid-run step is integrated through without failure."""
+        ckt = rc_step_circuit(c=1e-10, t_step=5e-7)   # tau = 0.1 us
+        res = transient(ckt, TransientOptions(dt=2e-8, t_stop=2e-6))
+        w = res.waveform("out")
+        # sample one full step before the edge (linear interpolation
+        # would otherwise blend in the post-step sample)
+        assert w.value_at(4.7e-7) == pytest.approx(0.0, abs=0.01)
+        assert w.final_value == pytest.approx(1.0, abs=0.02)
+
+
+class TestOptionsValidation:
+    def test_bad_dt(self):
+        with pytest.raises(ValueError):
+            TransientOptions(dt=0.0, t_stop=1.0)
+
+    def test_dt_exceeds_stop(self):
+        with pytest.raises(ValueError):
+            TransientOptions(dt=2.0, t_stop=1.0)
+
+
+class TestEnergyConservation:
+    def test_capacitor_charge_balance(self):
+        """Total charge delivered equals C * dV (trapezoid on i(t))."""
+        r, c = 1e3, 1e-9
+        ckt = rc_step_circuit(r, c, v_final=1.0, t_step=r * c)
+        res = transient(ckt, TransientOptions(dt=r * c / 200,
+                                              t_stop=11 * r * c))
+        i_src = -res.source_current("vin")     # current out of + terminal
+        charge = np.trapezoid(i_src, res.times)
+        assert charge == pytest.approx(c * 1.0, rel=0.02)

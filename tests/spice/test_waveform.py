@@ -1,0 +1,91 @@
+"""Waveform measurement tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice.waveform import Waveform, delay_between
+
+
+def ramp_wave(t0=1.0, t1=2.0, v0=0.0, v1=1.0, n=201, t_end=3.0):
+    t = np.linspace(0.0, t_end, n)
+    v = np.interp(t, [0.0, t0, t1, t_end], [v0, v0, v1, v1])
+    return Waveform(t, v)
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(AnalysisError):
+            Waveform([0.0, 1.0], [0.0])
+
+    def test_rejects_non_monotonic_time(self):
+        with pytest.raises(AnalysisError):
+            Waveform([0.0, 1.0, 0.5], [0.0, 1.0, 2.0])
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(AnalysisError):
+            Waveform([0.0], [1.0])
+
+
+class TestCrossings:
+    def test_single_rise_crossing(self):
+        w = ramp_wave()
+        t = w.crossing_time(0.5, "rise")
+        assert t == pytest.approx(1.5, abs=0.01)
+
+    def test_fall_direction_filtered(self):
+        w = ramp_wave()
+        assert len(w.crossing_times(0.5, "fall")) == 0
+
+    def test_missing_crossing_raises(self):
+        w = ramp_wave()
+        with pytest.raises(AnalysisError, match="never crosses"):
+            w.crossing_time(2.0)
+
+    def test_multiple_crossings_indexed(self):
+        t = np.linspace(0, 4, 401)
+        v = np.sin(np.pi * t)  # crosses 0 rising at t=0 region, t=2...
+        w = Waveform(t, v)
+        rises = w.crossing_times(0.5, "rise")
+        falls = w.crossing_times(0.5, "fall")
+        assert len(rises) == 2 and len(falls) == 2
+
+    def test_value_at_clamps(self):
+        w = ramp_wave()
+        assert w.value_at(-1.0) == w.initial_value
+        assert w.value_at(99.0) == w.final_value
+
+
+class TestTransitionTime:
+    def test_linear_ramp_slew(self):
+        w = ramp_wave(t0=1.0, t1=2.0)
+        # 20%-80% of a 1 s full-swing linear ramp = 0.6 s.
+        assert w.transition_time(0.0, 1.0) == pytest.approx(0.6, abs=0.01)
+
+    def test_falling_ramp_slew(self):
+        w = ramp_wave(v0=1.0, v1=0.0)
+        assert w.transition_time(0.0, 1.0) == pytest.approx(0.6, abs=0.01)
+
+    def test_requires_high_above_low(self):
+        w = ramp_wave()
+        with pytest.raises(AnalysisError):
+            w.transition_time(1.0, 0.0)
+
+
+class TestDelayBetween:
+    def test_shifted_ramps(self):
+        a = ramp_wave(t0=1.0, t1=2.0)
+        b = ramp_wave(t0=1.4, t1=2.4)
+        d = delay_between(a, b, 0.5, 0.5)
+        assert d == pytest.approx(0.4, abs=0.01)
+
+    def test_effect_before_cause_fallback(self):
+        a = ramp_wave(t0=2.0, t1=2.5)
+        b = ramp_wave(t0=0.5, t1=1.0)
+        d = delay_between(a, b, 0.5, 0.5)
+        assert d < 0  # closest-crossing fallback reports negative delay
+
+    def test_settled(self):
+        w = ramp_wave()
+        assert w.settled(1.0, 0.05)
+        assert not w.settled(0.5, 0.05)

@@ -1,0 +1,77 @@
+"""Technology-mapping tests: structural legality + logical equivalence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synthesis.generators import (
+    carry_select_adder,
+    simple_alu,
+    wallace_multiplier,
+)
+from repro.synthesis.mapping import technology_map
+from repro.synthesis.netlist import LIBRARY_CELLS, Netlist
+
+
+def random_generic_netlist(seed: int, n_gates: int = 40) -> Netlist:
+    """A random DAG over all generic cell types."""
+    rng = random.Random(seed)
+    nl = Netlist(f"rand{seed}")
+    nets = [nl.add_input(f"i{k}") for k in range(5)]
+    cells1 = ["inv", "buf"]
+    cells2 = ["and2", "or2", "nand2", "nor2", "xor2", "xnor2"]
+    cells3 = ["and3", "or3", "nand3", "nor3", "mux2"]
+    for _ in range(n_gates):
+        cell = rng.choice(cells1 + cells2 + cells3)
+        n = 1 if cell in cells1 else (2 if cell in cells2 else 3)
+        ins = tuple(rng.choice(nets) for _ in range(n))
+        nets.append(nl.add_gate(cell, ins))
+    for net in nets[-4:]:
+        nl.add_output(net)
+    return nl
+
+
+class TestStructure:
+    def test_only_library_cells_remain(self):
+        mapped = technology_map(random_generic_netlist(0))
+        assert mapped.is_mapped
+        assert set(mapped.cell_counts()) <= LIBRARY_CELLS
+
+    def test_io_preserved(self):
+        nl = random_generic_netlist(1)
+        mapped = technology_map(nl)
+        assert mapped.primary_inputs == nl.primary_inputs
+        assert mapped.primary_outputs == nl.primary_outputs
+
+    def test_already_mapped_passthrough(self):
+        nl = Netlist("t")
+        a = nl.add_input("a")
+        out = nl.add_gate("nand2", (a, a))
+        nl.add_output(out)
+        mapped = technology_map(nl)
+        assert len(mapped) == 1
+
+
+@given(seed=st.integers(0, 200), vector=st.integers(0, 31))
+@settings(max_examples=80, deadline=None)
+def test_mapping_preserves_logic(seed, vector):
+    """Random netlists simulate identically before and after mapping."""
+    nl = random_generic_netlist(seed)
+    mapped = technology_map(nl)
+    values = {f"i{k}": bool((vector >> k) & 1) for k in range(5)}
+    assert nl.simulate(values) == mapped.simulate(values)
+
+
+@pytest.mark.parametrize("maker", [
+    lambda: carry_select_adder(6),
+    lambda: simple_alu(6),
+    lambda: wallace_multiplier(6),
+], ids=["csa", "alu", "wmul"])
+def test_mapping_preserves_datapath_blocks(maker):
+    nl = maker()
+    mapped = technology_map(nl)
+    rng = random.Random(9)
+    for _ in range(15):
+        values = {n: rng.random() < 0.5 for n in nl.primary_inputs}
+        assert nl.simulate(values) == mapped.simulate(values)

@@ -1,0 +1,95 @@
+"""Gate-level netlist structure tests."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synthesis.netlist import Gate, Netlist
+
+
+def small_netlist():
+    nl = Netlist("t")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    n1 = nl.add_gate("nand2", (a, b))
+    out = nl.add_gate("inv", (n1,))
+    nl.add_output(out)
+    return nl
+
+
+class TestConstruction:
+    def test_auto_names_unique(self):
+        nl = small_netlist()
+        assert len(nl.gates) == 2
+
+    def test_duplicate_driver_rejected(self):
+        nl = Netlist("t")
+        a = nl.add_input("a")
+        nl.add_gate("inv", (a,), output="x")
+        with pytest.raises(SynthesisError):
+            nl.add_gate("inv", (a,), output="x")
+
+    def test_input_cannot_be_redriven(self):
+        nl = Netlist("t")
+        a = nl.add_input("a")
+        with pytest.raises(SynthesisError):
+            nl.add_gate("inv", (a,), output="a")
+
+    def test_unknown_cell(self):
+        with pytest.raises(SynthesisError):
+            Gate("g", "xor5", ("a", "b"), "o")
+
+    def test_wrong_arity(self):
+        with pytest.raises(SynthesisError):
+            Gate("g", "nand2", ("a",), "o")
+
+
+class TestTopology:
+    def test_topological_order_respects_deps(self):
+        nl = small_netlist()
+        order = [g.name for g in nl.topological_order()]
+        nand = next(g for g in nl.gates.values() if g.cell == "nand2")
+        inv = next(g for g in nl.gates.values() if g.cell == "inv")
+        assert order.index(nand.name) < order.index(inv.name)
+
+    def test_undriven_net_detected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("nand2", ("a", "ghost"), output="o")
+        with pytest.raises(SynthesisError, match="undriven"):
+            nl.topological_order()
+
+    def test_logic_depth(self):
+        nl = small_netlist()
+        assert nl.logic_depth() == 2
+
+    def test_same_net_on_two_pins(self):
+        nl = Netlist("t")
+        a = nl.add_input("a")
+        out = nl.add_gate("nand2", (a, a))
+        nl.add_output(out)
+        assert nl.simulate({"a": True})[out] is False
+        assert nl.simulate({"a": False})[out] is True
+
+
+class TestSimulation:
+    def test_nand_inv(self):
+        nl = small_netlist()
+        out = nl.primary_outputs[0]
+        assert nl.simulate({"a": True, "b": True})[out] is True
+        assert nl.simulate({"a": True, "b": False})[out] is False
+
+    def test_missing_inputs_rejected(self):
+        nl = small_netlist()
+        with pytest.raises(SynthesisError):
+            nl.simulate({"a": True})
+
+    def test_cell_counts(self):
+        counts = small_netlist().cell_counts()
+        assert counts == {"nand2": 1, "inv": 1}
+
+    def test_is_mapped(self):
+        nl = small_netlist()
+        assert nl.is_mapped
+        a = nl.primary_inputs[0]
+        nl.add_gate("xor2", (a, a))
+        assert not nl.is_mapped

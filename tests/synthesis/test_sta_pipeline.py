@@ -1,0 +1,166 @@
+"""STA and pipelining tests on real mapped netlists with both libraries."""
+
+import pytest
+
+from repro.errors import PipelineError, SynthesisError
+from repro.synthesis.generators import carry_select_adder, wallace_multiplier
+from repro.synthesis.mapping import technology_map
+from repro.synthesis.netlist import Netlist
+from repro.synthesis.pipeline import (
+    count_registers,
+    min_period_for_stages,
+    per_gate_delays,
+    pipeline_sweep,
+    sequencing_overhead,
+    stages_needed,
+)
+from repro.synthesis.sta import net_loads, static_timing
+from repro.synthesis.wires import WireModel, block_span, organic_wire_model, silicon_wire_model
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return technology_map(carry_select_adder(8))
+
+
+@pytest.fixture(scope="module")
+def multiplier():
+    return technology_map(wallace_multiplier(8))
+
+
+class TestStaticTiming:
+    def test_requires_mapped_netlist(self, organic_lib, organic_wire):
+        nl = Netlist("t")
+        a = nl.add_input("a")
+        out = nl.add_gate("xor2", (a, a))
+        nl.add_output(out)
+        with pytest.raises(SynthesisError):
+            static_timing(nl, organic_lib, organic_wire)
+
+    def test_critical_path_nonempty(self, adder, organic_lib, organic_wire):
+        rep = static_timing(adder, organic_lib, organic_wire)
+        assert rep.max_delay > 0
+        assert rep.critical_length >= adder.logic_depth() // 2
+
+    def test_critical_path_is_connected(self, adder, organic_lib,
+                                        organic_wire):
+        rep = static_timing(adder, organic_lib, organic_wire)
+        gates = adder.gates
+        for first, second in zip(rep.critical_path, rep.critical_path[1:]):
+            assert gates[first].output in gates[second].inputs
+
+    def test_arrival_monotone_along_path(self, adder, organic_lib,
+                                         organic_wire):
+        rep = static_timing(adder, organic_lib, organic_wire)
+        arrivals = [rep.arrival[adder.gates[g].output]
+                    for g in rep.critical_path]
+        assert arrivals == sorted(arrivals)
+
+    def test_wire_ablation_speeds_up_silicon(self, multiplier, silicon_lib,
+                                             silicon_wire):
+        with_wire = static_timing(multiplier, silicon_lib, silicon_wire)
+        without = static_timing(multiplier, silicon_lib,
+                                silicon_wire.scaled(0.0))
+        assert without.max_delay < with_wire.max_delay
+
+    def test_wire_barely_matters_for_organic(self, multiplier, organic_lib,
+                                             organic_wire):
+        """The paper's premise: organic wires are relatively free."""
+        with_wire = static_timing(multiplier, organic_lib, organic_wire)
+        without = static_timing(multiplier, organic_lib,
+                                organic_wire.scaled(0.0))
+        assert without.max_delay > 0.99 * with_wire.max_delay
+
+    def test_net_loads_positive(self, adder, organic_lib, organic_wire):
+        loads = net_loads(adder, organic_lib, organic_wire)
+        assert all(v > 0 for v in loads.values())
+
+
+class TestLeveling:
+    def test_budget_below_gate_granularity_infeasible(self, adder,
+                                                      organic_lib,
+                                                      organic_wire):
+        delays = per_gate_delays(adder, organic_lib, organic_wire)
+        assert stages_needed(adder, delays, max(delays.values()) * 0.5) is None
+
+    def test_large_budget_single_stage(self, adder, organic_lib,
+                                       organic_wire):
+        delays = per_gate_delays(adder, organic_lib, organic_wire)
+        n, assignment = stages_needed(adder, delays, sum(delays.values()))
+        assert n == 1
+        assert set(assignment.values()) == {0}
+
+    def test_stage_count_monotone_in_budget(self, adder, organic_lib,
+                                            organic_wire):
+        delays = per_gate_delays(adder, organic_lib, organic_wire)
+        total = sum(delays.values())
+        counts = []
+        for frac in (0.02, 0.05, 0.2, 1.0):
+            res = stages_needed(adder, delays, total * frac)
+            if res:
+                counts.append(res[0])
+        assert counts == sorted(counts, reverse=True)
+
+    def test_register_count_includes_outputs(self, adder, organic_lib,
+                                             organic_wire):
+        delays = per_gate_delays(adder, organic_lib, organic_wire)
+        n, assignment = stages_needed(adder, delays, sum(delays.values()))
+        regs = count_registers(adder, assignment, n)
+        assert regs >= len(adder.primary_outputs)
+
+
+class TestMinPeriod:
+    def test_frequency_increases_with_stages(self, multiplier, organic_lib,
+                                             organic_wire):
+        sweep = pipeline_sweep(multiplier, organic_lib, organic_wire,
+                               [1, 2, 4])
+        freqs = [p.frequency for p in sweep]
+        assert freqs[0] < freqs[1] < freqs[2]
+
+    def test_area_increases_with_stages(self, multiplier, organic_lib,
+                                        organic_wire):
+        sweep = pipeline_sweep(multiplier, organic_lib, organic_wire,
+                               [1, 4])
+        assert sweep[1].area > sweep[0].area
+        assert sweep[1].n_registers > sweep[0].n_registers
+
+    def test_period_is_budget_plus_overhead(self, adder, organic_lib,
+                                            organic_wire):
+        res = min_period_for_stages(adder, organic_lib, organic_wire, 2)
+        assert res.period == pytest.approx(res.logic_budget + res.overhead)
+
+    def test_invalid_stage_count(self, adder, organic_lib, organic_wire):
+        with pytest.raises(PipelineError):
+            min_period_for_stages(adder, organic_lib, organic_wire, 0)
+
+    def test_granularity_cap(self, adder, organic_lib, organic_wire):
+        """Requesting absurd depth returns the deepest feasible cut."""
+        res = min_period_for_stages(adder, organic_lib, organic_wire, 500)
+        assert res.n_stages < 500
+
+    def test_overhead_grows_with_stages_for_silicon(self, multiplier,
+                                                    silicon_lib,
+                                                    silicon_wire):
+        o2 = sequencing_overhead(multiplier, silicon_lib, silicon_wire, 2)
+        o20 = sequencing_overhead(multiplier, silicon_lib, silicon_wire, 20)
+        assert o20 > o2 * 1.2
+
+
+class TestWireModel:
+    def test_scaled_zero(self):
+        wm = silicon_wire_model().scaled(0.0)
+        assert wm.net_capacitance(3) == 0.0
+        assert wm.elmore_delay(3, 1e-15) == 0.0
+
+    def test_net_length_grows_with_fanout(self):
+        wm = organic_wire_model()
+        assert wm.net_length(8) > wm.net_length(1)
+
+    def test_block_span(self):
+        assert block_span(4e-6) == pytest.approx(2e-3)
+        with pytest.raises(SynthesisError):
+            block_span(-1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SynthesisError):
+            WireModel("bad", c_per_m=-1.0, r_per_m=1.0, pitch=1e-6)

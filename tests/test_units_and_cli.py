@@ -1,0 +1,57 @@
+"""Units helpers and CLI smoke tests."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    EPS_R_AL2O3,
+    decades,
+    engineering,
+    mobility_cm2_to_m2,
+    mobility_m2_to_cm2,
+    oxide_capacitance_per_area,
+)
+
+
+class TestUnits:
+    def test_mobility_round_trip(self):
+        assert mobility_m2_to_cm2(mobility_cm2_to_m2(0.16)) == pytest.approx(0.16)
+
+    def test_oxide_capacitance(self):
+        # 50 nm Al2O3: ~1.6 mF/m^2 (the paper's gate stack).
+        ci = oxide_capacitance_per_area(EPS_R_AL2O3, 50e-9)
+        assert ci == pytest.approx(1.59e-3, rel=0.01)
+
+    def test_oxide_capacitance_validation(self):
+        with pytest.raises(ValueError):
+            oxide_capacitance_per_area(9.0, 0.0)
+
+    def test_decades(self):
+        assert decades(1e6) == pytest.approx(6.0)
+        with pytest.raises(ValueError):
+            decades(0.0)
+
+    def test_engineering_format(self):
+        assert engineering(2.2e-5, "s") == "22 us"
+        assert engineering(1.5e9, "Hz") == "1.5 GHz"
+        assert engineering(0, "V") == "0 V"
+        assert engineering(-3e-3, "A") == "-3 mA"
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.__main__ import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "liberty" in out
+
+    def test_fig4_runs(self, capsys):
+        from repro.__main__ import main
+        assert main(["fig4"]) == 0
+        assert "level 61" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        from repro.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["fig99"])
