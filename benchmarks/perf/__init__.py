@@ -1,0 +1,1 @@
+"""Performance microbenchmarks for the simulation engine (not figures)."""

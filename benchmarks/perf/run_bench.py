@@ -1,0 +1,156 @@
+"""Engine performance microbenchmarks.
+
+Times the three workloads the vectorized-stamping / parallel-fan-out work
+targets, compares them against the recorded pre-optimisation baselines,
+and writes the results to ``BENCH_perf.json``:
+
+1. ``single_transient`` — one characterisation-arc transient (nand2),
+2. ``cell_characterization`` — the full slew x load NLDM grid of one cell,
+3. ``library_characterization`` — all six organic cells (the paper's
+   library build; the end-to-end ``>= 3x`` target applies here),
+4. ``depth_sweep`` — the Figure 11 pipeline-depth sweep on one process
+   (microarchitectural side; dominated by trace simulation).
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.run_bench           # everything
+    PYTHONPATH=src python -m benchmarks.perf.run_bench --quick   # skip library
+    PYTHONPATH=src python -m benchmarks.perf.run_bench --only single_transient
+    PYTHONPATH=src python -m benchmarks.perf.run_bench --workers 4
+
+Baselines were measured at the seed commit (a5dc719) on the same box the
+optimised numbers come from; ``cpu_count`` is recorded so multi-core
+parallel gains can be told apart from single-core engine gains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+#: Wall-clock seconds at the seed commit (scalar stamping, fixed-step
+#: controller, per-element rhs assembly), measured on a single-core box.
+SEED_BASELINES = {
+    "single_transient": 0.0856,
+    "cell_characterization": 7.29,
+    "library_characterization": 67.73,
+    # The depth sweep is dominated by the trace-driven IPC simulator, not
+    # the circuit engine; its baseline is recorded for completeness.
+    "depth_sweep": None,
+}
+
+
+def _bench_single_transient() -> float:
+    from repro.cells.library_def import organic_library_definition
+    from repro.characterization import harness
+
+    defn = organic_library_definition()
+    grid = harness.default_grid(defn)
+    cell = defn.cells["nand2"]
+    # Warm-up (module import, first-call numpy costs), then measure.
+    harness.measure_arc(cell, "a", True, grid.slews[0], grid.loads[0])
+    t0 = time.perf_counter()
+    harness.measure_arc(cell, "a", True, grid.slews[0], grid.loads[0])
+    return time.perf_counter() - t0
+
+
+def _bench_cell_characterization(workers: int | None) -> float:
+    from repro.cells.library_def import organic_library_definition
+    from repro.characterization import harness
+
+    defn = organic_library_definition()
+    grid = harness.default_grid(defn)
+    cell = defn.cells["nand2"]
+    t0 = time.perf_counter()
+    harness.characterize_cell(cell, grid, area=1.0, workers=workers)
+    return time.perf_counter() - t0
+
+
+def _bench_library_characterization(workers: int | None) -> float:
+    from repro.cells.library_def import organic_library_definition
+    from repro.characterization.harness import characterize_library
+
+    t0 = time.perf_counter()
+    characterize_library(organic_library_definition(), use_cache=False,
+                         workers=workers)
+    return time.perf_counter() - t0
+
+
+def _bench_depth_sweep(workers: int | None) -> float:
+    from repro.analysis.figures import load_libraries, wire_models
+    from repro.core.tradeoffs import depth_sweep, make_traces
+
+    org_lib, _ = load_libraries()
+    org_wire, _ = wire_models()
+    traces = make_traces(n_instructions=10_000)
+    t0 = time.perf_counter()
+    depth_sweep(org_lib, org_wire, max_depth=15, traces=traces,
+                workers=workers)
+    return time.perf_counter() - t0
+
+
+BENCHES = {
+    "single_transient": lambda workers: _bench_single_transient(),
+    "cell_characterization": _bench_cell_characterization,
+    "library_characterization": _bench_library_characterization,
+    "depth_sweep": _bench_depth_sweep,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the parallel layers "
+                             "(default: REPRO_WORKERS or serial)")
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the slow library characterization")
+    parser.add_argument("--only", choices=sorted(BENCHES), default=None,
+                        help="run a single benchmark")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parents[2]
+                        / "BENCH_perf.json",
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    names = [args.only] if args.only else list(BENCHES)
+    if args.quick and not args.only:
+        names.remove("library_characterization")
+
+    results = {}
+    for name in names:
+        print(f"[bench] {name} ...", flush=True)
+        elapsed = BENCHES[name](args.workers)
+        baseline = SEED_BASELINES.get(name)
+        entry = {"seconds": round(elapsed, 4), "seed_seconds": baseline}
+        if baseline:
+            entry["speedup_vs_seed"] = round(baseline / elapsed, 2)
+        results[name] = entry
+        speedup = entry.get("speedup_vs_seed")
+        extra = f"  ({speedup}x vs seed)" if speedup else ""
+        print(f"[bench] {name}: {elapsed:.4f}s{extra}", flush=True)
+
+    payload = {
+        "benchmarks": results,
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "workers": args.workers,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "vectorized": os.environ.get("REPRO_VECTORIZED", "auto"),
+        },
+        "notes": ("seed_seconds measured at commit a5dc719 (scalar "
+                  "stamping, fixed-step transient controller). On a "
+                  "single-core box all speedup comes from the engine; "
+                  "multi-core boxes additionally gain from --workers."),
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

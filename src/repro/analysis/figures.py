@@ -227,16 +227,17 @@ class Fig11Result:
 
 
 def fig11_pipeline_depth(max_depth: int = 15,
-                         n_instructions: int = 25_000) -> Fig11Result:
+                         n_instructions: int = 25_000,
+                         workers: int | None = None) -> Fig11Result:
     """Core performance/area versus pipeline depth for both processes."""
     org_lib, sil_lib = load_libraries()
     org_wire, sil_wire = wire_models()
     traces = make_traces(n_instructions=n_instructions)
     return Fig11Result(
         organic=depth_sweep(org_lib, org_wire, max_depth=max_depth,
-                            traces=traces),
+                            traces=traces, workers=workers),
         silicon=depth_sweep(sil_lib, sil_wire, max_depth=max_depth,
-                            traces=traces),
+                            traces=traces, workers=workers),
     )
 
 
@@ -303,13 +304,14 @@ class Fig13Result:
         return max(matrix, key=matrix.get)
 
 
-def fig13_width_performance(n_instructions: int = 25_000) -> Fig13Result:
+def fig13_width_performance(n_instructions: int = 25_000,
+                            workers: int | None = None) -> Fig13Result:
     """Normalised performance over the 30-point width grid."""
     org_lib, sil_lib = load_libraries()
     org_wire, sil_wire = wire_models()
     traces = make_traces(n_instructions=n_instructions)
-    org_pts = width_sweep(org_lib, org_wire, traces=traces)
-    sil_pts = width_sweep(sil_lib, sil_wire, traces=traces)
+    org_pts = width_sweep(org_lib, org_wire, traces=traces, workers=workers)
+    sil_pts = width_sweep(sil_lib, sil_wire, traces=traces, workers=workers)
     return Fig13Result(
         organic=width_matrix(org_pts, "performance"),
         silicon=width_matrix(sil_pts, "performance"),
@@ -329,14 +331,14 @@ class Fig14Result:
                    for k in self.organic)
 
 
-def fig14_width_area() -> Fig14Result:
+def fig14_width_area(workers: int | None = None) -> Fig14Result:
     """Normalised area over the width grid (no simulation needed)."""
     org_lib, sil_lib = load_libraries()
     org_wire, sil_wire = wire_models()
     # IPC is irrelevant for area: reuse width_sweep with a tiny trace.
     traces = make_traces(workloads=["dhrystone"], n_instructions=512)
-    org_pts = width_sweep(org_lib, org_wire, traces=traces)
-    sil_pts = width_sweep(sil_lib, sil_wire, traces=traces)
+    org_pts = width_sweep(org_lib, org_wire, traces=traces, workers=workers)
+    sil_pts = width_sweep(sil_lib, sil_wire, traces=traces, workers=workers)
     return Fig14Result(
         organic=width_matrix(org_pts, "area"),
         silicon=width_matrix(sil_pts, "area"),

@@ -28,6 +28,7 @@ from repro.cells.vtc import compute_vtc, noise_margin_mec, switching_threshold
 from repro.devices.tft_level61 import UnifiedTft
 from repro.devices.variation import VariationModel
 from repro.errors import AnalysisError, ConvergenceError
+from repro.runtime import parallel_map
 
 
 def perturb_cell(cell: CellDesign, variation: VariationModel,
@@ -71,29 +72,51 @@ class YieldResult:
                      - np.percentile(self.vm_values, 2.5))
 
 
+def _nm_sample_task(instance: CellDesign) -> tuple[float, float]:
+    """Module-level (picklable) worker: one Monte Carlo instance's VTC."""
+    try:
+        curve = compute_vtc(instance, n_points=61)
+    except ConvergenceError as exc:
+        raise exc.with_context(cell=instance.name, style=instance.style)
+    return switching_threshold(curve), noise_margin_mec(curve)
+
+
 def noise_margin_yield(base_cell: CellDesign,
                        variation: VariationModel | None = None,
                        n_samples: int = 40,
                        nm_threshold_fraction: float = 0.05,
-                       seed: int = 0) -> YieldResult:
-    """Monte Carlo MEC-noise-margin yield for one inverter design."""
+                       seed: int = 0,
+                       workers: int | None = None) -> YieldResult:
+    """Monte Carlo MEC-noise-margin yield for one inverter design.
+
+    All instances are drawn from the seeded generator up front (so the
+    sample set never depends on scheduling), then evaluated across worker
+    processes when ``workers`` (or ``REPRO_WORKERS``) asks for it.
+    """
     variation = variation or VariationModel()
     rng = np.random.default_rng(seed)
     vdd = base_cell.rails["vdd"]
     threshold = nm_threshold_fraction * vdd
 
+    instances = [perturb_cell(base_cell, variation, rng)
+                 for _ in range(n_samples)]
+    results = parallel_map(_nm_sample_task, instances, workers=workers,
+                           labels=[f"{base_cell.name} sample[{i}]"
+                                   for i in range(n_samples)],
+                           on_error="capture")
     margins = []
     vms = []
     converged = 0
-    for _ in range(n_samples):
-        instance = perturb_cell(base_cell, variation, rng)
-        try:
-            curve = compute_vtc(instance, n_points=61)
-            vms.append(switching_threshold(curve))
-            margins.append(noise_margin_mec(curve))
+    for result in results:
+        if result.ok:
+            vm, margin = result.value
+            vms.append(vm)
+            margins.append(margin)
             converged += 1
-        except (ConvergenceError, AnalysisError):
+        elif isinstance(result.error, (ConvergenceError, AnalysisError)):
             margins.append(0.0)     # a non-inverting instance is a loss
+        else:
+            raise result.error
     return YieldResult(
         style=base_cell.style,
         n_samples=n_samples,

@@ -36,8 +36,10 @@ from repro.characterization.nldm import NldmTable
 from repro.errors import (
     AnalysisError,
     CharacterizationError,
+    ConvergenceError,
     LibraryError,
 )
+from repro.runtime import parallel_map
 from repro.spice.dc import operating_point
 from repro.spice.elements import Capacitor, VoltageSource
 from repro.spice.netlist import Circuit
@@ -49,6 +51,9 @@ DELAY_THRESHOLD = 0.5
 SLEW_LOW, SLEW_HIGH = 0.2, 0.8
 #: Ratio of full-ramp time to 20-80 slew.
 _RAMP_FACTOR = 1.0 / (SLEW_HIGH - SLEW_LOW)
+#: Adaptive-step error tolerance as a fraction of the rail swing: steps
+#: may only grow past nominal while the predictor misses by less than this.
+_LTE_FRACTION = 5e-4
 
 
 @dataclass(frozen=True)
@@ -159,7 +164,14 @@ def measure_arc(design: CellDesign, pin: str, input_rise: bool,
         # The ramp must be resolved by several steps.
         dt = min(dt, slew * _RAMP_FACTOR / 8.0)
         ckt = _arc_testbench(design, pin, v0, v1, t_start, slew, load)
-        result = transient(ckt, TransientOptions(dt=dt, t_stop=t_stop))
+        try:
+            result = transient(ckt, TransientOptions(
+                dt=dt, t_stop=t_stop, dt_max=16.0 * dt,
+                lte_tol=_LTE_FRACTION * vdd))
+        except ConvergenceError as exc:
+            raise exc.with_context(cell=design.name, pin=pin,
+                                   input_rise=input_rise,
+                                   slew=slew, load=load)
         w_in = result.waveform(pin)
         w_out = result.waveform("out")
         if not w_out.settled(target, 0.05 * vdd):
@@ -204,21 +216,49 @@ def average_leakage(design: CellDesign) -> float:
     return total / len(states)
 
 
+def _measure_arc_task(task) -> tuple[float, float]:
+    """Module-level (picklable) worker for one characterisation arc."""
+    design, pin, input_rise, slew, load, hint = task
+    return measure_arc(design, pin, input_rise, slew, load, delay_hint=hint)
+
+
 def characterize_cell(design: CellDesign, grid: CharacterizationGrid,
-                      area: float) -> CellTiming:
-    """Full NLDM characterisation of one combinational cell."""
+                      area: float, workers: int | None = None) -> CellTiming:
+    """Full NLDM characterisation of one combinational cell.
+
+    The slew x load x arc measurements are independent transients; with
+    ``workers`` (or ``REPRO_WORKERS``) above 1 they fan out across worker
+    processes.  Results are identical to the serial run.
+    """
+    hints = {load: estimate_gate_delay(design, load + 1e-18)
+             for load in grid.loads}
+    tasks = []
+    labels = []
+    for pin in design.inputs:
+        for input_rise in (True, False):
+            for j, load in enumerate(grid.loads):
+                for i, slew in enumerate(grid.slews):
+                    tasks.append((design, pin, input_rise, slew, load,
+                                  hints[load]))
+                    labels.append(f"{design.name}.{pin} "
+                                  f"{'rise' if input_rise else 'fall'} "
+                                  f"slew[{i}] load[{j}]")
+    results = parallel_map(_measure_arc_task, tasks, workers=workers,
+                           labels=labels, on_error="capture")
+    # Re-raise the first failure in task order (same exception, and thus
+    # the same behaviour, as the serial loop).
+    measured = [r.unwrap() for r in results]
+
     arcs: list[TimingArc] = []
+    k = 0
     for pin in design.inputs:
         for input_rise in (True, False):
             delays = np.empty((len(grid.slews), len(grid.loads)))
             slews_out = np.empty_like(delays)
-            for j, load in enumerate(grid.loads):
-                hint = estimate_gate_delay(design, load + 1e-18)
-                for i, slew in enumerate(grid.slews):
-                    d, s = measure_arc(design, pin, input_rise, slew, load,
-                                       delay_hint=hint)
-                    delays[i, j] = d
-                    slews_out[i, j] = s
+            for j in range(len(grid.loads)):
+                for i in range(len(grid.slews)):
+                    delays[i, j], slews_out[i, j] = measured[k]
+                    k += 1
             # Inverting cells: input rise -> output fall.
             out_dir = "fall" if input_rise else "rise"
             arcs.append(TimingArc(
@@ -293,7 +333,12 @@ def _dff_transient(dff: CompositeCell, load: float, clk_slew: float,
                                    clk_slew)
     ckt = _dff_testbench(dff, load, sources)
     dt = min(t_stop / 900.0, clk_slew * _RAMP_FACTOR / 6.0, 2.0 * t_unit)
-    result = transient(ckt, TransientOptions(dt=dt, t_stop=t_stop))
+    try:
+        result = transient(ckt, TransientOptions(
+            dt=dt, t_stop=t_stop, dt_max=16.0 * dt,
+            lte_tol=_LTE_FRACTION * vdd))
+    except ConvergenceError as exc:
+        raise exc.with_context(cell=dff.name, clk_slew=clk_slew, load=load)
     return result, t_clk
 
 
@@ -365,17 +410,31 @@ def measure_setup_time(dff: CompositeCell, clk_slew: float, load: float,
     return hi
 
 
+def _clk_to_q_task(task) -> float:
+    """Module-level (picklable) worker for one clk->q grid point."""
+    dff, slew, load, t_unit = task
+    return measure_clk_to_q(dff, slew, load, t_unit)
+
+
 def characterize_dff(dff: CompositeCell, grid: CharacterizationGrid,
-                     area: float, t_unit: float) -> SequentialTiming:
+                     area: float, t_unit: float,
+                     workers: int | None = None) -> SequentialTiming:
     """Clk->q NLDM table plus scalar setup/hold.
 
     ``t_unit`` is a per-process time scale (roughly one gate delay) used to
-    schedule stimulus edges and bound the setup search.
+    schedule stimulus edges and bound the setup search.  Grid points run
+    across worker processes when ``workers`` (or ``REPRO_WORKERS``) asks
+    for it; the setup-time bisection stays serial (each trial depends on
+    the previous one).
     """
-    values = np.empty((len(grid.slews), len(grid.loads)))
-    for i, slew in enumerate(grid.slews):
-        for j, load in enumerate(grid.loads):
-            values[i, j] = measure_clk_to_q(dff, slew, load, t_unit)
+    tasks = [(dff, slew, load, t_unit)
+             for slew in grid.slews for load in grid.loads]
+    labels = [f"{dff.name} clk->q slew[{i}] load[{j}]"
+              for i in range(len(grid.slews)) for j in range(len(grid.loads))]
+    results = parallel_map(_clk_to_q_task, tasks, workers=workers,
+                           labels=labels, on_error="capture")
+    flat = [r.unwrap() for r in results]
+    values = np.asarray(flat).reshape(len(grid.slews), len(grid.loads))
     mid_slew = grid.slews[len(grid.slews) // 2]
     mid_load = grid.loads[len(grid.loads) // 2]
     setup = measure_setup_time(dff, mid_slew, mid_load, t_unit)
@@ -455,8 +514,14 @@ def default_grid(defn: CellLibraryDefinition) -> CharacterizationGrid:
 def characterize_library(defn: CellLibraryDefinition,
                          grid: CharacterizationGrid | None = None,
                          cache_dir: Path | None = None,
-                         use_cache: bool = True) -> Library:
-    """Characterise all six cells, with JSON disk caching."""
+                         use_cache: bool = True,
+                         workers: int | None = None) -> Library:
+    """Characterise all six cells, with JSON disk caching.
+
+    ``workers`` fans the per-arc transients out across processes (see
+    :func:`repro.runtime.parallel_map`); results and the cache key are
+    identical whatever the worker count.
+    """
     grid = grid or default_grid(defn)
     cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
     key = _definition_fingerprint(defn, grid)
@@ -470,12 +535,13 @@ def characterize_library(defn: CellLibraryDefinition,
     cells = {}
     for name in defn.COMBINATIONAL:
         cells[name] = characterize_cell(defn.cell(name), grid,
-                                        area=defn.cell_area(name))
+                                        area=defn.cell_area(name),
+                                        workers=workers)
 
     inv = defn.cell("inv")
     t_unit = estimate_gate_delay(inv, 4.0 * inv.input_capacitance("a"))
     dff = characterize_dff(defn.dff, grid, area=defn.cell_area("dff"),
-                           t_unit=t_unit)
+                           t_unit=t_unit, workers=workers)
 
     library = Library(
         name=defn.name,

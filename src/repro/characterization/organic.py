@@ -17,6 +17,7 @@ def organic_library(model: FetModel | None = None,
                     grid: CharacterizationGrid | None = None,
                     cache_dir: Path | None = None,
                     use_cache: bool = True,
+                    workers: int | None = None,
                     **definition_kwargs) -> Library:
     """Characterise (or load from cache) the organic library.
 
@@ -29,4 +30,4 @@ def organic_library(model: FetModel | None = None,
         definition_kwargs["model"] = model
     defn = organic_library_definition(**definition_kwargs)
     return characterize_library(defn, grid=grid, cache_dir=cache_dir,
-                                use_cache=use_cache)
+                                use_cache=use_cache, workers=workers)

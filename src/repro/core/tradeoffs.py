@@ -26,6 +26,7 @@ from repro.core.superscalar import simulate
 from repro.core.trace import Trace
 from repro.core.workloads import WORKLOADS, generate_trace
 from repro.errors import ConfigError
+from repro.runtime import get_shared, parallel_map
 from repro.synthesis.wires import WireModel
 
 #: Default dynamic instruction count per workload for the sweeps.  The
@@ -95,34 +96,56 @@ class DepthSweepPoint:
         return sum(self.performance.values()) / len(self.performance)
 
 
+def _eval_config_task(config: CoreConfig):
+    """Module-level (picklable) worker: physical + IPC of one config.
+
+    The (library, wire, traces) invariants ride along via the runtime's
+    shared-object channel, so they are shipped once per worker process
+    rather than once per sweep point.
+    """
+    library, wire, traces = get_shared()
+    physical = core_physical(config, library, wire)
+    ipc = {name: simulate(config, trace).ipc
+           for name, trace in traces.items()}
+    perf = {name: v * physical.frequency for name, v in ipc.items()}
+    return physical, ipc, perf
+
+
 def depth_sweep(library: Library, wire: WireModel,
                 max_depth: int = 15,
                 baseline: CoreConfig | None = None,
-                traces: dict[str, Trace] | None = None
+                traces: dict[str, Trace] | None = None,
+                workers: int | None = None
                 ) -> list[DepthSweepPoint]:
     """Evaluate pipeline depths from the baseline up to *max_depth*.
 
     Mirrors the paper: seven configurations (9..15 stages), each obtained
     by repeatedly cutting the process-specific critical stage; IPC from
     all seven benchmarks; performance = IPC x frequency.
+
+    Deriving each depth's stage allocation is cheap and inherently serial
+    (every cut starts from the previous allocation); evaluating the points
+    is the expensive part and fans out across worker processes when
+    ``workers`` (or ``REPRO_WORKERS``) asks for it.
     """
     config = baseline or CoreConfig()
     if traces is None:
         traces = make_traces()
 
-    points: list[DepthSweepPoint] = []
+    configs: list[CoreConfig] = []
     while config.depth <= max_depth:
-        physical = core_physical(config, library, wire)
-        ipc = {name: simulate(config, trace).ipc
-               for name, trace in traces.items()}
-        perf = {name: v * physical.frequency for name, v in ipc.items()}
-        points.append(DepthSweepPoint(depth=config.depth, config=config,
-                                      physical=physical, ipc=ipc,
-                                      performance=perf))
+        configs.append(config)
         if config.depth == max_depth:
             break
         config = deepen_pipeline(config, library, wire)
-    return points
+
+    results = parallel_map(_eval_config_task, configs, workers=workers,
+                           labels=[f"depth[{c.depth}]" for c in configs],
+                           shared=(library, wire, traces))
+    return [DepthSweepPoint(depth=c.depth, config=c, physical=physical,
+                            ipc=ipc, performance=perf)
+            for c, (physical, ipc, perf)
+            in zip(configs, (r.value for r in results))]
 
 
 # ---------------------------------------------------------------------------
@@ -148,25 +171,28 @@ def width_sweep(library: Library, wire: WireModel,
                 front_widths: range | list[int] = range(1, 7),
                 back_widths: range | list[int] = range(3, 8),
                 baseline: CoreConfig | None = None,
-                traces: dict[str, Trace] | None = None
+                traces: dict[str, Trace] | None = None,
+                workers: int | None = None
                 ) -> list[WidthSweepPoint]:
-    """Evaluate the 30-point width grid of Figures 13/14."""
+    """Evaluate the 30-point width grid of Figures 13/14.
+
+    Grid points are independent and fan out across worker processes when
+    ``workers`` (or ``REPRO_WORKERS``) asks for it.
+    """
     base = baseline or CoreConfig()
     if traces is None:
         traces = make_traces()
 
-    points: list[WidthSweepPoint] = []
-    for bw in back_widths:
-        for fw in front_widths:
-            config = base.widened(fw, bw)
-            physical = core_physical(config, library, wire)
-            ipc = {name: simulate(config, trace).ipc
-                   for name, trace in traces.items()}
-            perf = {name: v * physical.frequency for name, v in ipc.items()}
-            points.append(WidthSweepPoint(
-                front_width=fw, back_width=bw, config=config,
-                physical=physical, ipc=ipc, performance=perf))
-    return points
+    pairs = [(fw, bw) for bw in back_widths for fw in front_widths]
+    configs = [base.widened(fw, bw) for fw, bw in pairs]
+    results = parallel_map(_eval_config_task, configs, workers=workers,
+                           labels=[f"width[fw={fw},bw={bw}]"
+                                   for fw, bw in pairs],
+                           shared=(library, wire, traces))
+    return [WidthSweepPoint(front_width=fw, back_width=bw, config=config,
+                            physical=physical, ipc=ipc, performance=perf)
+            for (fw, bw), config, (physical, ipc, perf)
+            in zip(pairs, configs, (r.value for r in results))]
 
 
 def width_matrix(points: list[WidthSweepPoint],

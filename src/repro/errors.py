@@ -18,13 +18,47 @@ class CircuitError(ReproError):
 
 
 class ConvergenceError(ReproError):
-    """A nonlinear or transient solve failed to converge."""
+    """A nonlinear or transient solve failed to converge.
+
+    ``context`` carries the task that was being solved when the failure
+    happened (cell name, arc, bias point...).  Layers that know more than
+    the solver attach their keys with :meth:`with_context` as the exception
+    propagates, so a failure reported from a parallel worker still names
+    the circuit and bias that caused it.
+    """
 
     def __init__(self, message: str, *, iterations: int | None = None,
-                 residual: float | None = None) -> None:
+                 residual: float | None = None,
+                 context: dict | None = None) -> None:
         super().__init__(message)
+        self.message = message
         self.iterations = iterations
         self.residual = residual
+        self.context = dict(context) if context else {}
+
+    def with_context(self, **kwargs) -> "ConvergenceError":
+        """Attach caller-level context keys (existing keys win)."""
+        for key, value in kwargs.items():
+            self.context.setdefault(key, value)
+        return self
+
+    def __str__(self) -> str:
+        if not self.context:
+            return self.message
+        detail = ", ".join(f"{k}={v!r}" for k, v in self.context.items())
+        return f"{self.message} [{detail}]"
+
+    def __reduce__(self):
+        # Keyword-only constructor args: the default Exception reduction
+        # would drop them, so spell the reconstruction out.  This is what
+        # lets the error cross a process-pool boundary intact.
+        return (_rebuild_convergence_error,
+                (self.message, self.iterations, self.residual, self.context))
+
+
+def _rebuild_convergence_error(message, iterations, residual, context):
+    return ConvergenceError(message, iterations=iterations,
+                            residual=residual, context=context)
 
 
 class AnalysisError(ReproError):

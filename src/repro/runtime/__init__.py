@@ -1,0 +1,17 @@
+"""Parallel execution runtime for embarrassingly parallel outer loops."""
+
+from repro.runtime.executor import (
+    TaskError,
+    TaskResult,
+    get_shared,
+    parallel_map,
+    resolve_workers,
+)
+
+__all__ = [
+    "TaskError",
+    "TaskResult",
+    "get_shared",
+    "parallel_map",
+    "resolve_workers",
+]

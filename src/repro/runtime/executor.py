@@ -1,0 +1,174 @@
+"""Process-pool map with deterministic ordering and error capture.
+
+The characterisation harness, the Monte Carlo yield analysis, and the
+depth/width sweeps are all embarrassingly parallel outer loops around an
+expensive, picklable, side-effect-free function.  :func:`parallel_map` is
+the one primitive they share:
+
+- results come back **in task order**, regardless of completion order, so
+  parallel runs are bit-identical to serial runs;
+- the worker count comes from the ``workers`` argument, falling back to the
+  ``REPRO_WORKERS`` environment variable, falling back to serial (``1``) —
+  parallelism is strictly opt-in, so library users on shared machines are
+  never surprised by a process fan-out;
+- ``workers=0`` asks for one worker per CPU;
+- worker exceptions do not abort the whole map: each task's error is
+  captured in its :class:`TaskResult` and re-raised (or reported) by the
+  caller, labelled with the task that failed;
+- when a pool cannot be created at all (restricted environments, missing
+  semaphores), the map silently degrades to serial execution.
+
+Workers are plain ``fork``/``spawn`` processes: the mapped function and its
+arguments must be picklable.  Use :func:`functools.partial` over module-level
+functions, not closures.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["TaskError", "TaskResult", "get_shared", "parallel_map",
+           "resolve_workers"]
+
+#: Read-only payload shipped to workers once per process (see
+#: :func:`parallel_map`'s ``shared`` parameter).
+_SHARED: Any = None
+
+
+def _init_shared(obj: Any) -> None:
+    global _SHARED
+    _SHARED = obj
+
+
+def get_shared() -> Any:
+    """The ``shared`` object of the enclosing :func:`parallel_map` call.
+
+    Valid inside a mapped function (both serial and pooled execution).
+    """
+    return _SHARED
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one task of a :func:`parallel_map` call."""
+
+    index: int
+    label: str
+    value: Any = None
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """Return the value, re-raising the captured worker error if any."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class TaskError(RuntimeError):
+    """Raised by :meth:`parallel_map` when ``on_error='raise'`` and a task
+    failed; chains the original worker exception."""
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: argument, else ``REPRO_WORKERS``, else 1.
+
+    ``0`` (from either source) means one worker per available CPU.
+    Non-numeric or negative environment values fall back to serial.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "")
+        try:
+            workers = int(env) if env else 1
+        except ValueError:
+            workers = 1
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def _run_one(fn: Callable[..., Any], task: Any) -> tuple[Any, BaseException | None]:
+    try:
+        return fn(task), None
+    except Exception as exc:  # noqa: BLE001 - captured and re-raised by caller
+        return None, exc
+
+
+def parallel_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
+                 *, workers: int | None = None,
+                 labels: Iterable[str] | None = None,
+                 on_error: str = "raise",
+                 shared: Any = None) -> list[TaskResult]:
+    """Apply *fn* to every task, possibly across worker processes.
+
+    Parameters
+    ----------
+    fn:
+        Picklable callable of one argument (module-level function or
+        :func:`functools.partial` thereof).
+    tasks:
+        Sequence of picklable task descriptions.
+    workers:
+        Worker process count; see :func:`resolve_workers`.  With one worker
+        the map runs in-process (no pool, no pickling).
+    labels:
+        Optional human-readable label per task, used in error reports.
+    on_error:
+        ``'raise'`` (default) re-raises the first failing task's exception
+        (in task order) wrapped in :class:`TaskError` naming the task;
+        ``'capture'`` returns all results and leaves error handling to the
+        caller.
+    shared:
+        Optional read-only payload pickled **once per worker process**
+        instead of once per task; the mapped function reads it back with
+        :func:`get_shared`.  Use this for large invariants (a characterised
+        library, benchmark traces) shared by every task.
+
+    Returns
+    -------
+    list[TaskResult] in the same order as *tasks*.
+    """
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
+    tasks = list(tasks)
+    label_list = [str(lbl) for lbl in labels] if labels is not None else \
+        [f"task[{i}]" for i in range(len(tasks))]
+    if len(label_list) != len(tasks):
+        raise ValueError("labels must match tasks in length")
+
+    n_workers = resolve_workers(workers)
+    outcomes: list[tuple[Any, BaseException | None]] | None = None
+    if n_workers > 1 and len(tasks) > 1:
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(n_workers, len(tasks)),
+                    initializer=_init_shared if shared is not None else None,
+                    initargs=(shared,) if shared is not None else ()) as pool:
+                outcomes = list(pool.map(_run_one, [fn] * len(tasks), tasks))
+        except (OSError, PermissionError, ImportError):
+            # Restricted environment (no semaphores / fork denied): degrade
+            # to serial rather than failing the analysis.
+            outcomes = None
+    if outcomes is None:
+        previous_shared = _SHARED
+        if shared is not None:
+            _init_shared(shared)
+        try:
+            outcomes = [_run_one(fn, task) for task in tasks]
+        finally:
+            _init_shared(previous_shared)
+
+    results = [TaskResult(index=i, label=label_list[i], value=value, error=error)
+               for i, (value, error) in enumerate(outcomes)]
+    if on_error == "raise":
+        for result in results:
+            if result.error is not None:
+                raise TaskError(
+                    f"{result.label} failed: {result.error}") from result.error
+    return results

@@ -24,6 +24,11 @@ from repro.errors import ConvergenceError
 from repro.spice.mna import MnaSystem
 from repro.spice.netlist import Circuit
 
+try:  # Direct LAPACK driver: ~2.5x less overhead than np.linalg.solve
+    from scipy.linalg.lapack import dgesv as _dgesv  # type: ignore
+except ImportError:  # pragma: no cover - scipy is a standard dependency
+    _dgesv = None
+
 
 @dataclass(frozen=True)
 class NewtonOptions:
@@ -50,19 +55,27 @@ def _newton(sys: MnaSystem, G_lin: np.ndarray, b: np.ndarray,
     x = x0.copy()
     n_nodes = sys.n_nodes
     last_residual = np.inf
+    diag = np.arange(n_nodes)
     for iteration in range(options.max_iterations):
         F, J = sys.residual_and_jacobian(x, G_lin, b)
         if gmin > 0.0:
-            idx = np.arange(n_nodes)
-            J[idx, idx] += gmin
+            J[diag, diag] += gmin
             F[:n_nodes] += gmin * x[:n_nodes]
-        try:
-            delta = np.linalg.solve(J, -F)
-        except np.linalg.LinAlgError as exc:
-            raise ConvergenceError(
-                f"singular Jacobian in circuit {sys.circuit.name!r}",
-                iterations=iteration,
-            ) from exc
+        if _dgesv is not None:
+            _, _, delta, info = _dgesv(J, -F, 0, 1)
+            if info != 0:
+                raise ConvergenceError(
+                    f"singular Jacobian in circuit {sys.circuit.name!r}",
+                    iterations=iteration,
+                )
+        else:
+            try:
+                delta = np.linalg.solve(J, -F)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(
+                    f"singular Jacobian in circuit {sys.circuit.name!r}",
+                    iterations=iteration,
+                ) from exc
         # Damp the step so exponential device models stay in range.
         max_delta = float(np.max(np.abs(delta))) if delta.size else 0.0
         if max_delta > options.max_step_v:

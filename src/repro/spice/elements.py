@@ -73,6 +73,12 @@ class Element:
     #: Number of extra branch-current unknowns this element introduces.
     n_branches = 0
 
+    #: True when this element's ``stamp_rhs`` is purely the backward-Euler
+    #: storage history ``(C @ x_prev)/dt`` of its ``stamp_dynamic`` entries.
+    #: :class:`~repro.spice.mna.MnaSystem` then covers it with the cached
+    #: capacitance matrix instead of a per-element Python call.
+    rhs_is_storage = False
+
     def __init__(self, name: str, nodes: tuple[str, ...]) -> None:
         if not name:
             raise CircuitError("element name must be non-empty")
@@ -146,6 +152,8 @@ class Resistor(Element):
 
 class Capacitor(Element):
     """Linear capacitor; open in DC, backward-Euler companion in transient."""
+
+    rhs_is_storage = True
 
     def __init__(self, name: str, n1: str, n2: str, capacitance: float) -> None:
         if capacitance < 0:
@@ -229,6 +237,8 @@ class Fet(Element):
     - adds constant gate/junction capacitances from the model,
     - adds :data:`FET_GMIN` across the channel for conditioning.
     """
+
+    rhs_is_storage = True
 
     def __init__(self, name: str, drain: str, gate: str, source: str,
                  model: FetModel, w: float, l: float) -> None:

@@ -1,0 +1,121 @@
+"""Library-cache fingerprinting: anything that changes the physics must
+change the key, and identical definitions must hit the cache."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.cells.library_def import organic_library_definition
+from repro.characterization import harness
+from repro.characterization.harness import (CharacterizationGrid,
+                                            _definition_fingerprint,
+                                            characterize_library,
+                                            default_grid)
+from repro.characterization.library import (CellTiming, NldmTable,
+                                            SequentialTiming, TimingArc)
+from repro.devices.pentacene import PENTACENE
+
+
+def _key(defn, grid=None):
+    return _definition_fingerprint(defn, grid or default_grid(defn))
+
+
+def test_identical_definitions_same_key():
+    assert _key(organic_library_definition()) == \
+        _key(organic_library_definition())
+
+
+def test_grid_changes_key():
+    defn = organic_library_definition()
+    grid = default_grid(defn)
+    slews_bumped = CharacterizationGrid(
+        slews=tuple(s * 1.01 for s in grid.slews), loads=grid.loads)
+    loads_bumped = CharacterizationGrid(
+        slews=grid.slews, loads=tuple(c * 1.01 for c in grid.loads))
+    base = _definition_fingerprint(defn, grid)
+    assert _definition_fingerprint(defn, slews_bumped) != base
+    assert _definition_fingerprint(defn, loads_bumped) != base
+
+
+def test_rails_change_key():
+    base = organic_library_definition()
+    shifted = organic_library_definition(vdd=base.vdd * 1.1)
+    assert _key(shifted) != _key(base)
+    # vss enters through every device's rail connections.
+    assert _key(organic_library_definition(vss=-16.0)) != _key(base)
+
+
+def test_device_params_change_key():
+    base = organic_library_definition()
+    slow = organic_library_definition(
+        model=dataclasses.replace(PENTACENE, vt0=PENTACENE.vt0 + 0.1))
+    assert _key(slow) != _key(base)
+
+
+def test_sizes_change_key():
+    base = organic_library_definition()
+    wide = organic_library_definition(sizes={"w_drive": 120e-6})
+    longer = organic_library_definition(l=25e-6)
+    assert _key(wide) != _key(base)
+    assert _key(longer) != _key(base)
+
+
+# -- cache hit/miss behaviour ----------------------------------------------
+
+def _stub_cell(design, grid, area, workers=None):
+    shape = (len(grid.slews), len(grid.loads))
+    table = NldmTable(np.asarray(grid.slews), np.asarray(grid.loads),
+                      np.full(shape, 1e-6))
+    arcs = tuple(
+        TimingArc(input_pin=pin, output_transition=tr,
+                  delay=table, transition=table)
+        for pin in design.inputs for tr in ("rise", "fall"))
+    return CellTiming(name=design.name, function=design.name,
+                      inputs=tuple(design.inputs),
+                      input_caps={p: 1e-12 for p in design.inputs},
+                      area=area, arcs=arcs, leakage=1e-9)
+
+
+def _stub_dff(dff, grid, area, t_unit, workers=None):
+    table = NldmTable(np.asarray(grid.slews), np.asarray(grid.loads),
+                      np.full((len(grid.slews), len(grid.loads)), 2e-6))
+    return SequentialTiming(name=dff.name, input_caps={"d": 1e-12,
+                                                       "clk": 1e-12},
+                            area=area, clk_to_q=table,
+                            setup_time=1e-6, hold_time=0.0, leakage=1e-9)
+
+
+def test_cache_hit_and_invalidation(tmp_path, monkeypatch):
+    calls = {"cell": 0}
+
+    def counting_cell(design, grid, area, workers=None):
+        calls["cell"] += 1
+        return _stub_cell(design, grid, area, workers)
+
+    monkeypatch.setattr(harness, "characterize_cell", counting_cell)
+    monkeypatch.setattr(harness, "characterize_dff", _stub_dff)
+
+    defn = organic_library_definition()
+    lib1 = characterize_library(defn, cache_dir=tmp_path)
+    assert calls["cell"] == len(defn.COMBINATIONAL)
+
+    # Same definition: served from disk, no new characterisation work.
+    lib2 = characterize_library(organic_library_definition(),
+                                cache_dir=tmp_path)
+    assert calls["cell"] == len(defn.COMBINATIONAL)
+    assert lib2.metadata["fingerprint"] == lib1.metadata["fingerprint"]
+
+    # Changed device physics: cache miss, everything re-characterised.
+    changed = organic_library_definition(
+        model=dataclasses.replace(PENTACENE, vt0=PENTACENE.vt0 + 0.05))
+    lib3 = characterize_library(changed, cache_dir=tmp_path)
+    assert calls["cell"] == 2 * len(defn.COMBINATIONAL)
+    assert lib3.metadata["fingerprint"] != lib1.metadata["fingerprint"]
+
+    # use_cache=False bypasses both read and write.
+    n_files = len(list(tmp_path.iterdir()))
+    characterize_library(defn, cache_dir=tmp_path, use_cache=False)
+    assert calls["cell"] == 3 * len(defn.COMBINATIONAL)
+    assert len(list(tmp_path.iterdir())) == n_files

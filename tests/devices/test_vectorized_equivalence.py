@@ -1,0 +1,122 @@
+"""Vectorized (`ids_array`) vs scalar (`ids`) device-model equivalence.
+
+The batched MNA stamping path is only sound if the array-valued model
+evaluation agrees with the scalar reference everywhere the solver can
+visit — subthreshold, triode, saturation, the knee, and the leakage-floor
+region, on both device polarities and both model families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.mosfet_level1 import Level1Mosfet
+from repro.devices.pentacene import PENTACENE
+from repro.devices.silicon import silicon_nmos_45, silicon_pmos_45
+from repro.devices.tft_level61 import UnifiedTft
+
+# Both polarities, organic and silicon parameter corners, plus a no-leak
+# no-DIBL corner where several model terms collapse to zero.
+TFT_MODELS = [
+    PENTACENE,                     # p-type organic
+    silicon_nmos_45(),             # n-type, gamma < 0 (alpha-power)
+    silicon_pmos_45(),
+    UnifiedTft(polarity=+1, mu_band=1e-5, ci=1e-4, vt0=1.0,
+               vt_dibl=0.0, lambda_=0.0, i_off_w=0.0, name="bare"),
+]
+
+LEVEL1_MODELS = [
+    Level1Mosfet(polarity=+1, kp=2e-4, vt0=0.7, lambda_=0.05),
+    Level1Mosfet(polarity=-1, kp=8e-5, vt0=0.9, lambda_=0.0),
+]
+
+
+def _assert_triplet_close(scalar, batched, what):
+    for s, b, name in zip(scalar, batched, ("ids", "gm", "gds")):
+        assert np.isclose(b, s, rtol=1e-9, atol=1e-280), \
+            f"{what}: {name} scalar={s!r} vectorized={b!r}"
+
+
+@pytest.mark.parametrize("model", TFT_MODELS, ids=lambda m: m.name)
+@settings(max_examples=150, deadline=None)
+@given(
+    vgs=st.floats(-30.0, 30.0),
+    vds=st.floats(0.0, 30.0),
+    w=st.floats(1e-6, 1e-3),
+    l=st.floats(1e-6, 1e-4),
+)
+def test_tft_array_matches_scalar(model, vgs, vds, w, l):
+    scalar = model.ids(vgs, vds, w, l)
+    batched = model.ids_array(np.array([vgs]), np.array([vds]),
+                              np.array([w]), np.array([l]))
+    _assert_triplet_close(scalar, [float(v[0]) for v in batched],
+                          f"{model.name} vgs={vgs} vds={vds}")
+
+
+@pytest.mark.parametrize("model", LEVEL1_MODELS,
+                         ids=["level1_n", "level1_p"])
+@settings(max_examples=150, deadline=None)
+@given(
+    vgs=st.floats(-5.0, 5.0),
+    vds=st.floats(0.0, 5.0),
+    w=st.floats(1e-7, 1e-4),
+    l=st.floats(1e-8, 1e-5),
+)
+def test_level1_array_matches_scalar(model, vgs, vds, w, l):
+    scalar = model.ids(vgs, vds, w, l)
+    batched = model.ids_array(np.array([vgs]), np.array([vds]),
+                              np.array([w]), np.array([l]))
+    _assert_triplet_close(scalar, [float(v[0]) for v in batched],
+                          f"level1 vgs={vgs} vds={vds}")
+
+
+@pytest.mark.parametrize("model", TFT_MODELS, ids=lambda m: m.name)
+def test_tft_edge_cases(model):
+    """vds = 0, deep subthreshold, and deep saturation lanes stay finite
+    and equal to the scalar branch results."""
+    w, l = 100e-6, 10e-6
+    points = [
+        (5.0, 0.0),      # vds = 0: zero channel term, exact gds limit
+        (-25.0, 10.0),   # deep subthreshold: tiny vgte, huge vds/vsat
+        (25.0, 0.01),    # hard triode
+        (2.0, 25.0),     # deep saturation + leakage-dominated
+    ]
+    vgs = np.array([p[0] for p in points])
+    vds = np.array([p[1] for p in points])
+    ids_v, gm_v, gds_v = model.ids_array(vgs, vds, w, l)
+    assert np.all(np.isfinite(ids_v))
+    assert np.all(np.isfinite(gm_v))
+    assert np.all(np.isfinite(gds_v))
+    for k, (g, d) in enumerate(points):
+        _assert_triplet_close(
+            model.ids(g, d, w, l),
+            (float(ids_v[k]), float(gm_v[k]), float(gds_v[k])),
+            f"{model.name} edge vgs={g} vds={d}")
+
+
+def test_batch_evaluator_matches_ids_array():
+    """The precompiled kernel and the convenience wrapper agree."""
+    model = PENTACENE
+    w = np.array([100e-6, 50e-6, 200e-6])
+    l = np.array([10e-6, 10e-6, 5e-6])
+    vgs = np.array([3.0, -2.0, 14.0])
+    vds = np.array([0.5, 8.0, 2.0])
+    via_eval = model.batch_evaluator(w, l)(vgs, vds)
+    via_array = model.ids_array(vgs, vds, w, l)
+    for a, b in zip(via_eval, via_array):
+        np.testing.assert_allclose(a, b, rtol=0, atol=0)
+
+
+def test_broadcasting():
+    """ids_array broadcasts bias grids against scalar geometry."""
+    model = PENTACENE
+    vgs = np.linspace(-5, 15, 7)[:, None]
+    vds = np.linspace(0, 10, 5)[None, :]
+    ids_v, gm_v, gds_v = model.ids_array(vgs, vds, 100e-6, 10e-6)
+    assert ids_v.shape == gm_v.shape == gds_v.shape == (7, 5)
+    s = model.ids(float(vgs[3, 0]), float(vds[0, 2]), 100e-6, 10e-6)
+    _assert_triplet_close(
+        s, (float(ids_v[3, 2]), float(gm_v[3, 2]), float(gds_v[3, 2])),
+        "broadcast sample")

@@ -1,0 +1,163 @@
+"""Parallel-map executor: ordering, error capture, worker resolution."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.runtime import (TaskError, TaskResult, get_shared, parallel_map,
+                           resolve_workers)
+
+
+# Mapped functions must be module-level so they pickle by reference.
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError(f"bad task {x}")
+    return x
+
+
+def _shared_plus(x):
+    return get_shared() + x
+
+
+def _raise_convergence(x):
+    raise ConvergenceError("no convergence", iterations=7,
+                           residual=1e-3).with_context(cell="nand2", task=x)
+
+
+# -- resolve_workers --------------------------------------------------------
+
+def test_resolve_workers_argument_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "6")
+    assert resolve_workers(3) == 3
+
+
+def test_resolve_workers_env_fallback(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    assert resolve_workers(None) == 4
+
+
+def test_resolve_workers_default_serial(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_workers(None) == 1
+
+
+def test_resolve_workers_zero_means_cpu_count(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_workers(0) == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_WORKERS", "0")
+    assert resolve_workers(None) == (os.cpu_count() or 1)
+
+
+def test_resolve_workers_garbage_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "lots")
+    assert resolve_workers(None) == 1
+    monkeypatch.setenv("REPRO_WORKERS", "-3")
+    assert resolve_workers(None) == 1
+
+
+# -- ordering and determinism ----------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_results_in_task_order(workers):
+    tasks = list(range(20))
+    results = parallel_map(_square, tasks, workers=workers)
+    assert [r.index for r in results] == tasks
+    assert [r.value for r in results] == [x * x for x in tasks]
+    assert all(r.ok for r in results)
+
+
+def test_parallel_matches_serial():
+    tasks = list(range(12))
+    serial = parallel_map(_square, tasks, workers=1)
+    pooled = parallel_map(_square, tasks, workers=4)
+    assert [r.value for r in serial] == [r.value for r in pooled]
+
+
+def test_labels():
+    results = parallel_map(_square, [2, 5], labels=["a", "b"])
+    assert [r.label for r in results] == ["a", "b"]
+    with pytest.raises(ValueError):
+        parallel_map(_square, [1, 2], labels=["only-one"])
+
+
+# -- error handling ---------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_on_error_raise_names_task(workers):
+    with pytest.raises(TaskError, match=r"t3 failed: bad task 3") as info:
+        parallel_map(_fail_on_three, [1, 2, 3, 4], workers=workers,
+                     labels=["t1", "t2", "t3", "t4"])
+    assert isinstance(info.value.__cause__, ValueError)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_on_error_capture_keeps_going(workers):
+    results = parallel_map(_fail_on_three, [1, 3, 5], workers=workers,
+                           on_error="capture")
+    assert [r.ok for r in results] == [True, False, True]
+    assert results[0].value == 1 and results[2].value == 5
+    with pytest.raises(ValueError):
+        results[1].unwrap()
+
+
+def test_invalid_on_error():
+    with pytest.raises(ValueError):
+        parallel_map(_square, [1], on_error="ignore")
+
+
+# -- shared payload ---------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_shared_payload(workers):
+    results = parallel_map(_shared_plus, [1, 2, 3], workers=workers,
+                           shared=100)
+    assert [r.value for r in results] == [101, 102, 103]
+
+
+def test_shared_restored_after_serial_map():
+    parallel_map(_shared_plus, [1], workers=1, shared=7)
+    assert get_shared() is None
+
+
+# -- ConvergenceError context across process boundaries ---------------------
+
+def test_convergence_error_pickles_with_context():
+    exc = ConvergenceError("stuck", iterations=12, residual=2.5e-7)
+    exc.with_context(cell="nor3", slew=1e-4)
+    clone = pickle.loads(pickle.dumps(exc))
+    assert isinstance(clone, ConvergenceError)
+    assert clone.iterations == 12
+    assert clone.residual == 2.5e-7
+    assert clone.context == {"cell": "nor3", "slew": 1e-4}
+    assert "cell='nor3'" in str(clone)
+
+
+def test_with_context_does_not_overwrite():
+    exc = ConvergenceError("x").with_context(cell="inv")
+    exc.with_context(cell="nand2", load=1e-12)
+    assert exc.context == {"cell": "inv", "load": 1e-12}
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_convergence_context_survives_worker(workers):
+    results = parallel_map(_raise_convergence, ["a", "b"], workers=workers,
+                           on_error="capture")
+    for r, task in zip(results, ("a", "b")):
+        assert not r.ok
+        assert isinstance(r.error, ConvergenceError)
+        assert r.error.context["cell"] == "nand2"
+        assert r.error.context["task"] == task
+        assert r.error.iterations == 7
+
+
+def test_task_result_unwrap_ok():
+    assert TaskResult(index=0, label="t", value=42).unwrap() == 42
