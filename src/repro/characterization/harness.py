@@ -17,7 +17,6 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-import os
 from dataclasses import dataclass, asdict
 from pathlib import Path
 
@@ -40,6 +39,7 @@ from repro.errors import (
     LibraryError,
 )
 from repro.runtime import parallel_map
+from repro.runtime.cache import ResultCache, default_cache_root
 from repro.spice.dc import operating_point
 from repro.spice.elements import Capacitor, VoltageSource
 from repro.spice.netlist import Circuit
@@ -465,10 +465,8 @@ def characterize_dff(dff: CompositeCell, grid: CharacterizationGrid,
 # ---------------------------------------------------------------------------
 
 def default_cache_dir() -> Path:
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro-biodegradable"
+    """Cache root (kept as an alias of the runtime cache's default)."""
+    return default_cache_root()
 
 
 def _definition_fingerprint(defn: CellLibraryDefinition,
@@ -516,21 +514,30 @@ def characterize_library(defn: CellLibraryDefinition,
                          cache_dir: Path | None = None,
                          use_cache: bool = True,
                          workers: int | None = None) -> Library:
-    """Characterise all six cells, with JSON disk caching.
+    """Characterise all six cells, with persistent result caching.
+
+    Results are memoised through :class:`repro.runtime.cache.ResultCache`
+    (category ``library``), keyed by a fingerprint of everything that
+    affects the physics: device-model parameters, sizes, rails and the
+    NLDM grid.  ``use_cache=False`` bypasses the cache for this call;
+    ``REPRO_CACHE=0`` disables it process-wide; ``cache_dir`` overrides
+    the root (default ``REPRO_CACHE_DIR``).
 
     ``workers`` fans the per-arc transients out across processes (see
     :func:`repro.runtime.parallel_map`); results and the cache key are
     identical whatever the worker count.
     """
     grid = grid or default_grid(defn)
-    cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+    cache = ResultCache(root=cache_dir)
     key = _definition_fingerprint(defn, grid)
-    cache_path = cache_dir / f"lib_{defn.name}_{key}.json"
-    if use_cache and cache_path.exists():
-        try:
-            return Library.from_json(cache_path)
-        except (json.JSONDecodeError, KeyError, LibraryError):
-            cache_path.unlink()
+    cache_key = cache.key({"library": defn.name, "fingerprint": key})
+    if use_cache:
+        hit = cache.get("library", cache_key)
+        if hit is not None:
+            try:
+                return Library.from_dict(hit)
+            except (KeyError, TypeError, ValueError, LibraryError):
+                pass  # payload schema drift: recharacterise below
 
     cells = {}
     for name in defn.COMBINATIONAL:
@@ -554,6 +561,5 @@ def characterize_library(defn: CellLibraryDefinition,
                   "grid_loads": list(grid.loads)},
     )
     if use_cache:
-        cache_dir.mkdir(parents=True, exist_ok=True)
-        library.to_json(cache_path)
+        cache.put("library", cache_key, library.to_dict())
     return library

@@ -55,8 +55,21 @@ class CellTiming:
     arcs: tuple[TimingArc, ...]
     leakage: float                       # average static power, watts
 
+    def __post_init__(self) -> None:
+        # Group arcs by input pin once: STA calls delay()/output_slew()
+        # hundreds of thousands of times per netlist, and rebuilding the
+        # per-pin tuple on every call dominated the profile.
+        by_pin: dict[str, tuple[TimingArc, ...]] = {}
+        for arc in self.arcs:
+            by_pin[arc.input_pin] = by_pin.get(arc.input_pin, ()) + (arc,)
+        object.__setattr__(self, "_arcs_by_pin", by_pin)
+        object.__setattr__(
+            self, "_tables_by_pin",
+            {pin: ([a.delay for a in arcs], [a.transition for a in arcs])
+             for pin, arcs in by_pin.items()})
+
     def arcs_from(self, input_pin: str) -> tuple[TimingArc, ...]:
-        found = tuple(a for a in self.arcs if a.input_pin == input_pin)
+        found = self._arcs_by_pin.get(input_pin)
         if not found:
             raise LibraryError(
                 f"cell {self.name!r} has no arcs from pin {input_pin!r}")
@@ -64,13 +77,27 @@ class CellTiming:
 
     def delay(self, input_pin: str, slew: float, load: float) -> float:
         """Worst (max over output transitions) delay for one input pin."""
-        return max(a.delay.lookup(slew, load)
-                   for a in self.arcs_from(input_pin))
+        tables = self._tables_by_pin.get(input_pin)
+        if tables is None:
+            self.arcs_from(input_pin)          # raises LibraryError
+        best = -1.0
+        for table in tables[0]:
+            d = table.lookup(slew, load)
+            if d > best:
+                best = d
+        return best
 
     def output_slew(self, input_pin: str, slew: float, load: float) -> float:
         """Worst output transition for one input pin."""
-        return max(a.transition.lookup(slew, load)
-                   for a in self.arcs_from(input_pin))
+        tables = self._tables_by_pin.get(input_pin)
+        if tables is None:
+            self.arcs_from(input_pin)          # raises LibraryError
+        best = -1.0
+        for table in tables[1]:
+            s = table.lookup(slew, load)
+            if s > best:
+                best = s
+        return best
 
     def worst_delay(self, slew: float, load: float) -> float:
         return max(a.delay.lookup(slew, load) for a in self.arcs)
@@ -182,8 +209,9 @@ class Library:
 
     # -- serialisation -------------------------------------------------------
 
-    def to_json(self, path: str | Path) -> None:
-        payload = {
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (files and the persistent result cache)."""
+        return {
             "name": self.name,
             "process": self.process,
             "vdd": self.vdd,
@@ -191,11 +219,9 @@ class Library:
             "dff": self.dff.to_dict(),
             "metadata": self.metadata,
         }
-        Path(path).write_text(json.dumps(payload))
 
     @classmethod
-    def from_json(cls, path: str | Path) -> "Library":
-        data = json.loads(Path(path).read_text())
+    def from_dict(cls, data: dict) -> "Library":
         return cls(
             name=data["name"],
             process=data["process"],
@@ -205,3 +231,10 @@ class Library:
             dff=SequentialTiming.from_dict(data["dff"]),
             metadata=data.get("metadata", {}),
         )
+
+    def to_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "Library":
+        return cls.from_dict(json.loads(Path(path).read_text()))

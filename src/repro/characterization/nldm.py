@@ -8,6 +8,7 @@ outside it (the same behaviour commercial STA engines implement).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,21 +43,40 @@ class NldmTable:
             raise LibraryError("NLDM index arrays must be strictly increasing")
         if not np.all(np.isfinite(values)):
             raise LibraryError("NLDM table contains non-finite values")
+        # Plain-Python mirrors of the grid for the scalar lookup hot path:
+        # STA issues hundreds of thousands of single-point lookups, and
+        # bisect over a small list beats a scalar ndarray searchsorted by
+        # an order of magnitude.
+        object.__setattr__(self, "_slew_list", slews.tolist())
+        object.__setattr__(self, "_load_list", loads.tolist())
+        object.__setattr__(self, "_value_rows", values.tolist())
+        object.__setattr__(self, "_max_i", len(slews) - 2)
+        object.__setattr__(self, "_max_j", len(loads) - 2)
 
     def lookup(self, slew: float, load: float) -> float:
         """Bilinear interpolation with linear edge extrapolation."""
-        i = _segment(self.slews, slew)
-        j = _segment(self.loads, load)
-        s0, s1 = self.slews[i], self.slews[i + 1]
-        l0, l1 = self.loads[j], self.loads[j + 1]
-        ts = (slew - s0) / (s1 - s0)
-        tl = (load - l0) / (l1 - l0)
-        v00 = self.values[i, j]
-        v01 = self.values[i, j + 1]
-        v10 = self.values[i + 1, j]
-        v11 = self.values[i + 1, j + 1]
-        return float((1 - ts) * (1 - tl) * v00 + (1 - ts) * tl * v01
-                     + ts * (1 - tl) * v10 + ts * tl * v11)
+        slews = self._slew_list
+        loads = self._load_list
+        i = bisect_right(slews, slew) - 1
+        if i < 0:
+            i = 0
+        elif i > self._max_i:
+            i = self._max_i
+        j = bisect_right(loads, load) - 1
+        if j < 0:
+            j = 0
+        elif j > self._max_j:
+            j = self._max_j
+        s0 = slews[i]
+        l0 = loads[j]
+        ts = (slew - s0) / (slews[i + 1] - s0)
+        tl = (load - l0) / (loads[j + 1] - l0)
+        row0 = self._value_rows[i]
+        row1 = self._value_rows[i + 1]
+        v00 = row0[j]
+        v10 = row1[j]
+        return ((1 - ts) * (v00 + tl * (row0[j + 1] - v00))
+                + ts * (v10 + tl * (row1[j + 1] - v10)))
 
     def scaled(self, factor: float) -> "NldmTable":
         """A copy with all values multiplied by *factor* (ablations)."""

@@ -64,3 +64,44 @@ class GsharePredictor:
         self._table.update(index, taken)
         self._history = ((self._history << 1) | int(taken)) & self._history_mask
         return pred == taken
+
+
+def gshare_mispredict_flags(pattern_keys, taken, index_bits: int = 12
+                            ) -> list[bool]:
+    """Mispredict flag per branch for a whole branch stream, in order.
+
+    The gshare outcome stream is a pure function of ``(pattern_keys,
+    taken, index_bits)`` — core timing never feeds back into the
+    predictor — so sweeps precompute it once per trace and reuse it
+    across every configuration (see :meth:`repro.core.trace.Trace.
+    mispredict_flags`).  Bit-identical to driving
+    :class:`GsharePredictor` branch by branch.
+
+    ``pattern_keys`` / ``taken`` accept any sequence (NumPy arrays
+    included); returns a plain list for fast indexing from the timing
+    kernel.
+    """
+    if not 4 <= index_bits <= 24:
+        raise ConfigError(f"index_bits out of range: {index_bits}")
+    mask = (1 << index_bits) - 1
+    table = bytearray([2] * (1 << index_bits))  # weakly taken
+    history = 0
+    flags: list[bool] = []
+    append = flags.append
+    keys = pattern_keys.tolist() if hasattr(pattern_keys, "tolist") \
+        else list(pattern_keys)
+    outcomes = taken.tolist() if hasattr(taken, "tolist") else list(taken)
+    for key, t in zip(keys, outcomes):
+        index = (key ^ history) & mask
+        counter = table[index]
+        if t:
+            if counter < 3:
+                table[index] = counter + 1
+            history = ((history << 1) | 1) & mask
+            append(counter < 2)      # predicted not-taken -> mispredict
+        else:
+            if counter > 0:
+                table[index] = counter - 1
+            history = (history << 1) & mask
+            append(counter >= 2)     # predicted taken -> mispredict
+    return flags

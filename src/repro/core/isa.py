@@ -37,6 +37,40 @@ EXEC_LATENCY: dict[InstrClass, tuple[int, bool]] = {
     InstrClass.BRANCH: (1, True),
 }
 
+# -- packed (structure-of-arrays) encoding -----------------------------------
+#
+# Traces store instruction classes as small integer codes so the timing
+# kernel can run over flat arrays instead of dataclass instances.  The
+# code order groups the classes the way the kernel dispatches on them:
+# codes < CODE_LOAD use an ALU pipe, CODE_LOAD/CODE_STORE the memory
+# pipe, CODE_BRANCH the control pipe.
+
+CODE_ALU = 0
+CODE_MUL = 1
+CODE_DIV = 2
+CODE_LOAD = 3
+CODE_STORE = 4
+CODE_BRANCH = 5
+
+#: InstrClass -> packed code, and the inverse (indexed by code).
+CLASS_CODES: dict[InstrClass, int] = {
+    InstrClass.ALU: CODE_ALU,
+    InstrClass.MUL: CODE_MUL,
+    InstrClass.DIV: CODE_DIV,
+    InstrClass.LOAD: CODE_LOAD,
+    InstrClass.STORE: CODE_STORE,
+    InstrClass.BRANCH: CODE_BRANCH,
+}
+CODE_TO_CLASS: tuple[InstrClass, ...] = tuple(
+    sorted(CLASS_CODES, key=CLASS_CODES.get))
+
+#: EXEC_LATENCY flattened by packed code: latency and pipe-occupancy
+#: (1 for pipelined units, the full latency for the stallable divider).
+EXEC_LATENCY_BY_CODE: tuple[int, ...] = tuple(
+    EXEC_LATENCY[k][0] for k in CODE_TO_CLASS)
+PIPE_OCCUPANCY_BY_CODE: tuple[int, ...] = tuple(
+    1 if EXEC_LATENCY[k][1] else EXEC_LATENCY[k][0] for k in CODE_TO_CLASS)
+
 
 @dataclass(frozen=True)
 class Instruction:

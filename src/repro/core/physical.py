@@ -22,6 +22,7 @@ from repro.characterization.library import Library
 from repro.core.complexity import StructureModel
 from repro.core.config import REGION_NAMES, CoreConfig
 from repro.errors import ConfigError
+from repro.runtime.cache import default_cache
 from repro.synthesis.generators import carry_select_adder, complex_alu_slice, simple_alu
 from repro.synthesis.mapping import technology_map
 from repro.synthesis.pipeline import broadcast_penalty
@@ -53,20 +54,48 @@ class CorePhysical:
                                                  default_factory=dict)
 
 
-# Cached netlist timing/area per (library fingerprint, block, width).
-_BLOCK_CACHE: dict[tuple[str, str, int], tuple[float, float]] = {}
+# Cached netlist timing/area per (library fingerprint, block, width,
+# wire model) — in-process memo in front of the persistent result cache.
+_BLOCK_CACHE: dict[tuple, tuple[float, float]] = {}
 
 
 def _lib_key(library: Library) -> str:
     return str(library.metadata.get("fingerprint", library.name))
 
 
+def _wire_key(wire: WireModel) -> tuple:
+    return (wire.name, wire.c_per_m, wire.r_per_m, wire.pitch,
+            wire.base_spans, wire.span_per_fanout)
+
+
 def _block_timing(block: str, width: int, library: Library,
                   wire: WireModel) -> tuple[float, float]:
-    """(critical delay, gate area) of a named mapped block, cached."""
-    key = (_lib_key(library), block, width)
-    if key in _BLOCK_CACHE:
-        return _BLOCK_CACHE[key]
+    """(critical delay, gate area) of a named mapped block, cached.
+
+    Synthesising and timing the wide datapath blocks (the complex-ALU
+    slice is ~20k gates) is the expensive first step of any sweep, so
+    results are memoised both in-process and in the persistent result
+    cache (category ``block_timing``; disable with ``REPRO_CACHE=0``).
+    """
+    key = (_lib_key(library), block, width, _wire_key(wire))
+    hit = _BLOCK_CACHE.get(key)
+    if hit is not None:
+        return hit
+
+    cache = default_cache()
+    cache_key = cache.key({
+        "schema": 1,
+        "library": _lib_key(library),
+        "block": block,
+        "width": width,
+        "wire": _wire_key(wire),
+    })
+    payload = cache.get("block_timing", cache_key)
+    if payload is not None:
+        result = (float(payload["delay"]), float(payload["area"]))
+        _BLOCK_CACHE[key] = result
+        return result
+
     if block == "alu":
         netlist = technology_map(simple_alu(width))
     elif block == "adder":
@@ -77,8 +106,11 @@ def _block_timing(block: str, width: int, library: Library,
         raise ConfigError(f"unknown physical block {block!r}")
     report = static_timing(netlist, library, wire)
     area = sum(library.cell(g.cell).area for g in netlist.gates.values())
-    _BLOCK_CACHE[key] = (report.max_delay, area)
-    return _BLOCK_CACHE[key]
+    result = (report.max_delay, area)
+    cache.put("block_timing", cache_key,
+              {"delay": report.max_delay, "area": area})
+    _BLOCK_CACHE[key] = result
+    return result
 
 
 def region_logic_delays(config: CoreConfig, library: Library,

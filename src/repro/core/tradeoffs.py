@@ -22,7 +22,7 @@ from repro.core.physical import (
     core_physical,
     region_logic_delays,
 )
-from repro.core.superscalar import simulate
+from repro.core.superscalar import simulate_cached
 from repro.core.trace import Trace
 from repro.core.workloads import WORKLOADS, generate_trace
 from repro.errors import ConfigError
@@ -101,11 +101,14 @@ def _eval_config_task(config: CoreConfig):
 
     The (library, wire, traces) invariants ride along via the runtime's
     shared-object channel, so they are shipped once per worker process
-    rather than once per sweep point.
+    rather than once per sweep point.  Simulations go through the
+    persistent result cache (config timing signature x trace
+    fingerprint), so re-running a sweep on unchanged traces skips the
+    timing kernel entirely; disable with ``REPRO_CACHE=0``.
     """
     library, wire, traces = get_shared()
     physical = core_physical(config, library, wire)
-    ipc = {name: simulate(config, trace).ipc
+    ipc = {name: simulate_cached(config, trace).ipc
            for name, trace in traces.items()}
     perf = {name: v * physical.frequency for name, v in ipc.items()}
     return physical, ipc, perf

@@ -1,5 +1,6 @@
-"""Parallel execution runtime for embarrassingly parallel outer loops."""
+"""Process-level runtime: parallel fan-out and persistent result caching."""
 
+from repro.runtime.cache import ResultCache, default_cache, default_cache_root
 from repro.runtime.executor import (
     TaskError,
     TaskResult,
@@ -9,8 +10,11 @@ from repro.runtime.executor import (
 )
 
 __all__ = [
+    "ResultCache",
     "TaskError",
     "TaskResult",
+    "default_cache",
+    "default_cache_root",
     "get_shared",
     "parallel_map",
     "resolve_workers",

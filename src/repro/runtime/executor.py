@@ -16,7 +16,8 @@ the one primitive they share:
   captured in its :class:`TaskResult` and re-raised (or reported) by the
   caller, labelled with the task that failed;
 - when a pool cannot be created at all (restricted environments, missing
-  semaphores), the map silently degrades to serial execution.
+  semaphores), the map degrades to serial execution, logging a
+  once-per-process warning so an unexpectedly slow sweep is diagnosable.
 
 Workers are plain ``fork``/``spawn`` processes: the mapped function and its
 arguments must be picklable.  Use :func:`functools.partial` over module-level
@@ -25,10 +26,17 @@ functions, not closures.
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
+
+_logger = logging.getLogger(__name__)
+
+#: Set once the serial-fallback warning has been emitted, so a sweep with
+#: hundreds of parallel_map calls reports the degradation exactly once.
+_fallback_warned = False
 
 __all__ = ["TaskError", "TaskResult", "get_shared", "parallel_map",
            "resolve_workers"]
@@ -151,9 +159,17 @@ def parallel_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
                     initializer=_init_shared if shared is not None else None,
                     initargs=(shared,) if shared is not None else ()) as pool:
                 outcomes = list(pool.map(_run_one, [fn] * len(tasks), tasks))
-        except (OSError, PermissionError, ImportError):
+        except (OSError, PermissionError, ImportError) as exc:
             # Restricted environment (no semaphores / fork denied): degrade
             # to serial rather than failing the analysis.
+            global _fallback_warned
+            if not _fallback_warned:
+                _fallback_warned = True
+                _logger.warning(
+                    "parallel_map: cannot create a %d-worker process pool "
+                    "(%s: %s); falling back to serial execution for this "
+                    "and later maps in this process",
+                    n_workers, type(exc).__name__, exc)
             outcomes = None
     if outcomes is None:
         previous_shared = _SHARED

@@ -8,16 +8,32 @@ of the fanout-based wire model.
 
 This is the repro equivalent of Design Compiler's timing engine for the
 minimum-clock-period measurements in Figures 11, 12 and 15.
+
+Two engines compute the same pass:
+
+- a **scalar** gate-at-a-time loop (the reference, used for small
+  netlists and whenever the library's tables cannot be batched);
+- a **levelised array** engine for large netlists (the multi-thousand
+  gate datapath blocks): gates are grouped by logic level and each
+  level's delays/slews come from vectorised bilinear interpolation over
+  the library's stacked NLDM grids.  Same recurrence, same tie-breaking,
+  same interpolation formula — ``tests/synthesis`` asserts the engines
+  agree on every generator block.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.characterization.library import Library
 from repro.errors import SynthesisError
 from repro.synthesis.netlist import Gate, Netlist
 from repro.synthesis.wires import WireModel
+
+#: Below this gate count the scalar engine wins (array setup dominates).
+VECTOR_MIN_GATES = 2000
 
 
 @dataclass(frozen=True)
@@ -85,6 +101,12 @@ def static_timing(netlist: Netlist, library: Library, wire: WireModel,
     if input_slew is None:
         input_slew = library.typical_slew()
 
+    if len(netlist.gates) >= VECTOR_MIN_GATES:
+        report = _vector_static_timing(netlist, library, wire,
+                                       input_slew, output_load)
+        if report is not None:
+            return report
+
     loads, pin_loads, sink_counts = _net_loading(netlist, library, wire,
                                                  output_load)
 
@@ -97,26 +119,36 @@ def static_timing(netlist: Netlist, library: Library, wire: WireModel,
         arrival[net] = 0.0
         slew[net] = input_slew
 
+    # The gate loop below is the hot path of every synthesis experiment
+    # (tens of thousands of gates for the wide datapath blocks), so cell
+    # objects are cached per cell name, dict lookups are hoisted into
+    # locals, and the output slew is computed once per gate, for the
+    # critical pin only, rather than on every new running maximum.
+    cells: dict[str, object] = {}
+    elmore = wire.elmore_delay
     for gate in netlist.topological_order():
-        cell = library.cell(gate.cell)
-        load = loads[gate.output]
+        cell = cells.get(gate.cell)
+        if cell is None:
+            cell = cells[gate.cell] = library.cell(gate.cell)
+        output = gate.output
+        load = loads[output]
         # Wire RC from this gate's output to its sinks (Elmore, shared).
-        t_wire = wire.elmore_delay(sink_counts[gate.output],
-                                   pin_loads[gate.output])
+        t_wire = elmore(sink_counts[output], pin_loads[output])
 
+        cell_inputs = cell.inputs
+        cell_delay = cell.delay
         best_t = -1.0
         best_net: str | None = None
-        best_slew = input_slew
+        best_pin: str | None = None
         for pin_index, net in enumerate(gate.inputs):
-            pin_name = cell.inputs[pin_index]
-            d = cell.delay(pin_name, slew[net], load)
-            t = arrival[net] + d + t_wire
+            pin_name = cell_inputs[pin_index]
+            t = arrival[net] + cell_delay(pin_name, slew[net], load) + t_wire
             if t > best_t:
                 best_t = t
                 best_net = net
-                best_slew = cell.output_slew(pin_name, slew[net], load)
-        arrival[gate.output] = best_t
-        slew[gate.output] = best_slew
+                best_pin = pin_name
+        arrival[output] = best_t
+        slew[output] = cell.output_slew(best_pin, slew[best_net], load)
         worst_input[gate.name] = best_net
         gate_delay[gate.name] = best_t - arrival[best_net]
 
@@ -147,4 +179,344 @@ def static_timing(netlist: Netlist, library: Library, wire: WireModel,
         slew=slew,
         load=loads,
         gate_delay=gate_delay,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Levelised array engine
+# ---------------------------------------------------------------------------
+
+def _library_grids(library: Library) -> dict | None:
+    """Stacked NLDM grids of every cell, or None if they cannot be batched.
+
+    Batching requires every arc table of every cell to share the same
+    (slew, load) axes — true for any library characterised on one grid —
+    and at most two arcs (rise/fall) per input pin.  The result is cached
+    on the library object; ``None`` (unsupported) is cached too, sending
+    every later call down the scalar engine.
+    """
+    cached = getattr(library, "_vector_grids", "unset")
+    if cached != "unset":
+        return cached
+
+    ref_slews = ref_loads = None
+    delay_grids: list = []
+    trans_grids: list = []
+    cells: dict[str, dict] = {}
+    supported = True
+    for name, cell in library.cells.items():
+        info = {"npins": len(cell.inputs), "caps": [], "delay_arcs": [],
+                "trans_arcs": []}
+        for pin in cell.inputs:
+            try:
+                arcs = cell.arcs_from(pin)
+            except Exception:
+                supported = False
+                break
+            if not 1 <= len(arcs) <= 2:
+                supported = False
+                break
+            for arc in arcs:
+                for table in (arc.delay, arc.transition):
+                    if ref_slews is None:
+                        ref_slews, ref_loads = table.slews, table.loads
+                    elif not (np.array_equal(table.slews, ref_slews)
+                              and np.array_equal(table.loads, ref_loads)):
+                        supported = False
+                        break
+                if not supported:
+                    break
+            if not supported:
+                break
+            da = len(delay_grids)
+            delay_grids.append(arcs[0].delay.values)
+            ta = len(trans_grids)
+            trans_grids.append(arcs[0].transition.values)
+            if len(arcs) == 2:
+                delay_grids.append(arcs[1].delay.values)
+                trans_grids.append(arcs[1].transition.values)
+                db, tb = da + 1, ta + 1
+            else:
+                db, tb = da, ta
+            info["caps"].append(cell.input_caps[pin])
+            info["delay_arcs"].append((da, db))
+            info["trans_arcs"].append((ta, tb))
+        if not supported:
+            break
+        cells[name] = info
+
+    if not supported or ref_slews is None:
+        grids = None
+    else:
+        grids = {
+            "slews": np.asarray(ref_slews, dtype=float),
+            "loads": np.asarray(ref_loads, dtype=float),
+            "delay": np.stack(delay_grids),
+            "trans": np.stack(trans_grids),
+            "cells": cells,
+        }
+    object.__setattr__(library, "_vector_grids", grids)
+    return grids
+
+
+def _vector_structure(netlist: Netlist) -> dict:
+    """Integer-encoded, level-sorted view of the netlist (cached).
+
+    One Python pass assigns net ids and logic levels; everything else is
+    arrays.  The cache is tied to the identity of the topological-order
+    list, which :meth:`Netlist.add_gate` invalidates.
+    """
+    topo = netlist.topological_order()
+    cached = getattr(netlist, "_vector_struct", None)
+    if cached is not None and cached["topo"] is topo:
+        return cached
+
+    net_id: dict[str, int] = {}
+    names: list[str] = []
+    for net in netlist.primary_inputs:
+        net_id[net] = len(names)
+        names.append(net)
+    n_pi = len(names)
+
+    n = len(topo)
+    levels = [0] * n_pi + [0] * n          # per net id
+    cell_code: dict[str, int] = {}
+    cell_names: list[str] = []
+    g_code = np.empty(n, dtype=np.int32)
+    g_out = np.empty(n, dtype=np.int32)
+    g_in = np.full((n, 3), -1, dtype=np.int32)
+    g_level = np.empty(n, dtype=np.int32)
+    gate_names: list[str] = []
+
+    for k, gate in enumerate(topo):
+        lv = 0
+        for p, net in enumerate(gate.inputs):
+            i = net_id[net]
+            g_in[k, p] = i
+            li = levels[i]
+            if li > lv:
+                lv = li
+        code = cell_code.get(gate.cell)
+        if code is None:
+            code = cell_code[gate.cell] = len(cell_names)
+            cell_names.append(gate.cell)
+        out = gate.output
+        oid = len(names)
+        net_id[out] = oid
+        names.append(out)
+        levels[oid] = lv + 1
+        g_code[k] = code
+        g_out[k] = oid
+        g_level[k] = lv + 1
+        gate_names.append(gate.name)
+
+    order = np.argsort(g_level, kind="stable")
+    g_code = g_code[order]
+    g_out = g_out[order]
+    g_in = g_in[order]
+    g_level = g_level[order]
+    gate_names = [gate_names[i] for i in order]
+
+    max_level = int(g_level[-1]) if n else 0
+    # bounds[k] = index one past the last gate of level k+1.
+    bounds = np.searchsorted(g_level, np.arange(1, max_level + 1),
+                             side="right")
+
+    driver = np.full(len(names), -1, dtype=np.int32)
+    driver[g_out] = np.arange(n, dtype=np.int32)
+
+    po_ids = []
+    seen = set()
+    for net in netlist.primary_outputs:
+        i = net_id.get(net)
+        if i is not None and i not in seen:
+            seen.add(i)
+            po_ids.append(i)
+
+    struct = {
+        "topo": topo,
+        "names": names,
+        "n_pi": n_pi,
+        "cell_names": cell_names,
+        "g_code": g_code,
+        "g_out": g_out,
+        "g_in": g_in,
+        "bounds": bounds,
+        "max_level": max_level,
+        "gate_names": gate_names,
+        "driver": driver,
+        "po_ids": np.asarray(po_ids, dtype=np.int32),
+    }
+    netlist._vector_struct = struct
+    return struct
+
+
+def _vector_static_timing(netlist: Netlist, library: Library,
+                          wire: WireModel, input_slew: float,
+                          output_load: float | None) -> TimingReport | None:
+    """The levelised array engine; None if this library can't be batched.
+
+    Arithmetic mirrors the scalar engine expression for expression
+    (same bilinear form, same strictly-greater pin tie-breaking via
+    first-maximum argmax), so the engines agree to float rounding.
+    """
+    grids = _library_grids(library)
+    if grids is None:
+        return None
+    struct = _vector_structure(netlist)
+    cells = grids["cells"]
+    try:
+        infos = [cells[name] for name in struct["cell_names"]]
+    except KeyError:
+        return None                      # scalar path raises LibraryError
+
+    ncells = len(infos)
+    npins = np.array([info["npins"] for info in infos], dtype=np.int32)
+    caps_tab = np.zeros((ncells, 3))
+    d_a = np.zeros((ncells, 3), dtype=np.int32)
+    d_b = np.zeros((ncells, 3), dtype=np.int32)
+    t_a = np.zeros((ncells, 3), dtype=np.int32)
+    t_b = np.zeros((ncells, 3), dtype=np.int32)
+    for c, info in enumerate(infos):
+        for p in range(info["npins"]):
+            caps_tab[c, p] = info["caps"][p]
+            d_a[c, p], d_b[c, p] = info["delay_arcs"][p]
+            t_a[c, p], t_b[c, p] = info["trans_arcs"][p]
+
+    g_code = struct["g_code"]
+    g_out = struct["g_out"]
+    g_in = struct["g_in"]
+    n_nets = len(struct["names"])
+
+    # -- per-net loading (vector form of _net_loading) ------------------------
+    if output_load is None:
+        output_load = library.cell("inv").input_caps["a"]
+    pin_cap = np.zeros(n_nets)
+    sink_cnt = np.zeros(n_nets, dtype=np.int64)
+    for p in range(3):
+        col = g_in[:, p]
+        valid = col >= 0
+        if not valid.any():
+            continue
+        ids = col[valid]
+        pin_cap += np.bincount(ids, weights=caps_tab[g_code[valid], p],
+                               minlength=n_nets)
+        sink_cnt += np.bincount(ids, minlength=n_nets)
+    po_ids = struct["po_ids"]
+    pin_cap[po_ids] += output_load
+    sink_cnt[po_ids] += 1
+
+    fo = np.maximum(sink_cnt, 1)
+    length = wire.pitch * (wire.base_spans + wire.span_per_fanout * fo)
+    loads = pin_cap + wire.c_per_m * length
+    wire_r = wire.r_per_m * length
+    wire_c = wire.c_per_m * length
+    t_wire = wire_r * (0.5 * wire_c + pin_cap)
+
+    # -- levelised propagation ------------------------------------------------
+    slew_axis = grids["slews"]
+    load_axis = grids["loads"]
+    max_i = len(slew_axis) - 2
+    max_j = len(load_axis) - 2
+    DG = grids["delay"]
+    TG = grids["trans"]
+
+    arrival = np.zeros(n_nets)
+    slew = np.full(n_nets, input_slew)
+    n = len(g_code)
+    gate_t = np.empty(n)
+    gate_best_in = np.empty(n, dtype=np.int32)
+    gate_delay_arr = np.empty(n)
+
+    def _bilinear(G, rows, i, j, ts, tl):
+        v00 = G[rows, i, j]
+        v01 = G[rows, i, j + 1]
+        v10 = G[rows, i + 1, j]
+        v11 = G[rows, i + 1, j + 1]
+        return ((1 - ts) * (v00 + tl * (v01 - v00))
+                + ts * (v10 + tl * (v11 - v10)))
+
+    bounds = struct["bounds"]
+    start = 0
+    for lv in range(struct["max_level"]):
+        stop = int(bounds[lv])
+        if stop == start:
+            continue
+        sl = slice(start, stop)
+        start = stop
+        code = g_code[sl]
+        out = g_out[sl]
+        loads_g = loads[out]
+        tw = t_wire[out]
+        j = np.clip(np.searchsorted(load_axis, loads_g, side="right") - 1,
+                    0, max_j)
+        l0 = load_axis[j]
+        tl = (loads_g - l0) / (load_axis[j + 1] - l0)
+
+        pin_count = npins[code]
+        t_rows = []
+        s_rows = []
+        for p in range(int(pin_count.max())):
+            in_p = g_in[sl, p]
+            valid = p < pin_count
+            iid = np.where(valid, in_p, 0)
+            sv = slew[iid]
+            av = arrival[iid]
+            i = np.clip(np.searchsorted(slew_axis, sv, side="right") - 1,
+                        0, max_i)
+            s0 = slew_axis[i]
+            ts = (sv - s0) / (slew_axis[i + 1] - s0)
+            rows_d = np.stack((d_a[code, p], d_b[code, p]))
+            d = _bilinear(DG, rows_d, i, j, ts, tl).max(axis=0)
+            rows_t = np.stack((t_a[code, p], t_b[code, p]))
+            s = _bilinear(TG, rows_t, i, j, ts, tl).max(axis=0)
+            t = av + d + tw
+            t[~valid] = -1.0             # scalar best_t starts at -1.0
+            t_rows.append(t)
+            s_rows.append(s)
+
+        t_stack = np.stack(t_rows)
+        best = t_stack.argmax(axis=0)    # first max == strictly-greater scan
+        cols = np.arange(stop - (sl.start))
+        t_best = t_stack[best, cols]
+        arrival[out] = t_best
+        slew[out] = np.stack(s_rows)[best, cols]
+        best_in = g_in[sl][cols, best]
+        gate_best_in[sl] = best_in
+        gate_t[sl] = t_best
+        gate_delay_arr[sl] = t_best - arrival[best_in]
+
+    # -- report ---------------------------------------------------------------
+    names = struct["names"]
+    max_delay = 0.0
+    end_id = -1
+    for i in struct["po_ids"]:
+        t = float(arrival[i])
+        if t > max_delay:
+            max_delay = t
+            end_id = int(i)
+
+    driver = struct["driver"]
+    gate_names = struct["gate_names"]
+    path: list[str] = []
+    net = end_id
+    while net >= 0:
+        g = int(driver[net])
+        if g < 0:
+            break
+        path.append(gate_names[g])
+        net = int(gate_best_in[g])
+    path.reverse()
+
+    arrival_map = dict(zip(names, arrival.tolist()))
+    # The scalar engine only records arrival/slew for primary inputs and
+    # gate outputs it visited; the arrays cover exactly the same nets.
+    return TimingReport(
+        netlist_name=netlist.name,
+        max_delay=max_delay,
+        critical_path=tuple(path),
+        arrival=arrival_map,
+        slew=dict(zip(names, slew.tolist())),
+        load=dict(zip(names, loads.tolist())),
+        gate_delay=dict(zip(gate_names, gate_delay_arr.tolist())),
     )

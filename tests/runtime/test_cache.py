@@ -1,0 +1,176 @@
+"""Persistent result cache: round trips, knobs, and invalidation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.isa import CODE_LOAD
+from repro.core.superscalar import simulate, simulate_cached
+from repro.core.trace import Trace
+from repro.core.workloads import WORKLOADS, generate_trace
+from repro.runtime.cache import (
+    ResultCache,
+    cache_enabled,
+    default_cache,
+    default_cache_root,
+)
+
+
+def test_round_trip(tmp_path):
+    cache = ResultCache(tmp_path, enabled=True)
+    key = cache.key({"x": 1})
+    assert cache.get("simulation", key) is None
+    payload = {"cycles": 123, "nested": {"a": [1, 2, 3]}}
+    path = cache.put("simulation", key, payload)
+    assert path is not None and path.is_file()
+    assert cache.get("simulation", key) == payload
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_key_is_canonical_and_content_sensitive():
+    assert ResultCache.key({"a": 1, "b": 2}) == ResultCache.key({"b": 2, "a": 1})
+    assert ResultCache.key({"a": 1}) != ResultCache.key({"a": 2})
+    assert ResultCache.key([1, 2]) != ResultCache.key([2, 1])
+
+
+def test_disabled_cache_is_null_object(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert not cache_enabled()
+    cache = default_cache()
+    assert not cache.enabled
+    key = cache.key("anything")
+    assert cache.put("simulation", key, {"v": 1}) is None
+    assert cache.get("simulation", key) is None
+    assert list(tmp_path.iterdir()) == []          # nothing ever written
+
+
+def test_cache_dir_env_controls_root(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    assert default_cache_root() == tmp_path / "elsewhere"
+    assert default_cache().root == tmp_path / "elsewhere"
+
+
+def test_corrupt_entry_is_dropped_and_recomputed(tmp_path):
+    cache = ResultCache(tmp_path, enabled=True)
+    key = cache.key("k")
+    path = cache.path_for("block_timing", key)
+    path.parent.mkdir(parents=True)
+    path.write_text("{ not json")
+    assert cache.get("block_timing", key) is None
+    assert not path.exists()                       # dropped, not left to rot
+
+
+def test_bad_category_rejected(tmp_path):
+    cache = ResultCache(tmp_path, enabled=True)
+    with pytest.raises(ValueError):
+        cache.path_for("../escape", "abc")
+    with pytest.raises(ValueError):
+        cache.path_for("", "abc")
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path, enabled=True)
+    cache.put("simulation", cache.key(1), {"v": 1})
+    cache.put("simulation", cache.key(2), {"v": 2})
+    cache.put("block_timing", cache.key(3), {"v": 3})
+    assert cache.clear("simulation") == 2
+    assert cache.clear() == 1
+
+
+# ---------------------------------------------------------------------------
+# simulate_cached: round trip and fingerprint invalidation
+# ---------------------------------------------------------------------------
+
+def _small_trace(name="gzip", n=400, seed=0):
+    return generate_trace(WORKLOADS[name], n, seed=seed)
+
+
+def test_simulate_cached_round_trip(tmp_path):
+    cache = ResultCache(tmp_path, enabled=True)
+    config = CoreConfig()
+    trace = _small_trace()
+    first = simulate_cached(config, trace, cache=cache)
+    assert cache.hits == 0
+    second = simulate_cached(config, trace, cache=cache)
+    assert cache.hits == 1
+    assert second == first == simulate(config, trace)
+
+
+def test_simulate_cached_hit_skips_simulation(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path, enabled=True)
+    config = CoreConfig()
+    trace = _small_trace()
+    expected = simulate_cached(config, trace, cache=cache)
+
+    import repro.core.superscalar as superscalar
+
+    def boom(*a, **k):
+        raise AssertionError("simulate() must not run on a cache hit")
+
+    monkeypatch.setattr(superscalar, "_fast_cycles", boom)
+    monkeypatch.setattr(superscalar, "_simulate_reference", boom)
+    assert simulate_cached(config, trace, cache=cache) == expected
+
+
+def test_fingerprint_invalidation(tmp_path):
+    """Any change to the instruction stream must miss; renames must hit."""
+    cache = ResultCache(tmp_path, enabled=True)
+    config = CoreConfig()
+    base = _small_trace()
+
+    # Same content under a different display name: same fingerprint,
+    # cache hit (results are keyed on content, not names).
+    renamed = Trace.from_arrays(
+        "other-name", klass=base.klass_codes, src0=base.src0, src1=base.src1,
+        dst=base.dst, taken=base.taken, pattern_key=base.pattern_key,
+        is_miss=base.is_miss)
+    assert renamed.fingerprint() == base.fingerprint()
+    simulate_cached(config, base, cache=cache)
+    simulate_cached(config, renamed, cache=cache)
+    assert cache.hits == 1
+
+    # One flipped miss flag: new fingerprint, new entry.
+    is_miss = base.is_miss.copy()
+    load_positions = np.flatnonzero(base.klass_codes == CODE_LOAD)
+    is_miss[load_positions[0]] = ~is_miss[load_positions[0]]
+    mutated = Trace.from_arrays(
+        base.name, klass=base.klass_codes, src0=base.src0, src1=base.src1,
+        dst=base.dst, taken=base.taken, pattern_key=base.pattern_key,
+        is_miss=is_miss)
+    assert mutated.fingerprint() != base.fingerprint()
+    hits_before = cache.hits
+    simulate_cached(config, mutated, cache=cache)
+    assert cache.hits == hits_before               # it was a miss
+
+    # Different seeds produce different streams (and fingerprints).
+    assert _small_trace(seed=1).fingerprint() != base.fingerprint()
+
+
+def test_config_signature_shares_entries_across_irrelevant_fields(tmp_path):
+    """Fields the kernel never reads must not fragment the cache."""
+    cache = ResultCache(tmp_path, enabled=True)
+    trace = _small_trace()
+    simulate_cached(CoreConfig(), trace, cache=cache)
+    import dataclasses
+    renamed = dataclasses.replace(CoreConfig(), name="same-timing",
+                                  data_width=32, phys_regs=128)
+    result = simulate_cached(renamed, trace, cache=cache)
+    assert cache.hits == 1
+    assert result.config_name == "same-timing"     # identity stays local
+
+
+def test_cached_payload_is_plain_json(tmp_path):
+    cache = ResultCache(tmp_path, enabled=True)
+    trace = _small_trace()
+    simulate_cached(CoreConfig(), trace, cache=cache)
+    files = list((tmp_path / "simulation").glob("*.json"))
+    assert len(files) == 1
+    payload = json.loads(files[0].read_text())
+    assert set(payload) == {"instructions", "cycles", "branch_count",
+                            "mispredicts", "l1_misses"}

@@ -114,6 +114,43 @@ def test_invalid_on_error():
         parallel_map(_square, [1], on_error="ignore")
 
 
+# -- serial fallback --------------------------------------------------------
+
+def test_serial_fallback_warns_once(monkeypatch, caplog):
+    """A dead process pool degrades to serial with ONE logged warning."""
+    import logging
+
+    import repro.runtime.executor as executor
+
+    class _NoPool:
+        def __init__(self, *a, **k):
+            raise OSError("no semaphores in this sandbox")
+
+    monkeypatch.setattr(executor, "ProcessPoolExecutor", _NoPool)
+    monkeypatch.setattr(executor, "_fallback_warned", False)
+    with caplog.at_level(logging.WARNING, logger="repro.runtime.executor"):
+        first = parallel_map(_square, [1, 2, 3], workers=4)
+        second = parallel_map(_square, [4, 5], workers=4)
+    assert [r.value for r in first] == [1, 4, 9]   # correct, just serial
+    assert [r.value for r in second] == [16, 25]
+    warnings = [r for r in caplog.records
+                if "falling back to serial" in r.message]
+    assert len(warnings) == 1                      # once per process
+    assert "no semaphores" in warnings[0].message
+
+
+def test_serial_run_does_not_warn(monkeypatch, caplog):
+    import logging
+
+    import repro.runtime.executor as executor
+
+    monkeypatch.setattr(executor, "_fallback_warned", False)
+    with caplog.at_level(logging.WARNING, logger="repro.runtime.executor"):
+        parallel_map(_square, [1, 2], workers=1)
+    assert not [r for r in caplog.records
+                if "falling back to serial" in r.message]
+
+
 # -- shared payload ---------------------------------------------------------
 
 @pytest.mark.parametrize("workers", [1, 2])
