@@ -22,6 +22,26 @@ Usage::
     PYTHONPATH=src python -m benchmarks.perf.run_bench --quick   # skip library
     PYTHONPATH=src python -m benchmarks.perf.run_bench --only depth_sweep
     PYTHONPATH=src python -m benchmarks.perf.run_bench --workers 4
+    PYTHONPATH=src python -m benchmarks.perf.run_bench --profile
+    PYTHONPATH=src python -m benchmarks.perf.run_bench \
+        --check BENCH_perf.json --tolerance 0.25     # CI regression gate
+
+``--profile`` reports a per-stage breakdown (stamp / device-eval /
+solve / overhead) from :mod:`repro.runtime.profiling` next to each
+timing and embeds it in the JSON artifact.  The counters are
+process-local, so profile serial runs (the default) — with ``--workers``
+the solver stages run in children and the breakdown only sees the
+parent's share.
+
+``--check`` re-runs the benchmarks and compares them against a
+previously recorded ``BENCH_perf.json``: any benchmark slower than the
+recorded time by more than ``--tolerance`` (fraction, default 0.25)
+fails the run with exit status 1.  Rows whose recorded entry is missing
+or has ``seed_seconds: null`` (benchmarks newer than the baseline) are
+not gated, and the gate is skipped entirely — exit 0 with a warning —
+when the recorded environment fingerprint (machine, python, cpu count)
+does not match the current box, since cross-machine wall-clock
+comparisons are meaningless.
 
 Baselines were measured on the same single-core box the optimised
 numbers come from: the characterisation rows at the seed commit
@@ -41,6 +61,8 @@ import platform
 import tempfile
 import time
 from pathlib import Path
+
+from repro.runtime import profiling
 
 #: Wall-clock seconds before each optimisation landed (see module
 #: docstring for which commit each row was measured at).
@@ -68,6 +90,7 @@ def _bench_single_transient() -> float:
     cell = defn.cells["nand2"]
     # Warm-up (module import, first-call numpy costs), then measure.
     harness.measure_arc(cell, "a", True, grid.slews[0], grid.loads[0])
+    profiling.reset()
     t0 = time.perf_counter()
     harness.measure_arc(cell, "a", True, grid.slews[0], grid.loads[0])
     return time.perf_counter() - t0
@@ -80,6 +103,7 @@ def _bench_cell_characterization(workers: int | None) -> float:
     defn = organic_library_definition()
     grid = harness.default_grid(defn)
     cell = defn.cells["nand2"]
+    profiling.reset()
     t0 = time.perf_counter()
     harness.characterize_cell(cell, grid, area=1.0, workers=workers)
     return time.perf_counter() - t0
@@ -89,6 +113,7 @@ def _bench_library_characterization(workers: int | None) -> float:
     from repro.cells.library_def import organic_library_definition
     from repro.characterization.harness import characterize_library
 
+    profiling.reset()
     t0 = time.perf_counter()
     characterize_library(organic_library_definition(), use_cache=False,
                          workers=workers)
@@ -126,6 +151,7 @@ def _bench_ipc_simulate() -> float:
     # way any sweep's first config does, then time a clean pass.
     for trace in traces.values():
         simulate(config, trace)
+    profiling.reset()
     t0 = time.perf_counter()
     for trace in traces.values():
         simulate(config, trace)
@@ -148,10 +174,12 @@ def _bench_depth_sweep(workers: int | None) -> tuple[float, float]:
     _warm_ipc_kernel()
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp, \
             _cache_dir(tmp):
+        profiling.reset()
         t0 = time.perf_counter()
         depth_sweep(org_lib, org_wire, max_depth=15, traces=traces,
                     workers=workers)
         cold = time.perf_counter() - t0
+        profiling.reset()
         t0 = time.perf_counter()
         depth_sweep(org_lib, org_wire, max_depth=15, traces=traces,
                     workers=workers)
@@ -170,6 +198,7 @@ def _bench_width_sweep(workers: int | None) -> float:
     _warm_ipc_kernel()
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp, \
             _cache_dir(tmp):
+        profiling.reset()
         t0 = time.perf_counter()
         width_sweep(org_lib, org_wire, traces=traces, workers=workers)
         return time.perf_counter() - t0
@@ -204,15 +233,70 @@ BENCHES = {
 }
 
 
-def _record(results: dict, name: str, elapsed: float) -> None:
+def _record(results: dict, name: str, elapsed: float,
+            profile: dict | None = None) -> None:
     baseline = SEED_BASELINES.get(name)
     entry = {"seconds": round(elapsed, 4), "seed_seconds": baseline}
     if baseline:
         entry["speedup_vs_seed"] = round(baseline / elapsed, 2)
+    if profile is not None:
+        entry["profile"] = profile
     results[name] = entry
     speedup = entry.get("speedup_vs_seed")
     extra = f"  ({speedup}x vs seed)" if speedup else ""
     print(f"[bench] {name}: {elapsed:.4f}s{extra}", flush=True)
+    if profile is not None:
+        stages = "  ".join(f"{stage} {seconds:.3f}s"
+                           for stage, seconds in profile.items())
+        print(f"[bench]   profile: {stages}", flush=True)
+
+
+def _env_fingerprint() -> dict:
+    """The machine identity recorded with (and checked against) baselines."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def _check_against(results: dict, baseline_path: Path,
+                   tolerance: float) -> int:
+    """Regression gate: exit status comparing *results* to a recorded run."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[bench] --check: cannot read {baseline_path}: {exc}")
+        return 1
+    recorded_env = baseline.get("environment", {})
+    mismatch = {k: (recorded_env.get(k), now)
+                for k, now in _env_fingerprint().items()
+                if recorded_env.get(k) != now}
+    if mismatch:
+        print(f"[bench] --check skipped: environment fingerprint mismatch "
+              f"(recorded vs current): {mismatch}")
+        return 0
+    failures = []
+    for name, entry in results.items():
+        recorded = baseline.get("benchmarks", {}).get(name)
+        if not recorded or recorded.get("seed_seconds") is None:
+            continue  # benchmark newer than the baseline: not gated
+        reference = recorded.get("seconds")
+        if not reference:
+            continue
+        limit = reference * (1.0 + tolerance)
+        if entry["seconds"] > limit:
+            failures.append(f"{name}: {entry['seconds']:.4f}s vs recorded "
+                            f"{reference:.4f}s (limit {limit:.4f}s)")
+    if failures:
+        print(f"[bench] --check FAILED ({len(failures)} regression(s) "
+              f"beyond {tolerance:.0%}):")
+        for line in failures:
+            print(f"[bench]   {line}")
+        return 1
+    print(f"[bench] --check passed: no benchmark regressed beyond "
+          f"{tolerance:.0%} of {baseline_path}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -228,6 +312,16 @@ def main(argv: list[str] | None = None) -> int:
                         default=Path(__file__).resolve().parents[2]
                         / "BENCH_perf.json",
                         help="output JSON path (default: repo root)")
+    parser.add_argument("--profile", action="store_true",
+                        help="per-stage stamp/device-eval/solve/overhead "
+                             "breakdown next to each timing")
+    parser.add_argument("--check", type=Path, default=None,
+                        metavar="BASELINE_JSON",
+                        help="compare against a recorded BENCH_perf.json "
+                             "and exit 1 on regressions")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed slowdown fraction for --check "
+                             "(default 0.25)")
     args = parser.parse_args(argv)
 
     names = [args.only] if args.only else list(BENCHES)
@@ -237,23 +331,31 @@ def main(argv: list[str] | None = None) -> int:
     results: dict = {}
     for name in names:
         print(f"[bench] {name} ...", flush=True)
+        if args.profile:
+            profiling.reset()
+            profiling.enable(True)
         if name == "depth_sweep":
             cold, warm = _bench_depth_sweep(args.workers)
-            _record(results, "depth_sweep", cold)
+            profiling.enable(False)
+            prof = (profiling.breakdown(cold + warm)
+                    if args.profile else None)
+            _record(results, "depth_sweep", cold, prof)
             _record(results, "depth_sweep_warm_cache", warm)
             continue
-        _record(results, name, BENCHES[name](args.workers))
+        elapsed = BENCHES[name](args.workers)
+        profiling.enable(False)
+        prof = profiling.breakdown(elapsed) if args.profile else None
+        _record(results, name, elapsed, prof)
 
     from repro.core import ipc_native
 
     payload = {
         "benchmarks": results,
         "environment": {
-            "cpu_count": os.cpu_count(),
+            **_env_fingerprint(),
             "workers": args.workers,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
             "vectorized": os.environ.get("REPRO_VECTORIZED", "auto"),
+            "ensemble": os.environ.get("REPRO_ENSEMBLE", "auto"),
             "ipc_kernel": ("native" if ipc_native.native_available()
                            else "python"),
         },
@@ -269,9 +371,17 @@ def main(argv: list[str] | None = None) -> int:
                   "engine; multi-core boxes additionally gain from "
                   "--workers."),
     }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"[bench] wrote {args.out}")
-    return 0
+    status = 0
+    if args.check is not None:
+        status = _check_against(results, args.check, args.tolerance)
+    if args.check is not None and args.check.resolve() == args.out.resolve():
+        # Gating against the file we would write: keep the recorded
+        # baseline instead of clobbering it with the fresh run.
+        print(f"[bench] not overwriting baseline {args.out}")
+    else:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[bench] wrote {args.out}")
+    return status
 
 
 if __name__ == "__main__":

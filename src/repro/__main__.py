@@ -6,6 +6,7 @@ Usage::
     python -m repro fig3                 # one experiment
     python -m repro fig12 fig15          # several
     python -m repro liberty out.lib --process organic
+    python -m repro cache-stats          # persistent result-cache usage
 
 Heavy experiments (fig11, fig13) accept ``--quick`` to shorten traces.
 """
@@ -118,6 +119,36 @@ def _run_fig15(args) -> None:
     print(format_table(["depth", *r.SERIES], rows, title="Figure 15b"))
 
 
+def _run_cache_stats(args) -> None:
+    from repro.runtime.cache import (
+        cache_enabled,
+        default_cache_root,
+        disk_stats,
+        stats_snapshot,
+    )
+
+    root = default_cache_root()
+    print(f"cache root: {root} "
+          f"({'enabled' if cache_enabled() else 'disabled via REPRO_CACHE'})")
+    stats = disk_stats(root)
+    if not stats:
+        print("no cached entries")
+    else:
+        rows = [[cat, str(s["entries"]), f"{s['bytes'] / 1024:.1f}"]
+                for cat, s in stats.items()]
+        total_entries = sum(s["entries"] for s in stats.values())
+        total_bytes = sum(s["bytes"] for s in stats.values())
+        rows.append(["total", str(total_entries),
+                     f"{total_bytes / 1024:.1f}"])
+        print(format_table(["category", "entries", "KiB"], rows,
+                           title="On-disk entries"))
+    session = stats_snapshot()
+    print(f"this process: {session['hits']} hits, {session['misses']} "
+          f"misses, {session['puts']} puts, "
+          f"{session['bytes_read']} B read, "
+          f"{session['bytes_written']} B written")
+
+
 def _run_liberty(args) -> None:
     from repro.characterization import organic_library, silicon_library
     from repro.characterization.liberty import write_liberty
@@ -140,8 +171,8 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate figures from 'Architectural Tradeoffs for "
                     "Biodegradable Computing' (MICRO-50 2017).")
     parser.add_argument("targets", nargs="+",
-                        help="'list', experiment names (fig3..fig15), or "
-                             "'liberty <out.lib>'")
+                        help="'list', experiment names (fig3..fig15), "
+                             "'liberty <out.lib>', or 'cache-stats'")
     parser.add_argument("--quick", action="store_true",
                         help="shorter traces for the heavy sweeps")
     parser.add_argument("--process", choices=("organic", "silicon"),
@@ -151,7 +182,11 @@ def main(argv: list[str] | None = None) -> int:
     targets = list(args.targets)
     if targets[0] == "list":
         print("experiments:", ", ".join(sorted(EXPERIMENTS)))
-        print("also: liberty <output.lib> [--process organic|silicon]")
+        print("also: liberty <output.lib> [--process organic|silicon], "
+              "cache-stats")
+        return 0
+    if targets[0] == "cache-stats":
+        _run_cache_stats(args)
         return 0
     if targets[0] == "liberty":
         if len(targets) != 2:

@@ -24,11 +24,17 @@ from repro.cells.topologies import (
     diode_load_inverter,
     pseudo_e_inverter,
 )
-from repro.cells.vtc import compute_vtc, noise_margin_mec, switching_threshold
+from repro.cells.vtc import (
+    VtcCurve,
+    compute_vtc,
+    compute_vtc_batch,
+    noise_margin_mec,
+    switching_threshold,
+)
 from repro.devices.tft_level61 import UnifiedTft
 from repro.devices.variation import VariationModel
 from repro.errors import AnalysisError, ConvergenceError
-from repro.runtime import parallel_map
+from repro.runtime import chunked, ensemble_batch, ensemble_enabled, parallel_map
 
 
 def perturb_cell(cell: CellDesign, variation: VariationModel,
@@ -81,6 +87,26 @@ def _nm_sample_task(instance: CellDesign) -> tuple[float, float]:
     return switching_threshold(curve), noise_margin_mec(curve)
 
 
+def _nm_chunk_task(instances: list[CellDesign]
+                   ) -> list[tuple[float, float] | None]:
+    """Picklable worker: a chunk of Monte Carlo instances as one ensemble.
+
+    ``None`` marks an instance that failed to converge or whose VTC does
+    not invert — the same samples the scalar path writes off as losses.
+    """
+    curves = compute_vtc_batch(instances, n_points=61)
+    out: list[tuple[float, float] | None] = []
+    for curve in curves:
+        if curve is None:
+            out.append(None)
+            continue
+        try:
+            out.append((switching_threshold(curve), noise_margin_mec(curve)))
+        except AnalysisError:
+            out.append(None)
+    return out
+
+
 def noise_margin_yield(base_cell: CellDesign,
                        variation: VariationModel | None = None,
                        n_samples: int = 40,
@@ -100,23 +126,49 @@ def noise_margin_yield(base_cell: CellDesign,
 
     instances = [perturb_cell(base_cell, variation, rng)
                  for _ in range(n_samples)]
-    results = parallel_map(_nm_sample_task, instances, workers=workers,
-                           labels=[f"{base_cell.name} sample[{i}]"
-                                   for i in range(n_samples)],
-                           on_error="capture")
-    margins = []
-    vms = []
+    margins: list[float] = []
+    vms: list[float] = []
     converged = 0
-    for result in results:
-        if result.ok:
-            vm, margin = result.value
-            vms.append(vm)
-            margins.append(margin)
-            converged += 1
-        elif isinstance(result.error, (ConvergenceError, AnalysisError)):
-            margins.append(0.0)     # a non-inverting instance is a loss
-        else:
-            raise result.error
+    if ensemble_enabled():
+        # Chunk size comes from REPRO_ENSEMBLE_BATCH alone (never the
+        # worker count), so the sample outcomes are identical for any
+        # REPRO_WORKERS; parallel_map shards whole chunks.
+        chunks = chunked(instances, ensemble_batch())
+        offsets = np.cumsum([0] + [len(c) for c in chunks])
+        results = parallel_map(
+            _nm_chunk_task, chunks, workers=workers,
+            labels=[f"{base_cell.name} samples[{a}:{b}]"
+                    for a, b in zip(offsets, offsets[1:])],
+            on_error="capture")
+        for chunk, result in zip(chunks, results):
+            if result.ok:
+                for sample in result.value:
+                    if sample is None:
+                        margins.append(0.0)  # non-inverting: a loss
+                    else:
+                        vm, margin = sample
+                        vms.append(vm)
+                        margins.append(margin)
+                        converged += 1
+            elif isinstance(result.error, (ConvergenceError, AnalysisError)):
+                margins.extend([0.0] * len(chunk))
+            else:
+                raise result.error
+    else:
+        results = parallel_map(_nm_sample_task, instances, workers=workers,
+                               labels=[f"{base_cell.name} sample[{i}]"
+                                       for i in range(n_samples)],
+                               on_error="capture")
+        for result in results:
+            if result.ok:
+                vm, margin = result.value
+                vms.append(vm)
+                margins.append(margin)
+                converged += 1
+            elif isinstance(result.error, (ConvergenceError, AnalysisError)):
+                margins.append(0.0)     # a non-inverting instance is a loss
+            else:
+                raise result.error
     return YieldResult(
         style=base_cell.style,
         n_samples=n_samples,
@@ -159,10 +211,18 @@ def vss_recovery(vt_shift: float, vdd: float = 5.0,
         vss_grid = np.arange(-22.0, -7.9, 1.0)
     model = pentacene_model(vt_shift=vt_shift)
 
-    def vm_at(vss: float) -> float:
-        cell = pseudo_e_inverter(model, vdd=vdd, vss=float(vss))
-        return switching_threshold(compute_vtc(cell, n_points=61))
+    # All trim candidates share one topology (only the VSS rail value
+    # changes), so the whole grid solves as a single stacked sweep.
+    cells = [pseudo_e_inverter(model, vdd=vdd, vss=float(v))
+             for v in [-15.0, *vss_grid]]
+    curves = compute_vtc_batch(cells, n_points=61)
 
-    vm_nominal = vm_at(-15.0)
-    best_vss = min(vss_grid, key=lambda v: abs(vm_at(float(v)) - vdd / 2))
-    return vm_nominal, float(best_vss)
+    def vm_of(curve: VtcCurve | None, cell: CellDesign) -> float:
+        if curve is None:  # reproduce the scalar path's exception
+            curve = compute_vtc(cell, n_points=61)
+        return switching_threshold(curve)
+
+    vm_nominal = vm_of(curves[0], cells[0])
+    vms = [vm_of(c, cell) for c, cell in zip(curves[1:], cells[1:])]
+    best = int(np.argmin([abs(vm - vdd / 2) for vm in vms]))
+    return vm_nominal, float(vss_grid[best])

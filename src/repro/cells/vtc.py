@@ -22,8 +22,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cells.topologies import CellDesign, build_dc_testbench
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, CircuitError, ConvergenceError
+from repro.runtime import ensemble_enabled
 from repro.spice.dc import NewtonOptions, dc_sweep
+from repro.spice.ensemble import ensemble_dc_sweep
 
 
 @dataclass(frozen=True)
@@ -62,22 +64,11 @@ class VtcAnalysis:
     vdd: float
 
 
-def compute_vtc(cell: CellDesign, n_points: int = 101,
-                input_pin: str | None = None,
-                tied_inputs: bool = True,
-                options: NewtonOptions | None = None) -> VtcCurve:
-    """Sweep the cell input 0..VDD and record output and rail power.
-
-    For multi-input gates the swept pin is *input_pin* (default: first
-    input); remaining inputs are tied to the same sweep source when
-    ``tied_inputs`` (the worst-case "all inputs switch" curve) or held at
-    VDD otherwise.
-    """
+def _vtc_testbench(cell: CellDesign, pin: str, tied_inputs: bool):
+    """DC sweep testbench for one cell: swept source ``v_<pin>`` at 0 V."""
     vdd = cell.rails["vdd"]
-    pin = input_pin or cell.inputs[0]
     if pin not in cell.inputs:
         raise AnalysisError(f"cell {cell.name!r} has no input {pin!r}")
-    options = options or NewtonOptions(max_step_v=max(1.0, vdd / 4.0))
 
     if tied_inputs and len(cell.inputs) > 1:
         # All inputs share one node driven by the swept source — the
@@ -102,6 +93,24 @@ def compute_vtc(cell: CellDesign, n_points: int = 101,
         initial = {p: vdd for p in cell.inputs}
         initial[pin] = 0.0
         ckt = build_dc_testbench(cell, initial)
+    return ckt
+
+
+def compute_vtc(cell: CellDesign, n_points: int = 101,
+                input_pin: str | None = None,
+                tied_inputs: bool = True,
+                options: NewtonOptions | None = None) -> VtcCurve:
+    """Sweep the cell input 0..VDD and record output and rail power.
+
+    For multi-input gates the swept pin is *input_pin* (default: first
+    input); remaining inputs are tied to the same sweep source when
+    ``tied_inputs`` (the worst-case "all inputs switch" curve) or held at
+    VDD otherwise.
+    """
+    vdd = cell.rails["vdd"]
+    pin = input_pin or cell.inputs[0]
+    options = options or NewtonOptions(max_step_v=max(1.0, vdd / 4.0))
+    ckt = _vtc_testbench(cell, pin, tied_inputs)
 
     sweep_values = np.linspace(0.0, vdd, n_points)
     result = dc_sweep(ckt, f"v_{pin}", sweep_values, options=options)
@@ -115,6 +124,75 @@ def compute_vtc(cell: CellDesign, n_points: int = 101,
         # delivered to the circuit is -V * I.
         power -= volts * result.source_current(f"v_{rail}")
     return VtcCurve(vin=sweep_values, vout=vout, power=power, vdd=vdd)
+
+
+def compute_vtc_batch(cells: list[CellDesign], n_points: int = 101,
+                      input_pin: str | None = None,
+                      tied_inputs: bool = True,
+                      options: NewtonOptions | None = None
+                      ) -> list[VtcCurve | None]:
+    """VTCs of structurally identical cells as one stacked DC sweep.
+
+    All members advance through the 0..VDD continuation in lockstep
+    (Monte-Carlo instances of one topology differ only in device
+    parameters, so their Jacobians stack).  Members the batched solver and
+    its per-point scalar retry both fail to converge come back as ``None``
+    — the same instances the scalar path would abandon with
+    :class:`~repro.errors.ConvergenceError`.  A structural mismatch (or an
+    ensemble-level failure) falls back to per-cell scalar sweeps.
+    """
+    if not cells:
+        return []
+    first = cells[0]
+    vdd = first.rails["vdd"]
+    pin = input_pin or first.inputs[0]
+    options = options or NewtonOptions(max_step_v=max(1.0, vdd / 4.0))
+
+    def scalar_all() -> list[VtcCurve | None]:
+        out: list[VtcCurve | None] = []
+        for cell in cells:
+            try:
+                out.append(compute_vtc(cell, n_points=n_points,
+                                       input_pin=input_pin,
+                                       tied_inputs=tied_inputs,
+                                       options=options))
+            except ConvergenceError:
+                out.append(None)
+        return out
+
+    # Members may differ in rail *values* (e.g. a VSS trim sweep) but the
+    # sweep range and which rails are tied to ground must agree.
+    nonzero = [r for r, v in first.rails.items() if v != 0.0]
+    if not ensemble_enabled() or any(
+            c.inputs != first.inputs
+            or c.rails.get("vdd") != vdd
+            or [r for r, v in c.rails.items() if v != 0.0] != nonzero
+            for c in cells[1:]):
+        return scalar_all()
+    try:
+        ckts = [_vtc_testbench(c, pin, tied_inputs) for c in cells]
+        solutions, ok, es = ensemble_dc_sweep(
+            ckts, f"v_{pin}", np.linspace(0.0, vdd, n_points),
+            options=options)
+    except (CircuitError, ConvergenceError):
+        return scalar_all()
+
+    sweep_values = np.linspace(0.0, vdd, n_points)
+    out_slot = es.node_slot("out")
+    branches = {rail: es.members[0].branch_index[f"v_{rail}"]
+                for rail in nonzero}
+    curves: list[VtcCurve | None] = []
+    for m, cell in enumerate(cells):
+        if not ok[m]:
+            curves.append(None)
+            continue
+        power = np.zeros(n_points)
+        for rail in nonzero:
+            power -= cell.rails[rail] * solutions[:, m, branches[rail]]
+        curves.append(VtcCurve(vin=sweep_values,
+                               vout=solutions[:, m, out_slot].copy(),
+                               power=power, vdd=vdd))
+    return curves
 
 
 def switching_threshold(curve: VtcCurve) -> float:

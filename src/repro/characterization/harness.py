@@ -38,10 +38,16 @@ from repro.errors import (
     ConvergenceError,
     LibraryError,
 )
-from repro.runtime import parallel_map
+from repro.runtime import (
+    chunked as _chunked,
+    ensemble_batch as _ensemble_batch,
+    ensemble_enabled as _ensemble_enabled,
+    parallel_map,
+)
 from repro.runtime.cache import ResultCache, default_cache_root
 from repro.spice.dc import operating_point
-from repro.spice.elements import Capacitor, VoltageSource
+from repro.spice.elements import Capacitor, RampValue, VoltageSource
+from repro.spice.ensemble import EnsembleTransient, Probe
 from repro.spice.netlist import Circuit
 from repro.spice.transient import TransientOptions, transient
 from repro.spice.waveform import delay_between
@@ -73,18 +79,14 @@ class CharacterizationGrid:
             raise CharacterizationError("grid values must be ascending")
 
 
-def ramp_source(v0: float, v1: float, t_start: float, slew: float):
-    """A voltage-vs-time callable: hold v0, ramp to v1 over the 20-80 *slew*."""
-    duration = slew * _RAMP_FACTOR
+def ramp_source(v0: float, v1: float, t_start: float, slew: float) -> RampValue:
+    """A voltage-vs-time callable: hold v0, ramp to v1 over the 20-80 *slew*.
 
-    def value(t: float) -> float:
-        if t <= t_start:
-            return v0
-        if t >= t_start + duration:
-            return v1
-        return v0 + (v1 - v0) * (t - t_start) / duration
-
-    return value
+    Returns a :class:`~repro.spice.elements.RampValue` rather than a bare
+    closure so the ensemble engine can read the breakpoints and evaluate
+    all members' ramps as one array expression.
+    """
+    return RampValue(v0, v1, t_start, slew * _RAMP_FACTOR)
 
 
 def _non_controlling(design: CellDesign, pin: str) -> dict[str, float]:
@@ -193,6 +195,125 @@ def measure_arc(design: CellDesign, pin: str, input_rise: bool,
         f"{t_stop:g}s (slew={slew:g}, load={load:g})")
 
 
+def measure_arc_batch(design: CellDesign, pin: str, input_rise: bool,
+                      points: list[tuple[float, float]],
+                      hints: dict[float, float] | None = None
+                      ) -> list[tuple[float, float]]:
+    """All (slew, load) measurements of one timing arc as stacked solves.
+
+    Builds one :class:`~repro.spice.ensemble.EnsembleTransient` per chunk
+    of grid points — every member gets the exact testbench, timestep
+    schedule and window :func:`measure_arc` would use — and extracts the
+    delay/transition crossings online.  Members whose output has not
+    settled in the first window (or whose batch hits a convergence
+    failure) fall back to the scalar :func:`measure_arc`, which retries
+    with its usual window growth; results are therefore the scalar
+    results, just batched where batching is possible.
+    """
+    vdd = design.rails["vdd"]
+    v0, v1 = (0.0, vdd) if input_rise else (vdd, 0.0)
+    hints = hints or {}
+    side = _non_controlling(design, pin)
+    side_logic = {p: v > vdd / 2 for p, v in side.items()}
+    final_logic = design.evaluate(**side_logic, **{pin: input_rise})
+    target = vdd if final_logic else 0.0
+    out_direction = "rise" if final_logic else "fall"
+
+    point_hints = [
+        hints[load] if load in hints
+        else estimate_gate_delay(design, load + 1e-18)
+        for _slew, load in points]
+
+    results: list[tuple[float, float] | None] = [None] * len(points)
+    for chunk_start in range(0, len(points), _ensemble_batch()):
+        chunk_idx = list(range(chunk_start,
+                               min(chunk_start + _ensemble_batch(),
+                                   len(points))))
+        # The scalar controller's retry loop, batched: members whose
+        # output has not settled get the same window *= 4 re-run (with
+        # the same recomputed dt) as measure_arc, as an ever-shrinking
+        # straggler ensemble.
+        windows = {k: max(8.0 * point_hints[k],
+                          3.0 * points[k][0] * _RAMP_FACTOR)
+                   for k in chunk_idx}
+        pending = chunk_idx
+        for _attempt in range(5):
+            if not pending:
+                break
+            members, opts = [], []
+            for k in pending:
+                slew, load = points[k]
+                t_start = (0.25 * slew * _RAMP_FACTOR
+                           + 0.05 * point_hints[k])
+                t_stop = t_start + slew * _RAMP_FACTOR + windows[k]
+                dt = min(t_stop / 700.0, slew * _RAMP_FACTOR / 8.0)
+                members.append(_arc_testbench(design, pin, v0, v1,
+                                              t_start, slew, load))
+                opts.append(TransientOptions(
+                    dt=dt, t_stop=t_stop, dt_max=16.0 * dt,
+                    lte_tol=_LTE_FRACTION * vdd))
+            probes = [Probe(pin, DELAY_THRESHOLD * vdd),
+                      Probe("out", DELAY_THRESHOLD * vdd),
+                      Probe("out", SLEW_LOW * vdd),
+                      Probe("out", SLEW_HIGH * vdd)]
+            try:
+                ens = EnsembleTransient(members, opts, probes).run()
+            except ConvergenceError:
+                break  # scalar fallback reproduces the context-rich error
+            still_pending = []
+            for m, k in enumerate(pending):
+                if abs(ens.final_value("out")[m] - target) > 0.05 * vdd:
+                    windows[k] *= 4.0
+                    still_pending.append(k)
+                    continue
+                results[k] = _arc_from_ensemble(ens, m, vdd, input_rise,
+                                                out_direction, target)
+                # Settled but unmeasurable stays None: the scalar path
+                # raises the canonical CharacterizationError for it.
+            pending = still_pending
+
+    return [
+        value if value is not None
+        else measure_arc(design, pin, input_rise, slew, load,
+                         delay_hint=hint)
+        for value, (slew, load), hint in zip(results, points, point_hints)]
+
+
+def _arc_from_ensemble(ens: EnsembleTransient, m: int, vdd: float,
+                       input_rise: bool, out_direction: str, target: float
+                       ) -> tuple[float, float] | None:
+    """(delay, out_slew) for one settled member, or None for a scalar retry.
+
+    Replays :func:`repro.spice.waveform.delay_between` and
+    :meth:`~repro.spice.waveform.Waveform.transition_time` on the online
+    crossing records: first cause crossing, first effect crossing at or
+    after it (last one as the heavy-input-loading fallback), and the
+    20%/80% crossings in the output's net transition direction.
+    """
+    final_out = ens.final_value("out")[m]
+    if abs(final_out - target) > 0.05 * vdd:
+        return None
+    cause = ens.crossing_times(0, m, "rise" if input_rise else "fall")
+    if len(cause) == 0:
+        return None
+    t_cause = cause[0]
+    effect = ens.crossing_times(1, m, out_direction)
+    after = effect[effect >= t_cause]
+    if len(after):
+        delay = after[0] - t_cause
+    elif len(effect):
+        delay = effect[-1] - t_cause
+    else:
+        return None
+    rising = final_out > ens.initial_value("out")[m]
+    slew_dir = "rise" if rising else "fall"
+    t_lo = ens.crossing_times(2, m, slew_dir)
+    t_hi = ens.crossing_times(3, m, slew_dir)
+    if len(t_lo) == 0 or len(t_hi) == 0:
+        return None
+    return float(delay), float(abs(t_hi[0] - t_lo[0]))
+
+
 def _static_power(design: CellDesign, input_levels: dict[str, float]) -> float:
     from repro.cells.topologies import build_dc_testbench
 
@@ -222,32 +343,53 @@ def _measure_arc_task(task) -> tuple[float, float]:
     return measure_arc(design, pin, input_rise, slew, load, delay_hint=hint)
 
 
+def _measure_arc_batch_task(task) -> list[tuple[float, float]]:
+    """Module-level (picklable) worker for one arc's whole grid ensemble."""
+    design, pin, input_rise, points, hints = task
+    return measure_arc_batch(design, pin, input_rise, points, hints=hints)
+
+
 def characterize_cell(design: CellDesign, grid: CharacterizationGrid,
                       area: float, workers: int | None = None) -> CellTiming:
     """Full NLDM characterisation of one combinational cell.
 
-    The slew x load x arc measurements are independent transients; with
-    ``workers`` (or ``REPRO_WORKERS``) above 1 they fan out across worker
-    processes.  Results are identical to the serial run.
+    By default each timing arc's entire slew x load grid runs as **one**
+    stacked ensemble transient (``REPRO_ENSEMBLE=0`` restores the scalar
+    one-transient-per-point path), so ``parallel_map`` shards whole-arc
+    batches rather than single grid points.  Results are identical to the
+    scalar serial run either way.
     """
     hints = {load: estimate_gate_delay(design, load + 1e-18)
              for load in grid.loads}
-    tasks = []
-    labels = []
-    for pin in design.inputs:
-        for input_rise in (True, False):
-            for j, load in enumerate(grid.loads):
-                for i, slew in enumerate(grid.slews):
-                    tasks.append((design, pin, input_rise, slew, load,
-                                  hints[load]))
-                    labels.append(f"{design.name}.{pin} "
-                                  f"{'rise' if input_rise else 'fall'} "
-                                  f"slew[{i}] load[{j}]")
-    results = parallel_map(_measure_arc_task, tasks, workers=workers,
-                           labels=labels, on_error="capture")
-    # Re-raise the first failure in task order (same exception, and thus
-    # the same behaviour, as the serial loop).
-    measured = [r.unwrap() for r in results]
+    if _ensemble_enabled():
+        points = [(slew, load) for load in grid.loads
+                  for slew in grid.slews]
+        tasks = [(design, pin, input_rise, points, hints)
+                 for pin in design.inputs for input_rise in (True, False)]
+        labels = [f"{design.name}.{pin} "
+                  f"{'rise' if input_rise else 'fall'} grid"
+                  for pin in design.inputs for input_rise in (True, False)]
+        results = parallel_map(_measure_arc_batch_task, tasks,
+                               workers=workers, labels=labels,
+                               on_error="capture")
+        measured = [value for r in results for value in r.unwrap()]
+    else:
+        tasks = []
+        labels = []
+        for pin in design.inputs:
+            for input_rise in (True, False):
+                for j, load in enumerate(grid.loads):
+                    for i, slew in enumerate(grid.slews):
+                        tasks.append((design, pin, input_rise, slew, load,
+                                      hints[load]))
+                        labels.append(f"{design.name}.{pin} "
+                                      f"{'rise' if input_rise else 'fall'} "
+                                      f"slew[{i}] load[{j}]")
+        results = parallel_map(_measure_arc_task, tasks, workers=workers,
+                               labels=labels, on_error="capture")
+        # Re-raise the first failure in task order (same exception, and
+        # thus the same behaviour, as the serial loop).
+        measured = [r.unwrap() for r in results]
 
     arcs: list[TimingArc] = []
     k = 0
@@ -302,15 +444,17 @@ def _dff_testbench(dff: CompositeCell, load: float,
     return ckt
 
 
-def _dff_transient(dff: CompositeCell, load: float, clk_slew: float,
-                   t_unit: float, d_level: float, q_rises: bool,
-                   d_offset_before_clk: float | None = None,
-                   t_extra: float = 0.0):
+def _dff_stimulus(dff: CompositeCell, load: float, clk_slew: float,
+                  t_unit: float, d_level: float, q_rises: bool,
+                  d_offset_before_clk: float | None = None,
+                  t_extra: float = 0.0
+                  ) -> tuple[Circuit, float, TransientOptions]:
     """Shared clk->q stimulus: clear/preset pulse, then one clock edge.
 
-    Returns (result, t_clk_edge).  When ``d_offset_before_clk`` is given,
-    D starts at the complement of ``d_level`` and toggles that long before
-    the clock edge (the setup search's knob); otherwise D is held constant.
+    Returns (testbench, t_clk_edge, options).  When
+    ``d_offset_before_clk`` is given, D starts at the complement of
+    ``d_level`` and toggles that long before the clock edge (the setup
+    search's knob); otherwise D is held constant.
     """
     vdd = dff.rails["vdd"]
     t_release = 6.0 * t_unit
@@ -333,10 +477,21 @@ def _dff_transient(dff: CompositeCell, load: float, clk_slew: float,
                                    clk_slew)
     ckt = _dff_testbench(dff, load, sources)
     dt = min(t_stop / 900.0, clk_slew * _RAMP_FACTOR / 6.0, 2.0 * t_unit)
+    options = TransientOptions(dt=dt, t_stop=t_stop, dt_max=16.0 * dt,
+                               lte_tol=_LTE_FRACTION * vdd)
+    return ckt, t_clk, options
+
+
+def _dff_transient(dff: CompositeCell, load: float, clk_slew: float,
+                   t_unit: float, d_level: float, q_rises: bool,
+                   d_offset_before_clk: float | None = None,
+                   t_extra: float = 0.0):
+    """Run the shared clk->q stimulus; returns (result, t_clk_edge)."""
+    ckt, t_clk, options = _dff_stimulus(
+        dff, load, clk_slew, t_unit, d_level, q_rises,
+        d_offset_before_clk=d_offset_before_clk, t_extra=t_extra)
     try:
-        result = transient(ckt, TransientOptions(
-            dt=dt, t_stop=t_stop, dt_max=16.0 * dt,
-            lte_tol=_LTE_FRACTION * vdd))
+        result = transient(ckt, options)
     except ConvergenceError as exc:
         raise exc.with_context(cell=dff.name, clk_slew=clk_slew, load=load)
     return result, t_clk
@@ -391,16 +546,35 @@ def _captures(dff: CompositeCell, load: float, clk_slew: float,
     return w_q.final_value > 0.6 * vdd
 
 
-def measure_setup_time(dff: CompositeCell, clk_slew: float, load: float,
-                       t_unit: float, resolution_frac: float = 0.1) -> float:
-    """Minimum D-before-clock time that still captures, via bisection."""
-    lo, hi = 0.0, 10.0 * t_unit
-    if not _captures(dff, load, clk_slew, t_unit, hi):
-        raise CharacterizationError("flop does not capture even with "
-                                    f"setup {hi:g}s; check sizing")
-    if _captures(dff, load, clk_slew, t_unit, lo):
-        return 0.0
-    resolution = resolution_frac * t_unit
+def _captures_batch(dff: CompositeCell, load: float, clk_slew: float,
+                    t_unit: float, offsets: list[float]
+                    ) -> list[bool] | None:
+    """Capture verdicts for several setup candidates as one ensemble.
+
+    Same judgement as :func:`_captures` (final Q above 60% of the rail),
+    one stacked transient for all candidates.  Returns None when the
+    batch hits a convergence failure, letting the caller fall back to
+    the scalar search.
+    """
+    vdd = dff.rails["vdd"]
+    members, opts = [], []
+    for offset in offsets:
+        ckt, _t_clk, options = _dff_stimulus(
+            dff, load, clk_slew, t_unit, d_level=vdd, q_rises=True,
+            d_offset_before_clk=offset, t_extra=4.0 * t_unit)
+        members.append(ckt)
+        opts.append(options)
+    try:
+        ens = EnsembleTransient(members, opts).run()
+    except ConvergenceError:
+        return None
+    return [bool(v > 0.6 * vdd) for v in ens.final_value("q")]
+
+
+def _setup_bisect(dff: CompositeCell, clk_slew: float, load: float,
+                  t_unit: float, lo: float, hi: float,
+                  resolution: float) -> float:
+    """Scalar bisection on a (lo fails, hi captures) bracket."""
     while hi - lo > resolution:
         mid = 0.5 * (lo + hi)
         if _captures(dff, load, clk_slew, t_unit, mid):
@@ -410,10 +584,126 @@ def measure_setup_time(dff: CompositeCell, clk_slew: float, load: float,
     return hi
 
 
+def measure_setup_time(dff: CompositeCell, clk_slew: float, load: float,
+                       t_unit: float, resolution_frac: float = 0.1) -> float:
+    """Minimum D-before-clock time that still captures.
+
+    Maintains a (``lo`` fails, ``hi`` captures) bracket and shrinks it to
+    ``resolution``.  The default search probes several interior
+    candidates per round as one stacked ensemble (a K-way section search,
+    ~3 rounds instead of ~7 serial bisection transients); with
+    ``REPRO_ENSEMBLE=0`` it is the classic one-probe-per-round bisection.
+    Either way the returned ``hi`` is a capturing upper bracket within
+    ``resolution`` of the true threshold.
+    """
+    lo, hi = 0.0, 10.0 * t_unit
+    resolution = resolution_frac * t_unit
+    use_ensemble = _ensemble_enabled()
+
+    if use_ensemble:
+        flags = _captures_batch(dff, load, clk_slew, t_unit, [hi, lo])
+        use_ensemble = flags is not None
+    if use_ensemble:
+        captures_hi, captures_lo = flags
+    else:
+        captures_hi = _captures(dff, load, clk_slew, t_unit, hi)
+        captures_lo = (_captures(dff, load, clk_slew, t_unit, lo)
+                       if captures_hi else False)
+    if not captures_hi:
+        raise CharacterizationError("flop does not capture even with "
+                                    f"setup {hi:g}s; check sizing")
+    if captures_lo:
+        return 0.0
+
+    while use_ensemble and hi - lo > resolution:
+        k = min(7, max(1, int(np.ceil((hi - lo) / resolution)) - 1))
+        candidates = lo + (hi - lo) * np.arange(1, k + 1) / (k + 1)
+        flags = _captures_batch(dff, load, clk_slew, t_unit,
+                                list(candidates))
+        if flags is None:
+            use_ensemble = False
+            break
+        capturing = [i for i, f in enumerate(flags) if f]
+        if capturing:
+            first = capturing[0]
+            hi = float(candidates[first])
+            if first > 0:
+                lo = float(candidates[first - 1])
+        else:
+            lo = float(candidates[-1])
+    if hi - lo > resolution:
+        return _setup_bisect(dff, clk_slew, load, t_unit, lo, hi,
+                             resolution)
+    return hi
+
+
 def _clk_to_q_task(task) -> float:
     """Module-level (picklable) worker for one clk->q grid point."""
     dff, slew, load, t_unit = task
     return measure_clk_to_q(dff, slew, load, t_unit)
+
+
+def measure_clk_to_q_batch(dff: CompositeCell,
+                           points: list[tuple[float, float]],
+                           t_unit: float) -> list[float]:
+    """Clk->q delays for several (clk_slew, load) points, one ensemble.
+
+    Members whose Q has not settled after the first observation window —
+    or whose batch fails to converge — fall back to the scalar
+    :func:`measure_clk_to_q` with its window-growing retries.
+    """
+    vdd = dff.rails["vdd"]
+    delays: list[float | None] = [None] * len(points)
+    # Scalar retry loop, batched: members whose Q has not settled (or
+    # whose crossings are incomplete) re-run with the same t_extra *= 4
+    # growth as measure_clk_to_q, as a shrinking straggler ensemble.
+    t_extras = {k: 4.0 * t_unit for k in range(len(points))}
+    pending = list(range(len(points)))
+    for _attempt in range(5):
+        if not pending:
+            break
+        members, opts = [], []
+        for k in pending:
+            clk_slew, load = points[k]
+            ckt, _t_clk, options = _dff_stimulus(
+                dff, load, clk_slew, t_unit, d_level=vdd, q_rises=True,
+                t_extra=t_extras[k])
+            members.append(ckt)
+            opts.append(options)
+        probes = [Probe("clk", 0.5 * vdd), Probe("q", 0.5 * vdd)]
+        try:
+            ens = EnsembleTransient(members, opts, probes).run()
+        except ConvergenceError:
+            break  # scalar fallback reproduces the context-rich error
+        still_pending = []
+        for m, k in enumerate(pending):
+            delay = None
+            if abs(ens.final_value("q")[m] - vdd) <= 0.05 * vdd:
+                cause = ens.crossing_times(0, m, "rise")
+                effect = ens.crossing_times(1, m, "rise")
+                if len(cause):
+                    after = effect[effect >= cause[0]]
+                    if len(after):
+                        delay = float(after[0] - cause[0])
+                    elif len(effect):
+                        delay = float(effect[-1] - cause[0])
+            if delay is None:
+                t_extras[k] *= 4.0
+                still_pending.append(k)
+            else:
+                delays[k] = delay
+        pending = still_pending
+
+    return [
+        delay if delay is not None
+        else measure_clk_to_q(dff, clk_slew, load, t_unit)
+        for delay, (clk_slew, load) in zip(delays, points)]
+
+
+def _clk_to_q_batch_task(task) -> list[float]:
+    """Module-level (picklable) worker for a chunk of clk->q grid points."""
+    dff, points, t_unit = task
+    return measure_clk_to_q_batch(dff, points, t_unit)
 
 
 def characterize_dff(dff: CompositeCell, grid: CharacterizationGrid,
@@ -427,13 +717,26 @@ def characterize_dff(dff: CompositeCell, grid: CharacterizationGrid,
     for it; the setup-time bisection stays serial (each trial depends on
     the previous one).
     """
-    tasks = [(dff, slew, load, t_unit)
-             for slew in grid.slews for load in grid.loads]
-    labels = [f"{dff.name} clk->q slew[{i}] load[{j}]"
-              for i in range(len(grid.slews)) for j in range(len(grid.loads))]
-    results = parallel_map(_clk_to_q_task, tasks, workers=workers,
-                           labels=labels, on_error="capture")
-    flat = [r.unwrap() for r in results]
+    if _ensemble_enabled():
+        points = [(slew, load)
+                  for slew in grid.slews for load in grid.loads]
+        chunks = _chunked(points, _ensemble_batch())
+        tasks = [(dff, chunk, t_unit) for chunk in chunks]
+        labels = [f"{dff.name} clk->q batch[{i}]"
+                  for i in range(len(chunks))]
+        results = parallel_map(_clk_to_q_batch_task, tasks,
+                               workers=workers, labels=labels,
+                               on_error="capture")
+        flat = [v for r in results for v in r.unwrap()]
+    else:
+        tasks = [(dff, slew, load, t_unit)
+                 for slew in grid.slews for load in grid.loads]
+        labels = [f"{dff.name} clk->q slew[{i}] load[{j}]"
+                  for i in range(len(grid.slews))
+                  for j in range(len(grid.loads))]
+        results = parallel_map(_clk_to_q_task, tasks, workers=workers,
+                               labels=labels, on_error="capture")
+        flat = [r.unwrap() for r in results]
     values = np.asarray(flat).reshape(len(grid.slews), len(grid.loads))
     mid_slew = grid.slews[len(grid.slews) // 2]
     mid_load = grid.loads[len(grid.loads) // 2]

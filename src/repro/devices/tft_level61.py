@@ -317,3 +317,106 @@ class UnifiedTft:
         """Total gate input capacitance (fanout load estimate)."""
         cgs, cgd, _ = self.capacitances(w, l)
         return cgs + cgd
+
+
+class StackedTftParams:
+    """Parameter arrays for a *heterogeneous* batch of :class:`UnifiedTft`s.
+
+    :meth:`UnifiedTft.batch_evaluator` compiles one model's constants for
+    many devices; the ensemble engine (:mod:`repro.spice.ensemble`)
+    additionally stacks devices whose **models differ member to member**
+    (Monte-Carlo ``vt0``/``mu_band`` perturbations, mixed n/p devices of
+    one circuit).  This class broadcasts every model parameter to a
+    per-device array and evaluates the same branch-free equations as
+    ``batch_evaluator``, so a lane's values match the homogeneous batched
+    path (and the scalar :meth:`UnifiedTft.ids`) to rounding error.
+
+    ``subset`` gathers the arrays for a device subset, which is how the
+    ensemble's masked active set re-narrows its kernels as members finish.
+    """
+
+    _FIELDS = ("_k_z", "_k_zd", "_z0", "_nvth", "_beta", "_p", "_beta_p",
+               "_alpha", "_k_vsat", "_m", "_e_pow", "_lam", "_vt_dibl",
+               "_leak_i", "_leak_g")
+
+    def __init__(self, models: "list[UnifiedTft] | tuple[UnifiedTft, ...]",
+                 w: np.ndarray, l: np.ndarray) -> None:
+        w = np.asarray(w, dtype=float)
+        l = np.asarray(l, dtype=float)
+
+        def arr(attr: str) -> np.ndarray:
+            return np.array([getattr(m, attr) for m in models], dtype=float)
+
+        nvth = np.array([m.n_vth for m in models])
+        mu_band, ci, gamma = arr("mu_band"), arr("ci"), arr("gamma")
+        vaa, vt0 = arr("vaa"), arr("vt0")
+        self._nvth = nvth
+        self._k_z = 1.0 / nvth
+        self._vt_dibl = arr("vt_dibl")
+        self._k_zd = self._vt_dibl / nvth
+        self._z0 = vt0 / nvth
+        self._beta = (w / l) * mu_band * ci / (vaa ** gamma)
+        self._p = 1.0 + gamma
+        self._beta_p = self._beta * self._p
+        self._alpha = arr("alpha_sat")
+        self._k_vsat = self._alpha * nvth
+        self._m = arr("m_sat")
+        self._e_pow = -1.0 - 1.0 / self._m
+        self._lam = arr("lambda_")
+        self._leak_i = arr("i_off_w") * w
+        self._leak_g = self._leak_i / _V_LEAK
+        self._any_leak = bool(np.any(self._leak_i > 0.0))
+
+    def subset(self, idx: np.ndarray) -> "StackedTftParams":
+        """A gathered copy covering only the devices selected by *idx*."""
+        sub = object.__new__(StackedTftParams)
+        for field_name in self._FIELDS:
+            setattr(sub, field_name, getattr(self, field_name)[idx])
+        sub._any_leak = bool(np.any(sub._leak_i > 0.0))
+        return sub
+
+    def __len__(self) -> int:
+        return len(self._beta)
+
+    def evaluate(self, vgs: np.ndarray, vds: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(id, gm, gds)`` for per-device normalised bias points.
+
+        Same equation sequence as :meth:`UnifiedTft.batch_evaluator`'s
+        compiled kernel, with every model constant a per-device array.
+        """
+        with np.errstate(divide="ignore", over="ignore",
+                         invalid="ignore", under="ignore"):
+            z = vgs * self._k_z - vds * self._k_zd - self._z0
+            sp = np.maximum(z, 0.0) + np.log1p(np.exp(-np.abs(z)))
+            np.maximum(sp, 1e-300, out=sp)
+            sig = np.exp(z - sp)
+            vgte = self._nvth * sp
+            vsat = self._k_vsat * sp
+
+            log_u = self._m * np.log(vds / vsat)
+            deep = log_u > 60.0
+            u = np.exp(np.minimum(log_u, 60.0))
+            t = 1.0 + u
+            base_pow = t ** self._e_pow
+            vdse = np.where(deep, vsat, vds * (base_pow * t))
+            dvdse_dvsat = np.where(deep, 1.0, (vds * (base_pow * u)) / vsat)
+            base_pow = np.where(deep, 0.0, base_pow)
+
+            clm = 1.0 + self._lam * vds
+            vgte_p = vgte ** self._p
+            i0 = (self._beta * clm) * vgte_p
+            i_ch = i0 * vdse
+            di_dvgte = (self._beta_p * clm) * (vgte_p / vgte) * vdse
+
+            gm = (di_dvgte + i0 * (dvdse_dvsat * self._alpha)) * sig
+            dvgte_dvds = sig * (-self._vt_dibl)
+            gds = (di_dvgte * dvgte_dvds
+                   + i0 * (base_pow + (dvdse_dvsat * self._alpha) * dvgte_dvds)
+                   + i_ch * (self._lam / clm))
+            if self._any_leak:
+                x_leak = vds * (1.0 / _V_LEAK)
+                i_ch = i_ch + self._leak_i * np.tanh(x_leak)
+                ch = np.cosh(x_leak)
+                gds = gds + self._leak_g / (ch * ch)
+        return i_ch, gm, gds

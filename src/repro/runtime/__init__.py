@@ -1,5 +1,7 @@
 """Process-level runtime: parallel fan-out and persistent result caching."""
 
+import os
+
 from repro.runtime.cache import ResultCache, default_cache, default_cache_root
 from repro.runtime.executor import (
     TaskError,
@@ -9,12 +11,38 @@ from repro.runtime.executor import (
     resolve_workers,
 )
 
+
+def ensemble_enabled() -> bool:
+    """Batched ensemble solves are on unless ``REPRO_ENSEMBLE=0``."""
+    return os.environ.get("REPRO_ENSEMBLE", "1") != "0"
+
+
+def ensemble_batch() -> int:
+    """Max members per stacked solve (``REPRO_ENSEMBLE_BATCH``, default 32).
+
+    The chunk size is fixed by this knob alone (never by the worker
+    count), so batched results are bit-identical for any ``REPRO_WORKERS``.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_ENSEMBLE_BATCH", "32")))
+    except ValueError:
+        return 32
+
+
+def chunked(items: list, size: int) -> list[list]:
+    """Split *items* into consecutive chunks of at most *size*."""
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
 __all__ = [
     "ResultCache",
     "TaskError",
     "TaskResult",
+    "chunked",
     "default_cache",
     "default_cache_root",
+    "ensemble_batch",
+    "ensemble_enabled",
     "get_shared",
     "parallel_map",
     "resolve_workers",

@@ -22,9 +22,14 @@ Environment knobs:
 - ``REPRO_CACHE=0`` — disable reads *and* writes (every lookup misses,
   nothing is stored); any other value, or unset, leaves it enabled.
 
-Writes are atomic (temp file + ``os.replace``) so concurrent sweep
-workers can share a cache directory; corrupt or truncated entries are
-dropped and treated as misses.
+Writes are atomic and durable (temp file + ``fsync`` + ``os.replace``)
+so concurrent sweep workers can share a cache directory and a crash
+mid-write never leaves a truncated entry under the final name; corrupt
+entries are dropped and treated as misses.
+
+Every :class:`ResultCache` also feeds process-wide hit/miss/byte
+counters (:func:`stats_snapshot`); ``python -m repro cache-stats``
+reports them together with the on-disk entry counts per category.
 """
 
 from __future__ import annotations
@@ -36,7 +41,50 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
-__all__ = ["ResultCache", "default_cache", "default_cache_root"]
+__all__ = [
+    "ResultCache",
+    "default_cache",
+    "default_cache_root",
+    "disk_stats",
+    "reset_stats",
+    "stats_snapshot",
+]
+
+#: Process-wide counters, accumulated across every ResultCache instance
+#: (sweep helpers construct caches freshly per call, so instance counters
+#: alone would vanish with them).
+_STATS = {"hits": 0, "misses": 0, "puts": 0,
+          "bytes_read": 0, "bytes_written": 0}
+
+
+def stats_snapshot() -> dict[str, int]:
+    """Copy of the process-wide cache counters."""
+    return dict(_STATS)
+
+
+def reset_stats() -> None:
+    """Zero the process-wide cache counters (used by tests and the CLI)."""
+    for k in _STATS:
+        _STATS[k] = 0
+
+
+def disk_stats(root: str | Path | None = None) -> dict[str, dict[str, int]]:
+    """On-disk ``{category: {"entries": n, "bytes": b}}`` under *root*."""
+    root = Path(root) if root is not None else default_cache_root()
+    out: dict[str, dict[str, int]] = {}
+    if not root.is_dir():
+        return out
+    for directory in sorted(d for d in root.iterdir() if d.is_dir()):
+        entries = 0
+        size = 0
+        for entry in directory.glob("*.json"):
+            try:
+                size += entry.stat().st_size
+                entries += 1
+            except OSError:
+                continue
+        out[directory.name] = {"entries": entries, "bytes": size}
+    return out
 
 #: Category directory names must stay filesystem-friendly.
 _SAFE_CATEGORY = set("abcdefghijklmnopqrstuvwxyz0123456789_-")
@@ -101,9 +149,11 @@ class ResultCache:
             return None
         path = self.path_for(category, key)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+            payload = json.loads(text)
         except FileNotFoundError:
             self.misses += 1
+            _STATS["misses"] += 1
             return None
         except (json.JSONDecodeError, OSError, UnicodeDecodeError):
             # Corrupt / truncated entry: drop it and recompute.
@@ -112,8 +162,11 @@ class ResultCache:
             except OSError:
                 pass
             self.misses += 1
+            _STATS["misses"] += 1
             return None
         self.hits += 1
+        _STATS["hits"] += 1
+        _STATS["bytes_read"] += len(text)
         return payload
 
     def put(self, category: str, key: str, payload: Any) -> Path | None:
@@ -125,7 +178,14 @@ class ResultCache:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
+                blob = json.dumps(payload)
+                handle.write(blob)
+                # Durability before visibility: flush to the kernel and
+                # fsync the data before the rename publishes the entry,
+                # so a crash can only lose the temp file, never corrupt
+                # an entry other workers may already be reading.
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -133,6 +193,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        _STATS["puts"] += 1
+        _STATS["bytes_written"] += len(blob)
         return path
 
     def clear(self, category: str | None = None) -> int:

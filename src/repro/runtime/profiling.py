@@ -1,0 +1,98 @@
+"""Lightweight per-stage wall-clock counters for the solver hot paths.
+
+The perf benchmarks (``benchmarks/perf/run_bench.py --profile``) want a
+breakdown of where a characterisation run spends its time — matrix
+stamping, linear solves, device-model evaluation — without slowing the
+normal path down.  The hot loops therefore guard every measurement with
+a single module-global ``ENABLED`` check (one attribute load and branch
+when profiling is off) and accumulate raw ``perf_counter`` durations
+into a flat dict when it is on.
+
+Stages
+------
+- ``stamp`` — residual/Jacobian assembly (:meth:`MnaSystem.
+  residual_and_jacobian` and the ensemble engine's stacked assembly),
+  *including* device evaluation on the scalar per-element path;
+- ``device_eval`` — batched device-model kernels (the vectorized FET
+  paths time their model call separately; it is reported subtracted
+  from ``stamp`` so the two never double-count);
+- ``solve`` — dense linear solves (``dgesv`` / ``numpy.linalg.solve``,
+  scalar and stacked).
+
+Everything else (step control, source evaluation, measurement
+bookkeeping, Python overhead) is the *overhead* line, derived by the
+reporter as ``total - stamp - solve``.
+
+Profiling is process-local and not thread-safe — it exists for the
+single-threaded benchmark driver, not for production telemetry.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ENABLED", "add", "breakdown", "enable", "profiled", "reset",
+           "snapshot"]
+
+#: Hot-path guard: solver code only calls :func:`add` when this is True.
+ENABLED = False
+
+_STAGES = ("stamp", "device_eval", "solve")
+
+_times: dict[str, float] = {stage: 0.0 for stage in _STAGES}
+_counts: dict[str, int] = {stage: 0 for stage in _STAGES}
+
+
+def enable(flag: bool = True) -> None:
+    """Turn stage accumulation on or off (leaves accumulated totals)."""
+    global ENABLED
+    ENABLED = bool(flag)
+
+
+def reset() -> None:
+    """Zero all accumulated stage times and counts."""
+    for stage in _STAGES:
+        _times[stage] = 0.0
+        _counts[stage] = 0
+
+
+def add(stage: str, seconds: float) -> None:
+    """Accumulate *seconds* into *stage* (call only when ``ENABLED``)."""
+    _times[stage] += seconds
+    _counts[stage] += 1
+
+
+def snapshot() -> dict[str, dict[str, float]]:
+    """Raw accumulated ``{stage: {seconds, calls}}`` since the last reset."""
+    return {stage: {"seconds": _times[stage], "calls": _counts[stage]}
+            for stage in _STAGES}
+
+
+def breakdown(total_seconds: float) -> dict[str, float]:
+    """Per-stage seconds plus the derived ``overhead`` line.
+
+    ``device_eval`` time is recorded from inside ``stamp`` regions, so it
+    is subtracted from the stamp line rather than double-counted;
+    ``overhead`` is whatever part of *total_seconds* none of the solver
+    stages account for (step control, sources, measurements, Python).
+    """
+    stamp = max(0.0, _times["stamp"] - _times["device_eval"])
+    tracked = stamp + _times["device_eval"] + _times["solve"]
+    return {
+        "stamp": round(stamp, 4),
+        "device_eval": round(_times["device_eval"], 4),
+        "solve": round(_times["solve"], 4),
+        "overhead": round(max(0.0, total_seconds - tracked), 4),
+    }
+
+
+@contextmanager
+def profiled() -> Iterator[None]:
+    """Enable profiling (reset first) for the duration of a block."""
+    reset()
+    enable(True)
+    try:
+        yield
+    finally:
+        enable(False)

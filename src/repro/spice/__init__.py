@@ -23,8 +23,16 @@ from repro.spice.elements import (
     VoltageSource,
     CurrentSource,
     Fet,
+    RampValue,
 )
 from repro.spice.dc import NewtonOptions, operating_point, dc_sweep
+from repro.spice.ensemble import (
+    EnsembleSystem,
+    EnsembleTransient,
+    Probe,
+    ensemble_dc_sweep,
+    ensemble_operating_point,
+)
 from repro.spice.transient import TransientOptions, TransientResult, transient
 from repro.spice.waveform import Waveform
 
@@ -36,9 +44,15 @@ __all__ = [
     "VoltageSource",
     "CurrentSource",
     "Fet",
+    "RampValue",
     "NewtonOptions",
     "operating_point",
     "dc_sweep",
+    "EnsembleSystem",
+    "EnsembleTransient",
+    "Probe",
+    "ensemble_dc_sweep",
+    "ensemble_operating_point",
     "TransientOptions",
     "TransientResult",
     "transient",

@@ -17,10 +17,12 @@ I-V regions) solve reliably from a cold start.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from time import perf_counter
 
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.runtime import profiling
 from repro.spice.mna import MnaSystem
 from repro.spice.netlist import Circuit
 
@@ -61,6 +63,8 @@ def _newton(sys: MnaSystem, G_lin: np.ndarray, b: np.ndarray,
         if gmin > 0.0:
             J[diag, diag] += gmin
             F[:n_nodes] += gmin * x[:n_nodes]
+        if profiling.ENABLED:
+            t_solve = perf_counter()
         if _dgesv is not None:
             _, _, delta, info = _dgesv(J, -F, 0, 1)
             if info != 0:
@@ -76,6 +80,8 @@ def _newton(sys: MnaSystem, G_lin: np.ndarray, b: np.ndarray,
                     f"singular Jacobian in circuit {sys.circuit.name!r}",
                     iterations=iteration,
                 ) from exc
+        if profiling.ENABLED:
+            profiling.add("solve", perf_counter() - t_solve)
         # Damp the step so exponential device models stay in range.
         max_delta = float(np.max(np.abs(delta))) if delta.size else 0.0
         if max_delta > options.max_step_v:

@@ -41,6 +41,37 @@ FET_GMIN = 1e-12
 SourceValue = float | Callable[[float], float]
 
 
+class RampValue:
+    """Piecewise-linear source value: hold ``v0``, ramp to ``v1``, hold.
+
+    A plain callable works as a source value everywhere; this class
+    additionally exposes its breakpoints as attributes so batched engines
+    (:mod:`repro.spice.ensemble`) can evaluate a whole ensemble's ramps
+    as one array expression instead of B Python calls per timestep.
+    """
+
+    __slots__ = ("v0", "v1", "t_start", "duration")
+
+    def __init__(self, v0: float, v1: float, t_start: float,
+                 duration: float) -> None:
+        self.v0 = float(v0)
+        self.v1 = float(v1)
+        self.t_start = float(t_start)
+        self.duration = float(duration)
+
+    def __call__(self, t: float) -> float:
+        if t <= self.t_start:
+            return self.v0
+        if t >= self.t_start + self.duration:
+            return self.v1
+        frac = (t - self.t_start) / self.duration
+        return self.v0 + (self.v1 - self.v0) * frac
+
+    def __repr__(self) -> str:
+        return (f"RampValue({self.v0:g} -> {self.v1:g}, "
+                f"t_start={self.t_start:g}, duration={self.duration:g})")
+
+
 @runtime_checkable
 class FetModel(Protocol):
     """Device-model interface consumed by :class:`Fet`.

@@ -1,0 +1,789 @@
+"""Batched ensemble DC/transient engine: many bindings, one stacked solve.
+
+Characterisation and Monte-Carlo workloads integrate *the same circuit
+topology* hundreds of times with different parameter bindings — source
+slews, load capacitances, per-device W/L/VT perturbations.  Run as
+independent scalar solves they pay Python loop overhead, repeated
+Jacobian-structure analysis, and NumPy's fixed per-op cost once per
+member per Newton iteration.  This module runs a whole *ensemble* of
+such members in lockstep instead:
+
+- state is a stacked ``(B, S)`` array and the Jacobian a stacked
+  ``(B, S, S)`` array, solved with one batched ``numpy.linalg.solve``;
+- all members' transistors are evaluated by **one** array-valued device
+  kernel per Newton iteration (heterogeneous per-member models included,
+  via :class:`repro.devices.tft_level61.StackedTftParams`);
+- every member keeps its **own** adaptive timestep, Newton damping
+  schedule and stop time; a masked *active set* drops members out of the
+  stacked solve as they converge, finish, or need a private retry at a
+  smaller step, so a fast member can never perturb a slow one;
+- delay/slew events are extracted online (threshold crossings between
+  accepted states, linearly interpolated — the same arithmetic
+  :class:`repro.spice.waveform.Waveform` applies to sampled data), so no
+  full waveforms are materialised.
+
+Per-member trajectories follow exactly the scalar controllers in
+:mod:`repro.spice.transient` and :mod:`repro.spice.dc` (warm-start
+prediction, LTE growth/rejection, dt halving, gmin/source-stepping DC
+fallbacks), so results agree with scalar runs to solver tolerance; the
+equivalence test suite pins this down.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.devices.tft_level61 import StackedTftParams, UnifiedTft
+from repro.errors import CircuitError, ConvergenceError
+from repro.runtime import profiling
+from repro.spice.dc import NewtonOptions, solve_operating_point
+from repro.spice.elements import (
+    FET_GMIN,
+    CurrentSource,
+    Element,
+    Fet,
+    RampValue,
+    VoltageSource,
+)
+from repro.spice.mna import MnaSystem
+from repro.spice.netlist import Circuit
+from repro.spice.transient import TransientOptions
+
+__all__ = ["EnsembleSystem", "EnsembleTransient", "Probe",
+           "ensemble_dc_sweep", "ensemble_operating_point"]
+
+
+class _StackedFetBatch:
+    """All stackable FETs of all members, as flat index/parameter arrays.
+
+    Mirrors :class:`repro.spice.mna._FetBatch` with two extensions: the
+    polarity is a per-device array (one batch covers n- and p-type and
+    per-member model perturbations), and member offsets place each
+    device's stamps into its member's slice of the flattened extended
+    state/Jacobian.  ``gather`` re-narrows all arrays to an active
+    member subset — the index arithmetic the masked active set runs on.
+    """
+
+    def __init__(self, fets_per_member: list[list[Fet]], size: int) -> None:
+        ext = size + 1
+        self.ext = ext
+
+        def loc(i: int) -> int:
+            return i if i >= 0 else size
+
+        member_id: list[int] = []
+        fets: list[Fet] = []
+        for b, member_fets in enumerate(fets_per_member):
+            member_id.extend([b] * len(member_fets))
+            fets.extend(member_fets)
+        self.member_id = np.asarray(member_id, dtype=np.intp)
+        self.d_loc = np.array([loc(f._idx[0]) for f in fets], dtype=np.intp)
+        self.g_loc = np.array([loc(f._idx[1]) for f in fets], dtype=np.intp)
+        self.s_loc = np.array([loc(f._idx[2]) for f in fets], dtype=np.intp)
+        self.pol = np.array([float(f.model.polarity) for f in fets])
+        self.params = StackedTftParams([f.model for f in fets],
+                                       np.array([f.w for f in fets]),
+                                       np.array([f.l for f in fets]))
+
+        d, g, s = self.d_loc, self.g_loc, self.s_loc
+        self.sd_delta = s - d
+        rows_n = np.stack([d, d, d, s, s, s])
+        cols_n = np.stack([d, g, s, d, g, s])
+        self.flat_normal = rows_n * ext + cols_n
+        rows_s = np.stack([s, s, s, d, d, d])
+        cols_s = np.stack([s, g, d, s, g, d])
+        self.flat_delta = rows_s * ext + cols_s - self.flat_normal
+
+    def gather(self, mem_idx: np.ndarray) -> "_GatheredFets | None":
+        """Index/parameter arrays narrowed to the members in *mem_idx*."""
+        if len(self.member_id) == 0:
+            return None
+        n_members = int(self.member_id.max(initial=-1)) + 1
+        pos = np.full(n_members, -1, dtype=np.intp)
+        pos[mem_idx] = np.arange(len(mem_idx))
+        sel = pos[self.member_id] >= 0
+        if not sel.any():
+            return None
+        vec_off = pos[self.member_id[sel]] * self.ext
+        jac_off = pos[self.member_id[sel]] * (self.ext * self.ext)
+        return _GatheredFets(
+            d=self.d_loc[sel] + vec_off,
+            g=self.g_loc[sel] + vec_off,
+            s=self.s_loc[sel] + vec_off,
+            pol=self.pol[sel],
+            sd_delta=self.sd_delta[sel],
+            flat_normal=self.flat_normal[:, sel] + jac_off,
+            flat_delta=self.flat_delta[:, sel],
+            params=self.params.subset(sel),
+        )
+
+
+class _GatheredFets:
+    """A :class:`_StackedFetBatch` narrowed to one active member subset."""
+
+    __slots__ = ("d", "g", "s", "pol", "sd_delta", "flat_normal",
+                 "flat_delta", "params")
+
+    def __init__(self, **arrays) -> None:
+        for name, value in arrays.items():
+            setattr(self, name, value)
+
+    def stamp(self, J_flat: np.ndarray, F_flat: np.ndarray,
+              x_flat: np.ndarray) -> None:
+        dv = x_flat[self.d] - x_flat[self.s]
+        swapped = (self.pol * dv) < 0.0
+        shift = swapped * self.sd_delta
+        a = self.d + shift
+        b = self.s - shift
+        vb = x_flat[b]
+        vg = x_flat[self.g]
+        vds_n = np.abs(dv)
+        vgs_n = self.pol * (vg - vb)
+        if profiling.ENABLED:
+            t0 = perf_counter()
+            ids, gm, gds = self.params.evaluate(vgs_n, vds_n)
+            profiling.add("device_eval", perf_counter() - t0)
+        else:
+            ids, gm, gds = self.params.evaluate(vgs_n, vds_n)
+
+        i_phys = self.pol * (ids + FET_GMIN * vds_n)
+        np.add.at(F_flat, a, i_phys)
+        np.add.at(F_flat, b, -i_phys)
+
+        g_ds = gds + FET_GMIN
+        gsum = gm + g_ds
+        vals = np.concatenate([g_ds, gm, -gsum, -g_ds, -gm, gsum])
+        flat = self.flat_normal + swapped * self.flat_delta
+        np.add.at(J_flat, flat.ravel(), vals)
+
+
+def _describe(element: Element) -> tuple:
+    return (element.name, type(element).__name__, element.nodes,
+            element.n_branches)
+
+
+class EnsembleSystem:
+    """A batch of structurally identical circuits bound to one ordering.
+
+    All members must share node names, element names/types/terminals and
+    branch layout; element *values* (resistances, capacitances, source
+    values, FET W/L and model parameters) are free to differ — those are
+    the ensemble's parameter bindings.  Transistors whose models are
+    :class:`~repro.devices.tft_level61.UnifiedTft` across every member
+    are stacked into one cross-member device batch; any other nonlinear
+    element falls back to per-member scalar stamping (still correct,
+    just not batched).
+    """
+
+    def __init__(self, circuits: Sequence[Circuit]) -> None:
+        if not circuits:
+            raise CircuitError("ensemble needs at least one member circuit")
+        self.members = [MnaSystem(c, vectorized=False) for c in circuits]
+        ref = self.members[0]
+        signature = [_describe(e) for e in ref.circuit.elements]
+        for m in self.members[1:]:
+            if (m.node_names != ref.node_names
+                    or [_describe(e) for e in m.circuit.elements] != signature):
+                raise CircuitError(
+                    f"ensemble members are not structurally identical: "
+                    f"{m.circuit.name!r} differs from {ref.circuit.name!r}")
+
+        self.B = len(self.members)
+        self.size = ref.size
+        self.n_nodes = ref.n_nodes
+        self.node_index = ref.node_index
+        self.branch_index = ref.branch_index
+
+        self.G_static = np.stack([m._G_static for m in self.members])
+        self.C_unit = np.stack([m._C_unit for m in self.members])
+
+        # Nonlinear elements, position-wise: a position is stackable when
+        # every member's element there is a UnifiedTft FET.
+        nl_positions = [i for i, e in enumerate(ref.circuit.elements)
+                        if e.is_nonlinear]
+        stackable: list[int] = []
+        fallback_pos: list[int] = []
+        for i in nl_positions:
+            if all(isinstance(m.circuit.elements[i], Fet)
+                   and isinstance(m.circuit.elements[i].model, UnifiedTft)
+                   for m in self.members):
+                stackable.append(i)
+            else:
+                fallback_pos.append(i)
+        self.fet_batch = _StackedFetBatch(
+            [[m.circuit.elements[i] for i in stackable]
+             for m in self.members], self.size)
+        self._fallback = [
+            tuple(m.circuit.elements[i] for i in fallback_pos)
+            for m in self.members]
+
+        # Time-dependent rhs elements, position-wise: constant sources
+        # fold into a precomputed per-member vector, RampValue voltage
+        # sources take a vectorised fast path, anything else loops.
+        rhs_positions = [
+            i for i, e in enumerate(ref.circuit.elements)
+            if not e.rhs_is_storage
+            and type(e).stamp_rhs is not Element.stamp_rhs]
+        self._b_const = np.zeros((self.B, self.size))
+        self._ramps: list[tuple[int, np.ndarray, np.ndarray, np.ndarray,
+                                np.ndarray]] = []
+        generic_pos: list[int] = []
+        for i in rhs_positions:
+            elems = [m.circuit.elements[i] for m in self.members]
+            if all(isinstance(e, (VoltageSource, CurrentSource))
+                   and not callable(e.value) for e in elems):
+                for b, e in enumerate(elems):
+                    e.stamp_rhs(self._b_const[b], 0.0, None, None)
+            elif (all(isinstance(e, VoltageSource)
+                      and isinstance(e.value, RampValue) for e in elems)
+                  and all(e.value.duration > 0.0 for e in elems)):
+                row = elems[0]._branch
+                self._ramps.append((
+                    row,
+                    np.array([e.value.v0 for e in elems]),
+                    np.array([e.value.v1 - e.value.v0 for e in elems]),
+                    np.array([e.value.t_start for e in elems]),
+                    np.array([1.0 / e.value.duration for e in elems]),
+                ))
+            else:
+                generic_pos.append(i)
+        self._generic_rhs = [
+            tuple(m.circuit.elements[i] for i in generic_pos)
+            for m in self.members]
+
+        # Active-set compositions repeat for long stretches of a run (they
+        # only change when members finish or retry), so gathered FET
+        # subsets are memoised by member-index signature.
+        self._gather_cache: dict[bytes, _GatheredFets | None] = {}
+
+    def gather_cached(self, mem_idx: np.ndarray) -> "_GatheredFets | None":
+        key = mem_idx.tobytes()
+        try:
+            return self._gather_cache[key]
+        except KeyError:
+            gathered = self.fet_batch.gather(mem_idx)
+            self._gather_cache[key] = gathered
+            return gathered
+
+    # -- right-hand sides ---------------------------------------------------
+
+    def rhs_batch(self, mem_idx: np.ndarray, t: np.ndarray,
+                  x_prev: np.ndarray | None = None,
+                  dt: np.ndarray | None = None) -> np.ndarray:
+        """Stacked right-hand sides at per-member times ``t``.
+
+        Constant sources come from the precomputed template, ramps are
+        evaluated vectorised across members, other time-dependent
+        elements loop per member; the storage history term is one
+        batched matmul.  **Not** valid while source values are being
+        mutated externally (the DC sweep uses :meth:`rhs_fresh`).
+        """
+        b = self._b_const[mem_idx].copy()
+        for row, v0, dv, t_start, inv_dur in self._ramps:
+            frac = np.clip((t - t_start[mem_idx]) * inv_dur[mem_idx],
+                           0.0, 1.0)
+            b[:, row] += v0[mem_idx] + dv[mem_idx] * frac
+        for i, m in enumerate(mem_idx):
+            elems = self._generic_rhs[m]
+            if elems:
+                ti = float(t[i])
+                for e in elems:
+                    e.stamp_rhs(b[i], ti, None, None)
+        if x_prev is not None and dt is not None:
+            b += np.einsum("aij,aj->ai", self.C_unit[mem_idx],
+                           x_prev) / dt[:, None]
+        return b
+
+    def rhs_fresh(self, mem_idx: np.ndarray, t: float = 0.0) -> np.ndarray:
+        """Per-member rhs via the element loop (honours mutated values)."""
+        b = np.zeros((len(mem_idx), self.size))
+        for i, m in enumerate(mem_idx):
+            for e in self.members[m]._rhs_time:
+                e.stamp_rhs(b[i], t, None, None)
+        return b
+
+    # -- stacked Newton ------------------------------------------------------
+
+    def assemble(self, mem_idx: np.ndarray, gathered: "_GatheredFets | None",
+                 G_lin: np.ndarray, b: np.ndarray, x: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked residual ``F(x)`` and Jacobian ``J(x)`` for a subset."""
+        if profiling.ENABLED:
+            t0 = perf_counter()
+        A = len(mem_idx)
+        S = self.size
+        ext = S + 1
+        J_ext = np.zeros((A, ext, ext))
+        J_ext[:, :S, :S] = G_lin
+        F_ext = np.zeros((A, ext))
+        F_ext[:, :S] = np.einsum("aij,aj->ai", G_lin, x) - b
+        x_ext = np.zeros((A, ext))
+        x_ext[:, :S] = x
+        if gathered is not None:
+            gathered.stamp(J_ext.reshape(-1), F_ext.reshape(-1),
+                           x_ext.reshape(-1))
+        for i, m in enumerate(mem_idx):
+            for e in self._fallback[m]:
+                e.stamp_nonlinear(J_ext[i, :S, :S], F_ext[i, :S], x[i])
+        if profiling.ENABLED:
+            profiling.add("stamp", perf_counter() - t0)
+        return F_ext[:, :S], J_ext[:, :S, :S]
+
+    def newton_batch(self, mem_idx: np.ndarray, G_lin: np.ndarray,
+                     b: np.ndarray, x0: np.ndarray,
+                     options: NewtonOptions,
+                     max_step_v: np.ndarray | None = None,
+                     max_iterations: np.ndarray | None = None,
+                     gmin: float = 0.0,
+                     gathered: "_GatheredFets | None" = None
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Damped Newton on a member subset; returns ``(x, converged)``.
+
+        Per-lane damping and iteration budgets follow the scalar
+        :func:`repro.spice.dc._newton` exactly; a lane that converges is
+        frozen (its state no longer updated) while the remaining lanes
+        keep iterating, and a lane whose Jacobian goes singular or whose
+        iteration budget runs out is reported unconverged rather than
+        aborting the batch.
+        """
+        A = len(mem_idx)
+        if max_step_v is None:
+            max_step_v = np.full(A, options.max_step_v)
+        if max_iterations is None:
+            max_iterations = np.full(A, options.max_iterations, dtype=int)
+        if gathered is None:
+            gathered = self.gather_cached(mem_idx)
+        x = x0.copy()
+        n = self.n_nodes
+        diag = np.arange(n)
+        active = np.ones(A, dtype=bool)
+        converged = np.zeros(A, dtype=bool)
+        iteration = 0
+        budget = int(max_iterations.max())
+        while active.any() and iteration < budget:
+            F, J = self.assemble(mem_idx, gathered, G_lin, b, x)
+            if gmin > 0.0:
+                J[:, diag, diag] += gmin
+                F[:, :n] += gmin * x[:, :n]
+            act_idx = np.flatnonzero(active)
+            if profiling.ENABLED:
+                t0 = perf_counter()
+            try:
+                delta = np.linalg.solve(J[act_idx],
+                                        -F[act_idx][..., None])[..., 0]
+            except np.linalg.LinAlgError:
+                # Some lane is singular: solve lane by lane, dropping
+                # the singular ones from the active set.
+                delta = np.zeros((len(act_idx), self.size))
+                keep = np.ones(len(act_idx), dtype=bool)
+                for k, lane in enumerate(act_idx):
+                    try:
+                        delta[k] = np.linalg.solve(J[lane], -F[lane])
+                    except np.linalg.LinAlgError:
+                        keep[k] = False
+                        active[lane] = False
+                act_idx = act_idx[keep]
+                delta = delta[keep]
+            if profiling.ENABLED:
+                profiling.add("solve", perf_counter() - t0)
+            if len(act_idx) == 0:
+                break
+            max_delta = np.max(np.abs(delta), axis=1) if delta.size \
+                else np.zeros(len(act_idx))
+            scale = np.minimum(1.0, max_step_v[act_idx]
+                               / np.maximum(max_delta, 1e-300))
+            x[act_idx] += delta * scale[:, None]
+            residual = np.max(np.abs(F[act_idx][:, :n]), axis=1) if n \
+                else np.zeros(len(act_idx))
+            done = (max_delta < options.abstol_v) \
+                & (residual < options.abstol_i)
+            converged[act_idx[done]] = True
+            active[act_idx[done]] = False
+            iteration += 1
+            out_of_budget = active & (iteration >= max_iterations)
+            active &= ~out_of_budget
+        return x, converged
+
+    # -- DC -----------------------------------------------------------------
+
+    def solve_dc(self, mem_idx: np.ndarray | None = None,
+                 x0: np.ndarray | None = None,
+                 options: NewtonOptions | None = None
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked DC operating points with the scalar fallback chain.
+
+        Returns ``(x, ok)`` over the requested member subset.  Lanes
+        failing plain Newton go through gmin stepping, then source
+        stepping — each on the still-failing subset only — mirroring
+        :func:`repro.spice.dc.solve_operating_point` lane by lane.
+        """
+        options = options or NewtonOptions()
+        if mem_idx is None:
+            mem_idx = np.arange(self.B)
+        mem_idx = np.asarray(mem_idx, dtype=np.intp)
+        A = len(mem_idx)
+        G_lin = self.G_static[mem_idx].copy()
+        b = self.rhs_fresh(mem_idx)
+        x = np.zeros((A, self.size)) if x0 is None else x0.copy()
+
+        x_out, ok = self.newton_batch(mem_idx, G_lin, b, x, options)
+        if ok.all():
+            return x_out, ok
+
+        # Fallback 1: gmin stepping on the failing subset.
+        retry = np.flatnonzero(~ok)
+        xg = x[retry].copy()
+        g_ok = np.ones(len(retry), dtype=bool)
+        sub = mem_idx[retry]
+        for gmin in options.gmin_steps:
+            alive = np.flatnonzero(g_ok)
+            if len(alive) == 0:
+                break
+            xg_new, step_ok = self.newton_batch(
+                sub[alive], G_lin[retry[alive]], b[retry[alive]],
+                xg[alive], options, gmin=float(gmin))
+            xg[alive] = np.where(step_ok[:, None], xg_new, xg[alive])
+            g_ok[alive[~step_ok]] = False
+        recovered = np.flatnonzero(g_ok)
+        x_out[retry[recovered]] = xg[recovered]
+        ok[retry[recovered]] = True
+        if ok.all():
+            return x_out, ok
+
+        # Fallback 2: source stepping on whatever still fails.
+        retry = np.flatnonzero(~ok)
+        sub = mem_idx[retry]
+        xs = np.zeros((len(retry), self.size))
+        s_ok = np.ones(len(retry), dtype=bool)
+        relaxed_iter = np.full(len(retry), options.max_iterations * 2,
+                               dtype=int)
+        for alpha in np.linspace(1.0 / options.source_steps, 1.0,
+                                 options.source_steps):
+            alive = np.flatnonzero(s_ok)
+            if len(alive) == 0:
+                break
+            xs_new, step_ok = self.newton_batch(
+                sub[alive], G_lin[retry[alive]], alpha * b[retry[alive]],
+                xs[alive], options, max_iterations=relaxed_iter[alive])
+            xs[alive] = np.where(step_ok[:, None], xs_new, xs[alive])
+            s_ok[alive[~step_ok]] = False
+        recovered = np.flatnonzero(s_ok)
+        x_out[retry[recovered]] = xs[recovered]
+        ok[retry[recovered]] = True
+        return x_out, ok
+
+    # -- solution access -----------------------------------------------------
+
+    def node_slot(self, node: str) -> int:
+        """Solver index of *node* (ground aliases are rejected: probe a
+        real node)."""
+        try:
+            return self.node_index[node]
+        except KeyError:
+            raise CircuitError(f"unknown ensemble node {node!r}") from None
+
+
+def ensemble_operating_point(circuits: Sequence[Circuit],
+                             options: NewtonOptions | None = None
+                             ) -> tuple[np.ndarray, EnsembleSystem]:
+    """Stacked DC operating points of structurally identical circuits.
+
+    Lanes the batched fallback chain cannot converge are retried with the
+    scalar solver (which raises :class:`ConvergenceError` on failure, as
+    the per-circuit path would).
+    """
+    es = EnsembleSystem(circuits)
+    x, ok = es.solve_dc(options=options)
+    for lane in np.flatnonzero(~ok):
+        x[lane] = solve_operating_point(es.members[lane], options=options)
+    return x, es
+
+
+def ensemble_dc_sweep(circuits: Sequence[Circuit], source_name: str,
+                      values: np.ndarray | list[float],
+                      options: NewtonOptions | None = None
+                      ) -> tuple[np.ndarray, np.ndarray, EnsembleSystem]:
+    """Sweep one source across all members in lockstep.
+
+    Returns ``(solutions, ok, system)`` where ``solutions`` has shape
+    ``(n_values, B, size)`` (NaN for failed lanes from the first point
+    they fail) and ``ok`` flags members that converged at every point.
+    Continuation warm-starts each point from the previous solution, as
+    the scalar :func:`repro.spice.dc.dc_sweep` does.
+    """
+    values = np.asarray(values, dtype=float)
+    es = EnsembleSystem(circuits)
+    sources = [m.circuit.element(source_name) for m in es.members]
+    for s in sources:
+        if not hasattr(s, "value"):
+            raise ConvergenceError(f"element {source_name!r} is not a source")
+    solutions = np.full((len(values), es.B, es.size), np.nan)
+    ok = np.ones(es.B, dtype=bool)
+    x_prev: np.ndarray | None = None
+    originals = [s.value for s in sources]
+    try:
+        for i, value in enumerate(values):
+            for s in sources:
+                s.value = float(value)
+            alive = np.flatnonzero(ok)
+            if len(alive) == 0:
+                break
+            x0 = x_prev[alive] if x_prev is not None else None
+            x, point_ok = es.solve_dc(mem_idx=alive, x0=x0, options=options)
+            # Lanes the batch cannot converge get one scalar retry before
+            # being written off (matches per-circuit robustness).
+            for k in np.flatnonzero(~point_ok):
+                try:
+                    x[k] = solve_operating_point(
+                        es.members[alive[k]],
+                        x0=None if x0 is None else x0[k], options=options)
+                    point_ok[k] = True
+                except ConvergenceError:
+                    pass
+            ok[alive[~point_ok]] = False
+            good = alive[point_ok]
+            solutions[i, good] = x[point_ok]
+            if x_prev is None:
+                x_prev = np.zeros((es.B, es.size))
+            x_prev[good] = x[point_ok]
+    finally:
+        for s, original in zip(sources, originals):
+            s.value = original
+    return solutions, ok, es
+
+
+# ---------------------------------------------------------------------------
+# Transient
+# ---------------------------------------------------------------------------
+
+class Probe:
+    """A threshold-crossing watchpoint: one node, one level per member.
+
+    ``levels`` may be a scalar (shared by every member) or a length-B
+    sequence.  Crossing instants are linearly interpolated between
+    accepted integration states — the same arithmetic
+    :meth:`repro.spice.waveform.Waveform.crossing_times` applies to a
+    sampled waveform of the identical trajectory.
+    """
+
+    def __init__(self, node: str, levels) -> None:
+        self.node = node
+        self.levels = levels
+
+
+class EnsembleTransient:
+    """Lockstep transient integration of one ensemble.
+
+    Each member runs the exact per-member controller of
+    :func:`repro.spice.transient.transient` — nominal step ``dt``,
+    halving on Newton failure, warm-start prediction, LTE-steered growth
+    up to ``dt_max`` — but the Newton iterations of all members still
+    stepping are assembled and solved as one stacked batch.  Members
+    whose step fails or whose LTE estimate rejects an oversized step
+    simply sit out the accept phase and retry at their reduced step on
+    the next sweep of the active set; members that reach their ``t_stop``
+    leave the batch entirely.  :meth:`extend` pushes selected members'
+    stop times out and resumes them, which is how the characterisation
+    harness grows observation windows for unsettled outputs without
+    re-integrating from scratch.
+    """
+
+    def __init__(self, circuits: Sequence[Circuit],
+                 options: Sequence[TransientOptions],
+                 probes: Sequence[Probe] = (),
+                 x0: np.ndarray | None = None) -> None:
+        if len(options) != len(circuits):
+            raise CircuitError("need one TransientOptions per member")
+        self.es = EnsembleSystem(circuits)
+        es = self.es
+        B = es.B
+        newton = options[0].newton
+        if any(o.newton != newton for o in options):
+            raise CircuitError("ensemble members must share NewtonOptions")
+        self.newton = newton
+
+        self.dt_nom = np.array([o.dt for o in options])
+        self.t_stop = np.array([o.t_stop for o in options])
+        self.dt_min = np.array([o.dt / (2 ** o.max_halvings)
+                                for o in options])
+        self.dt_cap = np.array([o.dt_max if o.dt_max is not None else o.dt
+                                for o in options])
+        self.lte_tol = np.array([o.lte_tol if o.lte_tol is not None
+                                 else np.inf for o in options])
+        self.growth = np.array([o.growth for o in options])
+        self._damped_step_v = newton.max_step_v / 8.0
+        self._damped_iter = newton.max_iterations * 3
+
+        if x0 is None:
+            x, ok = es.solve_dc(options=newton)
+            for lane in np.flatnonzero(~ok):
+                x[lane] = solve_operating_point(es.members[lane],
+                                                options=newton)
+        else:
+            x = x0.copy()
+        self.x = x
+        self.x_init = x.copy()
+        self.t = np.zeros(B)
+        self.dt = self.dt_nom.copy()
+        self.x_last = np.zeros_like(x)
+        self.dt_last = np.zeros(B)
+        self.has_hist = np.zeros(B, dtype=bool)
+        self.steps = np.zeros(B, dtype=int)
+
+        self.probes = list(probes)
+        self._probe_slots = [es.node_slot(p.node) for p in self.probes]
+        self._probe_levels = [np.broadcast_to(
+            np.asarray(p.levels, dtype=float), (B,)).copy()
+            for p in self.probes]
+        #: crossings[probe][member] -> list of (time, rising) tuples.
+        self.crossings: list[list[list[tuple[float, bool]]]] = [
+            [[] for _ in range(B)] for _ in self.probes]
+
+    # -- integration ---------------------------------------------------------
+
+    def run(self) -> "EnsembleTransient":
+        """Integrate every member to its ``t_stop``; returns self."""
+        es = self.es
+        while True:
+            act = np.flatnonzero((self.t_stop - self.t) > self.dt_min)
+            if len(act) == 0:
+                return self
+            dt_step = np.minimum(self.dt[act], self.t_stop[act] - self.t[act])
+            damped = dt_step <= 8.0 * self.dt_min[act]
+            max_step_v = np.where(damped, self._damped_step_v,
+                                  self.newton.max_step_v)
+            max_iter = np.where(damped, self._damped_iter,
+                                self.newton.max_iterations)
+
+            x_prev = self.x[act]
+            G_lin = es.G_static[act] + es.C_unit[act] \
+                / dt_step[:, None, None]
+            b = es.rhs_batch(act, self.t[act] + dt_step,
+                             x_prev=x_prev, dt=dt_step)
+            gathered = es.gather_cached(act)
+
+            hist = self.has_hist[act]
+            x_start = x_prev.copy()
+            if hist.any():
+                ratio = dt_step[hist] / self.dt_last[act][hist]
+                x_start[hist] = x_prev[hist] + (
+                    x_prev[hist] - self.x_last[act][hist]) * ratio[:, None]
+            x_new, conv = es.newton_batch(
+                act, G_lin, b, x_start, self.newton,
+                max_step_v=max_step_v, max_iterations=max_iter,
+                gathered=gathered)
+            pred_err = np.full(len(act), np.nan)
+            warm = hist & conv
+            if warm.any():
+                pred_err[warm] = np.max(
+                    np.abs(x_new[warm] - x_start[warm]), axis=1)
+
+            # Bad predictions (e.g. across a source edge): retry those
+            # lanes from the previous accepted state, like the scalar
+            # controller's inner fallback.
+            retry = hist & ~conv
+            if retry.any():
+                r = np.flatnonzero(retry)
+                x_r, conv_r = es.newton_batch(
+                    act[r], G_lin[r], b[r], x_prev[r], self.newton,
+                    max_step_v=max_step_v[r], max_iterations=max_iter[r])
+                x_new[r] = x_r
+                conv[r] = conv_r
+
+            # Newton failures: halve the member's step and let it retry
+            # on the next active-set sweep.
+            failed = np.flatnonzero(~conv)
+            for k in failed:
+                lane = act[k]
+                new_dt = dt_step[k] / 2.0
+                if new_dt < self.dt_min[lane]:
+                    raise ConvergenceError(
+                        f"transient step failed at t={self.t[lane]:g}s in "
+                        f"circuit {es.members[lane].circuit.name!r} even at "
+                        f"minimum step {self.dt_min[lane]:g}s")
+                self.dt[lane] = new_dt
+
+            # LTE rejection of oversized steps whose estimate blew up.
+            rejected = conv & (dt_step > self.dt_nom[act]) \
+                & (pred_err > 4.0 * self.lte_tol[act])
+            for k in np.flatnonzero(rejected):
+                lane = act[k]
+                self.dt[lane] = max(dt_step[k] / 2.0, self.dt_nom[lane])
+
+            accepted = conv & ~rejected
+            if not accepted.any():
+                continue
+            acc = np.flatnonzero(accepted)
+            lanes = act[acc]
+            self._record_crossings(lanes, x_prev[acc], x_new[acc],
+                                   self.t[lanes], dt_step[acc])
+            self.x_last[lanes] = x_prev[acc]
+            self.dt_last[lanes] = dt_step[acc]
+            self.has_hist[lanes] = True
+            self.x[lanes] = x_new[acc]
+            self.t[lanes] += dt_step[acc]
+            self.steps[lanes] += 1
+
+            # Step-size update, scalar growth rules per lane.
+            err = pred_err[acc]
+            at_nom = dt_step[acc] >= self.dt_nom[lanes]
+            grow = at_nom & (err < 0.25 * self.lte_tol[lanes])
+            shrink = at_nom & (err > self.lte_tol[lanes])
+            hold = at_nom & ~grow & ~shrink
+            below = ~at_nom
+            self.dt[lanes[grow]] = np.minimum(
+                2.0 * dt_step[acc][grow], self.dt_cap[lanes[grow]])
+            self.dt[lanes[shrink]] = np.maximum(
+                dt_step[acc][shrink] / 2.0, self.dt_nom[lanes[shrink]])
+            self.dt[lanes[hold]] = dt_step[acc][hold]
+            self.dt[lanes[below]] = np.minimum(
+                self.dt_nom[lanes[below]],
+                dt_step[acc][below] * self.growth[lanes[below]])
+
+    def extend(self, members: np.ndarray | list[int],
+               new_t_stop: np.ndarray | list[float]) -> None:
+        """Push selected members' stop times out (then call :meth:`run`)."""
+        members = np.asarray(members, dtype=np.intp)
+        self.t_stop[members] = np.maximum(self.t_stop[members],
+                                          np.asarray(new_t_stop, dtype=float))
+
+    def _record_crossings(self, lanes: np.ndarray, x_prev: np.ndarray,
+                          x_new: np.ndarray, t0: np.ndarray,
+                          dt: np.ndarray) -> None:
+        for p, (slot, levels) in enumerate(zip(self._probe_slots,
+                                               self._probe_levels)):
+            v0 = x_prev[:, slot] - levels[lanes]
+            v1 = x_new[:, slot] - levels[lanes]
+            crossed = np.sign(v0) != np.sign(v1)
+            if not crossed.any():
+                continue
+            for k in np.flatnonzero(crossed):
+                frac = -v0[k] / (v1[k] - v0[k])
+                self.crossings[p][lanes[k]].append(
+                    (float(t0[k] + frac * dt[k]), bool(v1[k] > v0[k])))
+
+    # -- measurements --------------------------------------------------------
+
+    def crossing_times(self, probe_index: int, member: int,
+                       direction: str = "any") -> np.ndarray:
+        """Crossing instants of one probe for one member, oldest first."""
+        events = self.crossings[probe_index][member]
+        if direction == "rise":
+            events = [e for e in events if e[1]]
+        elif direction == "fall":
+            events = [e for e in events if not e[1]]
+        return np.asarray([e[0] for e in events])
+
+    def final_value(self, node: str) -> np.ndarray:
+        """Final node voltage of every member."""
+        return self.x[:, self.es.node_slot(node)].copy()
+
+    def initial_value(self, node: str) -> np.ndarray:
+        """Node voltage of every member at the DC initial condition."""
+        return self.x_init[:, self.es.node_slot(node)].copy()
+
+    def final_time(self) -> np.ndarray:
+        return self.t.copy()

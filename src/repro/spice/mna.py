@@ -35,10 +35,12 @@ regardless of size.
 from __future__ import annotations
 
 import os
+from time import perf_counter
 
 import numpy as np
 
 from repro.errors import CircuitError
+from repro.runtime import profiling
 from repro.spice.elements import FET_GMIN, Element, Fet
 from repro.spice.netlist import Circuit
 
@@ -107,7 +109,12 @@ class _FetBatch:
         # In the n-type frame vds is |vd - vs| by construction of the swap.
         vds_n = np.abs(dv)
         vgs_n = (vg - vb) if p > 0 else (vb - vg)
-        ids, gm, gds = self._eval(vgs_n, vds_n)
+        if profiling.ENABLED:
+            t0 = perf_counter()
+            ids, gm, gds = self._eval(vgs_n, vds_n)
+            profiling.add("device_eval", perf_counter() - t0)
+        else:
+            ids, gm, gds = self._eval(vgs_n, vds_n)
 
         # Physical current leaving effective-drain node a is p * ids, and
         # va - vb = p * vds_n, so i_phys = p * (ids + GMIN * vds_n).
@@ -250,6 +257,15 @@ class MnaSystem:
         On the vectorized path the returned arrays are views into buffers
         owned by this system: they stay valid until the next call.
         """
+        if profiling.ENABLED:
+            t0 = perf_counter()
+            result = self._residual_and_jacobian(x, G_lin, b)
+            profiling.add("stamp", perf_counter() - t0)
+            return result
+        return self._residual_and_jacobian(x, G_lin, b)
+
+    def _residual_and_jacobian(self, x: np.ndarray, G_lin: np.ndarray,
+                               b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         if not self._batches:
             J = G_lin.copy()
             F = G_lin @ x - b

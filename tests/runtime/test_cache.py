@@ -17,6 +17,9 @@ from repro.runtime.cache import (
     cache_enabled,
     default_cache,
     default_cache_root,
+    disk_stats,
+    reset_stats,
+    stats_snapshot,
 )
 
 
@@ -174,3 +177,59 @@ def test_cached_payload_is_plain_json(tmp_path):
     payload = json.loads(files[0].read_text())
     assert set(payload) == {"instructions", "cycles", "branch_count",
                             "mispredicts", "l1_misses"}
+
+
+class TestStats:
+    def test_counters_track_hits_misses_and_bytes(self, tmp_path):
+        reset_stats()
+        cache = ResultCache(tmp_path, enabled=True)
+        key = cache.key({"x": 1})
+        assert cache.get("library", key) is None          # miss
+        cache.put("library", key, {"payload": [1, 2, 3]})  # put
+        assert cache.get("library", key) is not None       # hit
+        stats = stats_snapshot()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert stats["bytes_written"] > 0
+        assert stats["bytes_read"] == stats["bytes_written"]
+        # Instance counters track the same events.
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_reset_zeroes_counters(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.get("library", cache.key({"y": 2}))
+        reset_stats()
+        assert all(v == 0 for v in stats_snapshot().values())
+
+    def test_disk_stats_reports_categories(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.put("library", cache.key({"a": 1}), {"v": 1})
+        cache.put("simulation", cache.key({"b": 2}), {"v": 2})
+        cache.put("simulation", cache.key({"c": 3}), {"v": 3})
+        stats = disk_stats(tmp_path)
+        assert stats["library"]["entries"] == 1
+        assert stats["simulation"]["entries"] == 2
+        assert stats["simulation"]["bytes"] > 0
+
+    def test_disk_stats_missing_root(self, tmp_path):
+        assert disk_stats(tmp_path / "nope") == {}
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        """The fsync-and-rename write publishes exactly one final file."""
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.put("library", cache.key({"z": 9}), {"v": 9})
+        leftovers = list((tmp_path / "library").glob("*.tmp"))
+        assert leftovers == []
+        assert len(list((tmp_path / "library").glob("*.json"))) == 1
+
+
+def test_cache_stats_cli(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache = ResultCache(enabled=True)
+    cache.put("library", cache.key({"cli": 1}), {"v": 1})
+    from repro.__main__ import main
+    assert main(["cache-stats"]) == 0
+    out = capsys.readouterr().out
+    assert str(tmp_path) in out
+    assert "library" in out and "entries" in out

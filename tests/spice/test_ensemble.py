@@ -1,0 +1,230 @@
+"""Batched ensemble engine vs the scalar solver, member by member.
+
+The ensemble engine promises each member the *exact* trajectory the
+scalar controller would produce — same Newton damping, same step-size
+schedule, same crossing interpolation — so these tests compare against
+:func:`repro.spice.transient` / :func:`repro.spice.dc.dc_sweep` at tight
+tolerances, and check that co-residents in a batch cannot perturb each
+other (active-set isolation).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells.topologies import diode_load_inverter, pseudo_e_inverter
+from repro.devices.pentacene import PENTACENE, pentacene_model
+from repro.errors import CircuitError
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    EnsembleSystem,
+    EnsembleTransient,
+    NewtonOptions,
+    Probe,
+    RampValue,
+    Resistor,
+    TransientOptions,
+    VoltageSource,
+    dc_sweep,
+    ensemble_dc_sweep,
+    ensemble_operating_point,
+    operating_point,
+    transient,
+)
+
+VDD = 15.0
+
+
+def inverter_testbench(load=1e-12, slew=2e-4, w_drive=100e-6,
+                       vt_shift=0.0, v0=0.0, v1=VDD):
+    """Diode-load inverter driven by a rising (or falling) input ramp."""
+    model = pentacene_model(vt_shift=vt_shift)
+    cell = diode_load_inverter(model, w_drive=w_drive, w_load=30e-6, vdd=VDD)
+    ckt = Circuit("tb")
+    ckt.add(VoltageSource("v_vdd", "vdd", "0", VDD))
+    ckt.add(VoltageSource("v_a", "a", "0",
+                          RampValue(v0, v1, 0.2 * slew, slew)))
+    cell.instantiate(ckt, {"a": "a", "out": "out", "vdd": "vdd", "vss": "0"})
+    ckt.add(Capacitor("c_load", "out", "0", load))
+    return ckt
+
+
+def run_scalar(ckt, options, nodes=("out",)):
+    res = transient(ckt, options)
+    return {n: res.waveform(n) for n in nodes}
+
+
+def default_options(slew=2e-4, t_stop=2e-3):
+    dt = min(t_stop / 400, slew / 8)
+    return TransientOptions(dt=dt, t_stop=t_stop, dt_max=16 * dt,
+                            lte_tol=5e-4 * VDD)
+
+
+class TestTransientEquivalence:
+    def test_grid_matches_scalar_member_by_member(self):
+        """A slew x load grid in one batch reproduces scalar waveforms."""
+        slews = (1e-4, 4e-4)
+        loads = (0.5e-12, 4e-12)
+        members, opts = [], []
+        for slew in slews:
+            for load in loads:
+                members.append(inverter_testbench(load=load, slew=slew))
+                opts.append(default_options(slew=slew))
+        probes = [Probe("out", 0.5 * VDD)]
+        ens = EnsembleTransient(members, opts, probes).run()
+
+        for m, (slew, load) in enumerate(
+                (s, c) for s in slews for c in loads):
+            ckt = inverter_testbench(load=load, slew=slew)
+            w = run_scalar(ckt, default_options(slew=slew))["out"]
+            assert ens.final_value("out")[m] == pytest.approx(
+                w.final_value, abs=1e-9)
+            assert ens.initial_value("out")[m] == pytest.approx(
+                w.initial_value, abs=1e-9)
+            batch_cross = ens.crossing_times(0, m, "fall")
+            scalar_cross = w.crossing_times(0.5 * VDD, direction="fall")
+            assert len(batch_cross) == len(scalar_cross)
+            np.testing.assert_allclose(batch_cross, scalar_cross,
+                                       rtol=1e-9, atol=1e-15)
+
+    def test_heterogeneous_devices_match_scalar(self):
+        """Members may differ in device parameters (MC-style bindings)."""
+        shifts = (-0.4, 0.0, 0.4)
+        members = [inverter_testbench(vt_shift=s) for s in shifts]
+        opts = [default_options() for _ in shifts]
+        ens = EnsembleTransient(members, opts,
+                                [Probe("out", 0.5 * VDD)]).run()
+        for m, s in enumerate(shifts):
+            w = run_scalar(inverter_testbench(vt_shift=s),
+                           default_options())["out"]
+            assert ens.final_value("out")[m] == pytest.approx(
+                w.final_value, abs=1e-9)
+
+    def test_active_set_isolation(self):
+        """A fast member finishing early must not perturb slow members.
+
+        Run a short-window member next to a long-window member, then the
+        long member alone: the long member's events must be bit-equal.
+        """
+        slow = inverter_testbench(load=4e-12, slew=4e-4)
+        fast = inverter_testbench(load=0.2e-12, slew=1e-4)
+        slow_opts = default_options(slew=4e-4, t_stop=2e-3)
+        fast_opts = default_options(slew=1e-4, t_stop=2e-4)
+        probes = [Probe("out", 0.5 * VDD)]
+
+        paired = EnsembleTransient([slow, fast], [slow_opts, fast_opts],
+                                   probes).run()
+        alone = EnsembleTransient(
+            [inverter_testbench(load=4e-12, slew=4e-4)], [slow_opts],
+            probes).run()
+
+        assert paired.final_time()[1] < paired.final_time()[0]
+        assert paired.final_value("out")[0] == alone.final_value("out")[0]
+        np.testing.assert_array_equal(paired.crossing_times(0, 0),
+                                      alone.crossing_times(0, 0))
+        assert paired.steps[0] == alone.steps[0]
+
+    def test_extend_continues_members(self):
+        ckt = inverter_testbench()
+        opts = default_options(t_stop=5e-4)
+        ens = EnsembleTransient([ckt], [opts],
+                                [Probe("out", 0.5 * VDD)]).run()
+        t_first = ens.final_time()[0]
+        ens.extend([0], [2e-3])
+        ens.run()
+        assert ens.final_time()[0] > t_first
+        w = run_scalar(inverter_testbench(), default_options(t_stop=2e-3))
+        # The extended trajectory keeps integrating the same circuit with
+        # its step controller state, so it lands where an uninterrupted
+        # run settles — within integration (LTE) tolerance, not bit-equal.
+        assert ens.final_value("out")[0] == pytest.approx(
+            w["out"].final_value, abs=0.01)
+
+    def test_structural_mismatch_rejected(self):
+        a = inverter_testbench()
+        b = Circuit("rc")
+        b.add(VoltageSource("v1", "in", "0", 1.0))
+        b.add(Resistor("r1", "in", "out", 1e3))
+        b.add(Capacitor("c1", "out", "0", 1e-9))
+        with pytest.raises(CircuitError):
+            EnsembleSystem([a, b])
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        load=st.floats(min_value=0.2e-12, max_value=6e-12),
+        slew=st.floats(min_value=0.5e-4, max_value=6e-4),
+        w_drive=st.floats(min_value=40e-6, max_value=300e-6),
+        vt_shift=st.floats(min_value=-0.5, max_value=0.5),
+    )
+    def test_randomized_binding_matches_scalar(self, load, slew, w_drive,
+                                               vt_shift):
+        """Hypothesis-randomized bindings: batch of 2 vs scalar runs."""
+        bindings = [
+            dict(load=load, slew=slew, w_drive=w_drive, vt_shift=vt_shift),
+            dict(load=2e-12, slew=2e-4, w_drive=100e-6, vt_shift=0.0),
+        ]
+        members = [inverter_testbench(**b) for b in bindings]
+        opts = [default_options(slew=b["slew"]) for b in bindings]
+        ens = EnsembleTransient(members, opts,
+                                [Probe("out", 0.5 * VDD)]).run()
+        for m, b in enumerate(bindings):
+            w = run_scalar(inverter_testbench(**b),
+                           default_options(slew=b["slew"]))["out"]
+            assert ens.final_value("out")[m] == pytest.approx(
+                w.final_value, abs=1e-8)
+
+
+def pseudo_e_testbench(vt_shift=0.0, vss=-15.0):
+    model = pentacene_model(vt_shift=vt_shift)
+    cell = pseudo_e_inverter(model, vdd=VDD, vss=vss)
+    ckt = Circuit("tb_pe")
+    node_map = {"a": "a", "out": "out"}
+    for rail, volts in cell.rails.items():
+        if volts == 0.0:
+            node_map[rail] = "0"
+        else:
+            node_map[rail] = rail
+            ckt.add(VoltageSource(f"v_{rail}", rail, "0", volts))
+    ckt.add(VoltageSource("v_a", "a", "0", 0.0))
+    cell.instantiate(ckt, node_map)
+    return ckt
+
+
+class TestDcEquivalence:
+    def test_operating_point_matches_scalar(self):
+        shifts = (-0.3, 0.0, 0.3)
+        x, es = ensemble_operating_point(
+            [pseudo_e_testbench(s) for s in shifts])
+        for m, s in enumerate(shifts):
+            xs, sys = operating_point(pseudo_e_testbench(s))
+            np.testing.assert_allclose(
+                x[m, :sys.size], xs, rtol=1e-9, atol=1e-12)
+
+    def test_dc_sweep_matches_scalar(self):
+        shifts = (-0.3, 0.0, 0.3)
+        values = np.linspace(0.0, VDD, 21)
+        sols, ok, es = ensemble_dc_sweep(
+            [pseudo_e_testbench(s) for s in shifts], "v_a", values)
+        assert ok.all()
+        out = es.node_slot("out")
+        for m, s in enumerate(shifts):
+            scalar = dc_sweep(pseudo_e_testbench(s), "v_a", values)
+            np.testing.assert_allclose(sols[:, m, out],
+                                       scalar.voltage("out"),
+                                       rtol=1e-9, atol=1e-12)
+
+    def test_sweep_restores_source_values(self):
+        ckts = [pseudo_e_testbench(0.0)]
+        before = ckts[0].element("v_a").value
+        ensemble_dc_sweep(ckts, "v_a", [0.0, VDD / 2, VDD])
+        assert ckts[0].element("v_a").value == before
+
+    def test_newton_options_must_match(self):
+        members = [inverter_testbench(), inverter_testbench()]
+        opts = [default_options(),
+                TransientOptions(dt=1e-6, t_stop=1e-4,
+                                 newton=NewtonOptions(max_step_v=1.0))]
+        with pytest.raises(CircuitError):
+            EnsembleTransient(members, opts)
