@@ -28,10 +28,15 @@ Usage::
 
 ``--profile`` reports a per-stage breakdown (stamp / device-eval /
 solve / overhead) from :mod:`repro.runtime.profiling` next to each
-timing and embeds it in the JSON artifact.  The counters are
-process-local, so profile serial runs (the default) — with ``--workers``
-the solver stages run in children and the breakdown only sees the
-parent's share.
+timing and embeds it in the JSON artifact.  The stage counters are
+process-aware: worker processes ship their telemetry snapshots back
+through ``parallel_map`` and the parent merges them in task order, so
+the breakdown is complete (and deterministic) with ``--workers`` too.
+
+``--report PATH`` additionally collects full telemetry for the whole
+benchmark run and writes a :mod:`repro.runtime.report` JSON document
+(span tree, solver/cache metrics, environment fingerprint) there — the
+artifact CI uploads per run.
 
 ``--check`` re-runs the benchmarks and compares them against a
 previously recorded ``BENCH_perf.json``: any benchmark slower than the
@@ -62,7 +67,8 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.runtime import profiling
+from repro.runtime import log as repro_log, profiling, telemetry
+from repro.runtime import report as run_report
 
 #: Wall-clock seconds before each optimisation landed (see module
 #: docstring for which commit each row was measured at).
@@ -322,11 +328,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed slowdown fraction for --check "
                              "(default 0.25)")
+    parser.add_argument("--report", type=Path, default=None,
+                        metavar="REPORT_JSON",
+                        help="collect telemetry and write a run-report "
+                             "JSON (span tree + solver/cache metrics) here")
+    repro_log.add_cli_flags(parser)
     args = parser.parse_args(argv)
+    repro_log.configure_from_args(args)
 
     names = [args.only] if args.only else list(BENCHES)
     if args.quick and not args.only:
         names.remove("library_characterization")
+
+    if args.report is not None:
+        telemetry.reset()
+        telemetry.enable(True)
+        repro_log.capture_warnings()
+    t_run = time.perf_counter()
 
     results: dict = {}
     for name in names:
@@ -335,14 +353,16 @@ def main(argv: list[str] | None = None) -> int:
             profiling.reset()
             profiling.enable(True)
         if name == "depth_sweep":
-            cold, warm = _bench_depth_sweep(args.workers)
+            with telemetry.span("bench:depth_sweep"):
+                cold, warm = _bench_depth_sweep(args.workers)
             profiling.enable(False)
             prof = (profiling.breakdown(cold + warm)
                     if args.profile else None)
             _record(results, "depth_sweep", cold, prof)
             _record(results, "depth_sweep_warm_cache", warm)
             continue
-        elapsed = BENCHES[name](args.workers)
+        with telemetry.span(f"bench:{name}"):
+            elapsed = BENCHES[name](args.workers)
         profiling.enable(False)
         prof = profiling.breakdown(elapsed) if args.profile else None
         _record(results, name, elapsed, prof)
@@ -371,6 +391,15 @@ def main(argv: list[str] | None = None) -> int:
                   "engine; multi-core boxes additionally gain from "
                   "--workers."),
     }
+    if args.report is not None:
+        telemetry.enable(False)
+        report = run_report.build_report(
+            "bench", argv=argv, status="ok",
+            duration_seconds=time.perf_counter() - t_run)
+        report["benchmarks"] = results
+        run_report.write_report(report, path=args.report)
+        print(f"[bench] wrote run report {args.report}")
+
     status = 0
     if args.check is not None:
         status = _check_against(results, args.check, args.tolerance)

@@ -1,0 +1,129 @@
+"""Assert that telemetry instrumentation keeps the hot paths free.
+
+The telemetry sites in the solver/characterisation layers follow the
+one-branch guard pattern: when ``telemetry.ENABLED`` is False each site
+costs one module-attribute load plus a branch, and even when enabled the
+sites sit at aggregation boundaries (per solve, per batch) rather than
+inside inner loops.  This microbench enforces that claim end to end:
+
+it characterises one cell (or, with ``--bench library``, the full
+organic library) repeatedly with collection *disabled* and *enabled* in
+interleaved pairs — alternating which mode goes first, so slow clock /
+thermal drift cannot systematically favour one side — compares the
+**medians** of each mode, and fails (exit 1) if the enabled median is
+more than ``--max-overhead`` (default 2%) above the disabled one.
+Since the disabled path does strictly less work per site than the
+enabled path, the disabled-telemetry overhead relative to
+uninstrumented code is bounded by the same margin a fortiori.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.telemetry_overhead
+    PYTHONPATH=src python -m benchmarks.perf.telemetry_overhead \
+        --bench library --repeats 2 --max-overhead 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import time
+
+from repro.runtime import telemetry
+
+
+def _cell_workload():
+    from repro.cells.library_def import organic_library_definition
+    from repro.characterization import harness
+
+    defn = organic_library_definition()
+    grid = harness.default_grid(defn)
+    cell = defn.cells["nand2"]
+
+    def run() -> None:
+        harness.characterize_cell(cell, grid, area=1.0, workers=None)
+
+    return run
+
+
+def _library_workload():
+    from repro.cells.library_def import organic_library_definition
+    from repro.characterization.harness import characterize_library
+
+    defn = organic_library_definition()
+
+    def run() -> None:
+        characterize_library(defn, use_cache=False, workers=None)
+
+    return run
+
+
+WORKLOADS = {"cell": _cell_workload, "library": _library_workload}
+
+
+def _timed(run, enabled: bool) -> float:
+    telemetry.reset()
+    telemetry.enable(enabled)
+    try:
+        t0 = time.perf_counter()
+        run()
+        return time.perf_counter() - t0
+    finally:
+        telemetry.enable(False)
+        telemetry.reset()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", choices=sorted(WORKLOADS), default="cell",
+                        help="workload to time (default: one-cell NLDM "
+                             "characterisation)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="disabled/enabled pairs to run (default 5; "
+                             "the medians of each mode are compared)")
+    parser.add_argument("--max-overhead", type=float, default=0.02,
+                        help="maximum allowed fractional slowdown of the "
+                             "telemetry-enabled run (default 0.02)")
+    args = parser.parse_args(argv)
+
+    # REPRO_TELEMETRY=0 would silently force the enabled runs off and
+    # make the comparison vacuous; the bench owns the knob here.
+    if telemetry.force_disabled_by_env():
+        print("[telemetry-overhead] ignoring REPRO_TELEMETRY=0 for the "
+              "duration of the bench")
+        os.environ.pop("REPRO_TELEMETRY", None)
+
+    run = WORKLOADS[args.bench]()
+    run()                                   # warm-up: imports, first-call numpy
+
+    disabled: list[float] = []
+    enabled: list[float] = []
+    for i in range(args.repeats):
+        # Alternate which mode runs first so clock/thermal drift over the
+        # bench's lifetime cannot systematically favour one side.
+        first_on = bool(i % 2)
+        a = _timed(run, enabled=first_on)
+        b = _timed(run, enabled=not first_on)
+        on, off = (a, b) if first_on else (b, a)
+        disabled.append(off)
+        enabled.append(on)
+        print(f"[telemetry-overhead] pair {i + 1}/{args.repeats}: "
+              f"disabled {off:.3f}s, enabled {on:.3f}s", flush=True)
+
+    mid_off = statistics.median(disabled)
+    mid_on = statistics.median(enabled)
+    overhead = mid_on / mid_off - 1.0
+    print(f"[telemetry-overhead] {args.bench}: disabled median "
+          f"{mid_off:.3f}s, enabled median {mid_on:.3f}s, overhead "
+          f"{overhead:+.2%} (limit {args.max_overhead:.0%})")
+    if overhead > args.max_overhead:
+        print("[telemetry-overhead] FAIL: enabled telemetry exceeds the "
+              "overhead budget")
+        return 1
+    print("[telemetry-overhead] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

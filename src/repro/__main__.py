@@ -7,17 +7,28 @@ Usage::
     python -m repro fig12 fig15          # several
     python -m repro liberty out.lib --process organic
     python -m repro cache-stats          # persistent result-cache usage
+    python -m repro report               # pretty-print the latest run report
 
 Heavy experiments (fig11, fig13) accept ``--quick`` to shorten traces.
+
+Every experiment run collects telemetry (hierarchical spans, solver and
+cache metrics — see :mod:`repro.runtime.telemetry`) and writes a JSON
+run report under ``runs/`` (``--report PATH`` overrides the location,
+``--no-report`` skips it, ``REPRO_TELEMETRY=0`` forces the
+zero-overhead path).  ``-v``/``-vv``/``--log-level`` control library
+logging.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.analysis import figures as F
 from repro.analysis.tables import format_matrix, format_series, format_table
+from repro.runtime import log as repro_log, telemetry
+from repro.runtime import report as run_report
 
 
 def _run_fig3(args) -> None:
@@ -157,12 +168,64 @@ def _run_liberty(args) -> None:
     print(f"wrote {args.output} ({args.process})")
 
 
+def _run_report(args) -> int:
+    """Pretty-print the most recent run report (the ``report`` command)."""
+    import json
+
+    path = run_report.latest_report_path()
+    if path is None:
+        print(f"no run reports found under {run_report.default_runs_dir()}")
+        return 1
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {path}: {exc}")
+        return 1
+    print(f"[{path}]")
+    print(run_report.format_report(report))
+    return 0
+
+
 EXPERIMENTS = {
     "fig3": _run_fig3, "fig4": _run_fig4, "fig6": _run_fig6,
     "fig7": _run_fig7, "fig8": _run_fig8, "fig11": _run_fig11,
     "fig12": _run_fig12, "fig13": _run_fig13, "fig14": _run_fig14,
     "fig15": _run_fig15,
 }
+
+
+def _run_experiments(targets: list[str], args,
+                     argv: list[str] | None) -> int:
+    """Run experiments under telemetry and emit one run report.
+
+    One report covers the whole invocation (each target gets its own
+    root span), written to ``--report PATH`` or timestamped under
+    ``runs/``.  ``REPRO_TELEMETRY=0`` keeps collection off; the report
+    then still carries the environment fingerprint and cache stats.
+    """
+    telemetry.reset()
+    telemetry.enable(True)
+    repro_log.capture_warnings()
+    t0 = time.perf_counter()
+    status, error = "ok", None
+    try:
+        for target in targets:
+            with telemetry.span(target):
+                EXPERIMENTS[target](args)
+            print()
+    except Exception as exc:
+        status, error = "error", f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        duration = time.perf_counter() - t0
+        if not args.no_report:
+            report = run_report.build_report(
+                "+".join(targets), argv=argv, status=status, error=error,
+                duration_seconds=duration)
+            path = run_report.write_report(report, path=args.report)
+            print(f"run report: {path}")
+        telemetry.enable(False)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -172,22 +235,32 @@ def main(argv: list[str] | None = None) -> int:
                     "Biodegradable Computing' (MICRO-50 2017).")
     parser.add_argument("targets", nargs="+",
                         help="'list', experiment names (fig3..fig15), "
-                             "'liberty <out.lib>', or 'cache-stats'")
+                             "'liberty <out.lib>', 'cache-stats', or "
+                             "'report'")
     parser.add_argument("--quick", action="store_true",
                         help="shorter traces for the heavy sweeps")
     parser.add_argument("--process", choices=("organic", "silicon"),
                         default="organic", help="library for liberty export")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write the run-report JSON here instead of "
+                             "a timestamped file under runs/")
+    parser.add_argument("--no-report", action="store_true",
+                        help="skip writing the run-report JSON")
+    repro_log.add_cli_flags(parser)
     args = parser.parse_args(argv)
+    repro_log.configure_from_args(args)
 
     targets = list(args.targets)
     if targets[0] == "list":
         print("experiments:", ", ".join(sorted(EXPERIMENTS)))
         print("also: liberty <output.lib> [--process organic|silicon], "
-              "cache-stats")
+              "cache-stats, report")
         return 0
     if targets[0] == "cache-stats":
         _run_cache_stats(args)
         return 0
+    if targets[0] == "report":
+        return _run_report(args)
     if targets[0] == "liberty":
         if len(targets) != 2:
             parser.error("liberty needs an output path")
@@ -198,10 +271,7 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [t for t in targets if t not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; try 'list'")
-    for target in targets:
-        EXPERIMENTS[target](args)
-        print()
-    return 0
+    return _run_experiments(targets, args, argv)
 
 
 if __name__ == "__main__":

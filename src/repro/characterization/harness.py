@@ -43,6 +43,7 @@ from repro.runtime import (
     ensemble_batch as _ensemble_batch,
     ensemble_enabled as _ensemble_enabled,
     parallel_map,
+    telemetry,
 )
 from repro.runtime.cache import ResultCache, default_cache_root
 from repro.spice.dc import operating_point
@@ -177,6 +178,8 @@ def measure_arc(design: CellDesign, pin: str, input_rise: bool,
         w_in = result.waveform(pin)
         w_out = result.waveform("out")
         if not w_out.settled(target, 0.05 * vdd):
+            if telemetry.ENABLED:
+                telemetry.count("char.window_retries")
             window *= 4.0
             continue
         try:
@@ -263,6 +266,8 @@ def measure_arc_batch(design: CellDesign, pin: str, input_rise: bool,
             still_pending = []
             for m, k in enumerate(pending):
                 if abs(ens.final_value("out")[m] - target) > 0.05 * vdd:
+                    if telemetry.ENABLED:
+                        telemetry.count("char.window_retries")
                     windows[k] *= 4.0
                     still_pending.append(k)
                     continue
@@ -272,6 +277,10 @@ def measure_arc_batch(design: CellDesign, pin: str, input_rise: bool,
                 # raises the canonical CharacterizationError for it.
             pending = still_pending
 
+    if telemetry.ENABLED:
+        fallbacks = sum(1 for v in results if v is None)
+        if fallbacks:
+            telemetry.count("char.scalar_point_fallbacks", fallbacks)
     return [
         value if value is not None
         else measure_arc(design, pin, input_rise, slew, load,
@@ -340,13 +349,19 @@ def average_leakage(design: CellDesign) -> float:
 def _measure_arc_task(task) -> tuple[float, float]:
     """Module-level (picklable) worker for one characterisation arc."""
     design, pin, input_rise, slew, load, hint = task
-    return measure_arc(design, pin, input_rise, slew, load, delay_hint=hint)
+    edge = "rise" if input_rise else "fall"
+    with telemetry.span(f"arc:{design.name}.{pin}:{edge}"):
+        return measure_arc(design, pin, input_rise, slew, load,
+                           delay_hint=hint)
 
 
 def _measure_arc_batch_task(task) -> list[tuple[float, float]]:
     """Module-level (picklable) worker for one arc's whole grid ensemble."""
     design, pin, input_rise, points, hints = task
-    return measure_arc_batch(design, pin, input_rise, points, hints=hints)
+    edge = "rise" if input_rise else "fall"
+    with telemetry.span(f"arc:{design.name}.{pin}:{edge}"):
+        return measure_arc_batch(design, pin, input_rise, points,
+                                 hints=hints)
 
 
 def characterize_cell(design: CellDesign, grid: CharacterizationGrid,
@@ -359,6 +374,13 @@ def characterize_cell(design: CellDesign, grid: CharacterizationGrid,
     batches rather than single grid points.  Results are identical to the
     scalar serial run either way.
     """
+    with telemetry.span(f"cell:{design.name}"):
+        return _characterize_cell(design, grid, area, workers)
+
+
+def _characterize_cell(design: CellDesign, grid: CharacterizationGrid,
+                       area: float, workers: int | None) -> CellTiming:
+    telemetry.count("char.cells")
     hints = {load: estimate_gate_delay(design, load + 1e-18)
              for load in grid.loads}
     if _ensemble_enabled():
@@ -523,6 +545,8 @@ def measure_clk_to_q(dff: CompositeCell, clk_slew: float, load: float,
                                      effect_direction=direction)
             except AnalysisError as exc:
                 last_error = exc
+        if telemetry.ENABLED:
+            telemetry.count("char.dff_window_retries")
         t_extra *= 4.0
     raise CharacterizationError(
         f"clk->q measurement failed (slew={clk_slew:g}, load={load:g}): "
@@ -688,6 +712,8 @@ def measure_clk_to_q_batch(dff: CompositeCell,
                     elif len(effect):
                         delay = float(effect[-1] - cause[0])
             if delay is None:
+                if telemetry.ENABLED:
+                    telemetry.count("char.dff_window_retries")
                 t_extras[k] *= 4.0
                 still_pending.append(k)
             else:
@@ -717,6 +743,14 @@ def characterize_dff(dff: CompositeCell, grid: CharacterizationGrid,
     for it; the setup-time bisection stays serial (each trial depends on
     the previous one).
     """
+    with telemetry.span("cell:dff"):
+        return _characterize_dff(dff, grid, area, t_unit, workers)
+
+
+def _characterize_dff(dff: CompositeCell, grid: CharacterizationGrid,
+                      area: float, t_unit: float,
+                      workers: int | None) -> SequentialTiming:
+    telemetry.count("char.cells")
     if _ensemble_enabled():
         points = [(slew, load)
                   for slew in grid.slews for load in grid.loads]
@@ -830,6 +864,16 @@ def characterize_library(defn: CellLibraryDefinition,
     :func:`repro.runtime.parallel_map`); results and the cache key are
     identical whatever the worker count.
     """
+    with telemetry.span(f"characterize_library:{defn.name}"):
+        return _characterize_library(defn, grid, cache_dir, use_cache,
+                                     workers)
+
+
+def _characterize_library(defn: CellLibraryDefinition,
+                          grid: CharacterizationGrid | None,
+                          cache_dir: Path | None,
+                          use_cache: bool,
+                          workers: int | None) -> Library:
     grid = grid or default_grid(defn)
     cache = ResultCache(root=cache_dir)
     key = _definition_fingerprint(defn, grid)

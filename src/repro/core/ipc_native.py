@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import ctypes
 import hashlib
-import logging
 import os
 import shutil
 import subprocess
@@ -42,8 +41,9 @@ from repro.core.isa import (
     EXEC_LATENCY_BY_CODE,
     PIPE_OCCUPANCY_BY_CODE,
 )
+from repro.runtime.log import get_logger
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 #: Set to ``0`` to force the pure-Python fast kernel.
 NATIVE_ENV = "REPRO_NATIVE"

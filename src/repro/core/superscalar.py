@@ -56,6 +56,7 @@ from repro.core.isa import (
 )
 from repro.core.trace import Trace
 from repro.errors import ConfigError, SimulationError
+from repro.runtime import telemetry
 
 #: Environment knob selecting the timing kernel.
 KERNEL_ENV = "REPRO_IPC_KERNEL"
@@ -100,6 +101,8 @@ def simulate(config: CoreConfig, trace: Trace,
     if _resolve_kernel(kernel) == "fast":
         cycles = _fast_cycles(config, trace)
         mispredicts = sum(trace.mispredict_flags(config.predictor_bits))
+        if telemetry.ENABLED:
+            _flush_simulation(len(trace), cycles)
         return SimulationResult(
             config_name=config.name,
             trace_name=trace.name,
@@ -110,7 +113,19 @@ def simulate(config: CoreConfig, trace: Trace,
             mispredicts=mispredicts,
             l1_misses=trace.l1_miss_count(),
         )
-    return _simulate_reference(config, trace)
+    result = _simulate_reference(config, trace)
+    if telemetry.ENABLED:
+        telemetry.count("ipc.reference_kernel_runs")
+        _flush_simulation(result.instructions, result.cycles)
+    return result
+
+
+def _flush_simulation(instructions: int, cycles: int) -> None:
+    """One registry update per simulated trace (never per instruction)."""
+    telemetry.count("ipc.simulations")
+    telemetry.count("ipc.instructions", instructions)
+    telemetry.count("ipc.cycles", cycles)
+    telemetry.observe("ipc.cycles_per_simulation", cycles)
 
 
 # ---------------------------------------------------------------------------
@@ -145,7 +160,11 @@ def _fast_cycles(config: CoreConfig, trace: Trace) -> int:
     """
     cycles = ipc_native.native_cycles(config, trace)
     if cycles is not None:
+        if telemetry.ENABLED:
+            telemetry.count("ipc.native_kernel_runs")
         return cycles
+    if telemetry.ENABLED:
+        telemetry.count("ipc.python_kernel_runs")
     if config.front_width == 1:
         return _fast_cycles_w1(config, trace)
     codes, src0, src1, dsts, load_miss = trace.packed_lists()

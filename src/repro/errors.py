@@ -25,16 +25,26 @@ class ConvergenceError(ReproError):
     the solver attach their keys with :meth:`with_context` as the exception
     propagates, so a failure reported from a parallel worker still names
     the circuit and bias that caused it.
+
+    ``events`` is a structured trail of what the solver tried before
+    giving up: each entry is a dict with a ``stage`` key (``"newton"``,
+    ``"gmin"``, ``"source"``, ...) plus stage-specific detail —
+    iteration count, the last gmin or source-step fraction reached, the
+    worst-residual node.  The trail is appended with :meth:`add_event`
+    as the fallback chain unwinds and rendered into :meth:`__str__`, so
+    a bare traceback already tells the whole convergence story.
     """
 
     def __init__(self, message: str, *, iterations: int | None = None,
                  residual: float | None = None,
-                 context: dict | None = None) -> None:
+                 context: dict | None = None,
+                 events: list | None = None) -> None:
         super().__init__(message)
         self.message = message
         self.iterations = iterations
         self.residual = residual
         self.context = dict(context) if context else {}
+        self.events = [dict(e) for e in events] if events else []
 
     def with_context(self, **kwargs) -> "ConvergenceError":
         """Attach caller-level context keys (existing keys win)."""
@@ -42,23 +52,43 @@ class ConvergenceError(ReproError):
             self.context.setdefault(key, value)
         return self
 
+    def add_event(self, stage: str, **detail) -> "ConvergenceError":
+        """Append one structured trail entry (oldest first)."""
+        self.events.append({"stage": stage, **detail})
+        return self
+
+    @staticmethod
+    def _format_event(event: dict) -> str:
+        detail = ", ".join(
+            f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in event.items() if k != "stage")
+        return f"{event.get('stage', '?')}({detail})" if detail \
+            else str(event.get("stage", "?"))
+
     def __str__(self) -> str:
-        if not self.context:
-            return self.message
-        detail = ", ".join(f"{k}={v!r}" for k, v in self.context.items())
-        return f"{self.message} [{detail}]"
+        parts = [self.message]
+        if self.events:
+            trail = " -> ".join(self._format_event(e) for e in self.events)
+            parts.append(f"[trail: {trail}]")
+        if self.context:
+            detail = ", ".join(f"{k}={v!r}" for k, v in self.context.items())
+            parts.append(f"[{detail}]")
+        return " ".join(parts)
 
     def __reduce__(self):
         # Keyword-only constructor args: the default Exception reduction
         # would drop them, so spell the reconstruction out.  This is what
         # lets the error cross a process-pool boundary intact.
         return (_rebuild_convergence_error,
-                (self.message, self.iterations, self.residual, self.context))
+                (self.message, self.iterations, self.residual, self.context,
+                 self.events))
 
 
-def _rebuild_convergence_error(message, iterations, residual, context):
+def _rebuild_convergence_error(message, iterations, residual, context,
+                               events=None):
     return ConvergenceError(message, iterations=iterations,
-                            residual=residual, context=context)
+                            residual=residual, context=context,
+                            events=events)
 
 
 class AnalysisError(ReproError):

@@ -1,7 +1,17 @@
-"""Process-level runtime: parallel fan-out and persistent result caching."""
+"""Process-level runtime: parallel fan-out, caching, and observability.
+
+Besides the executor and result cache, this package hosts the shared
+observability substrate: :mod:`repro.runtime.telemetry` (metrics
+registry + hierarchical spans, merged deterministically across worker
+processes), :mod:`repro.runtime.log` (unified logging config for the
+CLIs), :mod:`repro.runtime.profiling` (the solver stage breakdown, now
+a view over the telemetry registry), and :mod:`repro.runtime.report`
+(per-experiment JSON run reports).
+"""
 
 import os
 
+from repro.runtime import log, telemetry
 from repro.runtime.cache import ResultCache, default_cache, default_cache_root
 from repro.runtime.executor import (
     TaskError,
@@ -10,6 +20,7 @@ from repro.runtime.executor import (
     parallel_map,
     resolve_workers,
 )
+from repro.runtime.log import get_logger
 
 
 def ensemble_enabled() -> bool:
@@ -43,7 +54,10 @@ __all__ = [
     "default_cache_root",
     "ensemble_batch",
     "ensemble_enabled",
+    "get_logger",
     "get_shared",
+    "log",
     "parallel_map",
     "resolve_workers",
+    "telemetry",
 ]

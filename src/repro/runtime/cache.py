@@ -29,7 +29,13 @@ entries are dropped and treated as misses.
 
 Every :class:`ResultCache` also feeds process-wide hit/miss/byte
 counters (:func:`stats_snapshot`); ``python -m repro cache-stats``
-reports them together with the on-disk entry counts per category.
+reports them together with the on-disk entry counts per category.  With
+:mod:`repro.runtime.telemetry` enabled the same events additionally
+flow into per-category registry counters
+(``cache.hit.<category>`` / ``cache.miss.<category>`` /
+``cache.put.<category>`` plus ``cache.bytes_read`` /
+``cache.bytes_written``), which worker processes ship back to the
+parent — so a run report's cache section covers the whole process tree.
 """
 
 from __future__ import annotations
@@ -40,6 +46,8 @@ import os
 import tempfile
 from pathlib import Path
 from typing import Any
+
+from repro.runtime import telemetry
 
 __all__ = [
     "ResultCache",
@@ -154,6 +162,8 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             _STATS["misses"] += 1
+            if telemetry.ENABLED:
+                telemetry.count(f"cache.miss.{category}")
             return None
         except (json.JSONDecodeError, OSError, UnicodeDecodeError):
             # Corrupt / truncated entry: drop it and recompute.
@@ -163,10 +173,15 @@ class ResultCache:
                 pass
             self.misses += 1
             _STATS["misses"] += 1
+            if telemetry.ENABLED:
+                telemetry.count(f"cache.miss.{category}")
             return None
         self.hits += 1
         _STATS["hits"] += 1
         _STATS["bytes_read"] += len(text)
+        if telemetry.ENABLED:
+            telemetry.count(f"cache.hit.{category}")
+            telemetry.count("cache.bytes_read", len(text))
         return payload
 
     def put(self, category: str, key: str, payload: Any) -> Path | None:
@@ -195,6 +210,9 @@ class ResultCache:
             raise
         _STATS["puts"] += 1
         _STATS["bytes_written"] += len(blob)
+        if telemetry.ENABLED:
+            telemetry.count(f"cache.put.{category}")
+            telemetry.count("cache.bytes_written", len(blob))
         return path
 
     def clear(self, category: str | None = None) -> int:

@@ -17,7 +17,14 @@ the one primitive they share:
   caller, labelled with the task that failed;
 - when a pool cannot be created at all (restricted environments, missing
   semaphores), the map degrades to serial execution, logging a
-  once-per-process warning so an unexpectedly slow sweep is diagnosable.
+  once-per-process warning so an unexpectedly slow sweep is diagnosable;
+- when telemetry or solver profiling is enabled in the parent, each task
+  additionally returns a :mod:`repro.runtime.telemetry` registry snapshot
+  (collected on a per-task-reset registry, so it is exactly that task's
+  delta) and the parent merges the snapshots **in task order** — metrics
+  and ``run_bench --profile`` breakdowns are therefore complete and
+  deterministic under ``REPRO_WORKERS>1``, where they were previously
+  lost with the worker processes.
 
 Workers are plain ``fork``/``spawn`` processes: the mapped function and its
 arguments must be picklable.  Use :func:`functools.partial` over module-level
@@ -26,13 +33,15 @@ functions, not closures.
 
 from __future__ import annotations
 
-import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-_logger = logging.getLogger(__name__)
+from repro.runtime import telemetry
+from repro.runtime.log import get_logger
+
+_logger = get_logger(__name__)
 
 #: Set once the serial-fallback warning has been emitted, so a sweep with
 #: hundreds of parallel_map calls reports the degradation exactly once.
@@ -101,11 +110,31 @@ def resolve_workers(workers: int | None = None) -> int:
     return max(1, workers)
 
 
-def _run_one(fn: Callable[..., Any], task: Any) -> tuple[Any, BaseException | None]:
+def _run_one(fn: Callable[..., Any], task: Any,
+             collect: tuple[bool, bool] | None = None
+             ) -> tuple[Any, BaseException | None, dict | None]:
+    """Run one task; optionally collect and return a telemetry snapshot.
+
+    *collect* is ``None`` in-process (instrumentation writes straight
+    into the caller's registry) and ``(telemetry_on, profiling_on)`` in
+    pool workers: the worker resets its registry before the task (fork
+    inherits the parent's accumulations; a reused worker holds earlier
+    tasks' — both would double-count), enables collection to match the
+    parent, and ships the resulting per-task delta back.
+    """
+    snap: dict | None = None
+    if collect is not None:
+        from repro.runtime import profiling
+        telemetry.reset()
+        telemetry.enable(collect[0])
+        profiling.enable(collect[1])
     try:
-        return fn(task), None
+        value, error = fn(task), None
     except Exception as exc:  # noqa: BLE001 - captured and re-raised by caller
-        return None, exc
+        value, error = None, exc
+    if collect is not None:
+        snap = telemetry.snapshot()
+    return value, error, snap
 
 
 def parallel_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
@@ -151,14 +180,26 @@ def parallel_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
         raise ValueError("labels must match tasks in length")
 
     n_workers = resolve_workers(workers)
-    outcomes: list[tuple[Any, BaseException | None]] | None = None
+    outcomes: list[tuple[Any, BaseException | None, dict | None]] | None = None
     if n_workers > 1 and len(tasks) > 1:
+        from repro.runtime import profiling
+        collect: tuple[bool, bool] | None = None
+        if telemetry.ENABLED or profiling.ENABLED:
+            collect = (telemetry.ENABLED, profiling.ENABLED)
         try:
             with ProcessPoolExecutor(
                     max_workers=min(n_workers, len(tasks)),
                     initializer=_init_shared if shared is not None else None,
                     initargs=(shared,) if shared is not None else ()) as pool:
-                outcomes = list(pool.map(_run_one, [fn] * len(tasks), tasks))
+                outcomes = list(pool.map(_run_one, [fn] * len(tasks), tasks,
+                                         [collect] * len(tasks)))
+            # Graft every task's metrics delta into this process, in task
+            # order, under the span enclosing this parallel_map call.
+            if collect is not None:
+                prefix = telemetry.current_path()
+                for _value, _error, snap in outcomes:
+                    if snap:
+                        telemetry.merge_snapshot(snap, prefix=prefix)
         except (OSError, PermissionError, ImportError) as exc:
             # Restricted environment (no semaphores / fork denied): degrade
             # to serial rather than failing the analysis.
@@ -181,7 +222,7 @@ def parallel_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
             _init_shared(previous_shared)
 
     results = [TaskResult(index=i, label=label_list[i], value=value, error=error)
-               for i, (value, error) in enumerate(outcomes)]
+               for i, (value, error, _snap) in enumerate(outcomes)]
     if on_error == "raise":
         for result in results:
             if result.error is not None:

@@ -1,12 +1,22 @@
-"""Lightweight per-stage wall-clock counters for the solver hot paths.
+"""Per-stage solver wall-clock counters — a thin view over the registry.
 
 The perf benchmarks (``benchmarks/perf/run_bench.py --profile``) want a
 breakdown of where a characterisation run spends its time — matrix
 stamping, linear solves, device-model evaluation — without slowing the
 normal path down.  The hot loops therefore guard every measurement with
 a single module-global ``ENABLED`` check (one attribute load and branch
-when profiling is off) and accumulate raw ``perf_counter`` durations
-into a flat dict when it is on.
+when profiling is off).
+
+Since the telemetry registry landed, this module no longer owns any
+storage: :func:`add` accumulates into the
+:mod:`repro.runtime.telemetry` timers (``solver.stamp`` /
+``solver.device_eval`` / ``solver.solve``), and :func:`snapshot` /
+:func:`breakdown` read them back.  That is what makes the counters
+**process-aware**: worker processes ship their registry snapshot back
+through :func:`repro.runtime.parallel_map`'s result channel and the
+parent merges them in task order, so ``run_bench --profile`` reports
+the full stamp/solve time even under ``REPRO_WORKERS>1`` (previously
+the workers' share was silently lost).
 
 Stages
 ------
@@ -22,9 +32,6 @@ Stages
 Everything else (step control, source evaluation, measurement
 bookkeeping, Python overhead) is the *overhead* line, derived by the
 reporter as ``total - stamp - solve``.
-
-Profiling is process-local and not thread-safe — it exists for the
-single-threaded benchmark driver, not for production telemetry.
 """
 
 from __future__ import annotations
@@ -32,16 +39,20 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.runtime import telemetry
+
 __all__ = ["ENABLED", "add", "breakdown", "enable", "profiled", "reset",
            "snapshot"]
 
 #: Hot-path guard: solver code only calls :func:`add` when this is True.
+#: Kept separate from ``telemetry.ENABLED`` so ``--profile`` can collect
+#: the stage timers without turning full telemetry on.
 ENABLED = False
 
 _STAGES = ("stamp", "device_eval", "solve")
 
-_times: dict[str, float] = {stage: 0.0 for stage in _STAGES}
-_counts: dict[str, int] = {stage: 0 for stage in _STAGES}
+#: Registry timer names backing each stage.
+_TIMER = {stage: f"solver.{stage}" for stage in _STAGES}
 
 
 def enable(flag: bool = True) -> None:
@@ -52,21 +63,28 @@ def enable(flag: bool = True) -> None:
 
 def reset() -> None:
     """Zero all accumulated stage times and counts."""
+    timers = telemetry._REG.timers
     for stage in _STAGES:
-        _times[stage] = 0.0
-        _counts[stage] = 0
+        timers.pop(_TIMER[stage], None)
 
 
 def add(stage: str, seconds: float) -> None:
     """Accumulate *seconds* into *stage* (call only when ``ENABLED``)."""
-    _times[stage] += seconds
-    _counts[stage] += 1
+    telemetry._REG.time_add(_TIMER[stage], seconds)
+
+
+def _stage(stage: str) -> tuple[float, int]:
+    cell = telemetry._REG.timers.get(_TIMER[stage])
+    return (cell[0], int(cell[1])) if cell is not None else (0.0, 0)
 
 
 def snapshot() -> dict[str, dict[str, float]]:
     """Raw accumulated ``{stage: {seconds, calls}}`` since the last reset."""
-    return {stage: {"seconds": _times[stage], "calls": _counts[stage]}
-            for stage in _STAGES}
+    out = {}
+    for stage in _STAGES:
+        seconds, calls = _stage(stage)
+        out[stage] = {"seconds": seconds, "calls": calls}
+    return out
 
 
 def breakdown(total_seconds: float) -> dict[str, float]:
@@ -77,12 +95,15 @@ def breakdown(total_seconds: float) -> dict[str, float]:
     ``overhead`` is whatever part of *total_seconds* none of the solver
     stages account for (step control, sources, measurements, Python).
     """
-    stamp = max(0.0, _times["stamp"] - _times["device_eval"])
-    tracked = stamp + _times["device_eval"] + _times["solve"]
+    stamp_s, _ = _stage("stamp")
+    dev_s, _ = _stage("device_eval")
+    solve_s, _ = _stage("solve")
+    stamp = max(0.0, stamp_s - dev_s)
+    tracked = stamp + dev_s + solve_s
     return {
         "stamp": round(stamp, 4),
-        "device_eval": round(_times["device_eval"], 4),
-        "solve": round(_times["solve"], 4),
+        "device_eval": round(dev_s, 4),
+        "solve": round(solve_s, 4),
         "overhead": round(max(0.0, total_seconds - tracked), 4),
     }
 

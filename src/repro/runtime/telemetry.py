@@ -1,0 +1,374 @@
+"""Process-aware telemetry: metrics registry plus hierarchical spans.
+
+The pipeline spans four instrumentation-blind layers (scalar/ensemble
+SPICE solves, NLDM characterisation, STA/synthesis, IPC sweeps) that fan
+out across worker processes and a persistent result cache.  This module
+is their shared observability substrate:
+
+- a **metrics registry** with three instrument kinds —
+
+  * *counters* (monotonic integers: Newton iterations, LTE rejections,
+    cache hits),
+  * *timers* (accumulated wall-clock seconds + call counts: the solver
+    stage breakdown ``run_bench --profile`` reports),
+  * *distributions* (count/sum/min/max summaries of observed values:
+    ensemble batch occupancy, cycles per simulation);
+
+- **hierarchical spans**: nested timed regions forming a tree per
+  process (``with telemetry.span("characterize:nand2"): ...``), with a
+  flat per-path total view (:func:`span_totals`) that survives
+  cross-process aggregation;
+
+- **deterministic cross-process merge**: worker processes serialise a
+  registry snapshot per task back through ``parallel_map``'s result
+  channel and the parent folds them in **task order**
+  (:func:`merge_snapshot`), so integer metrics are bit-identical to a
+  serial run whatever the worker count.  Worker span paths are grafted
+  under the parent's span active at the ``parallel_map`` call site.
+
+Cost model: the *disabled* hot path is one module-attribute load and
+branch per instrumentation site (the same pattern
+:mod:`repro.runtime.profiling` established), and sites sit at natural
+aggregation boundaries — per solve, per batch, per run — never inside
+per-iteration inner loops; counts accumulate in locals and flush once.
+The enabled path appends to plain dicts.
+
+Environment knob: ``REPRO_TELEMETRY=1`` force-enables collection at
+import time (``0`` force-disables even if a caller asks for it); by
+default collection is off until a driver — the ``python -m repro`` CLI,
+``run_bench --profile``/``--report`` — calls :func:`enable`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "ENABLED",
+    "count",
+    "counters",
+    "current_path",
+    "enable",
+    "enabled_by_env",
+    "force_disabled_by_env",
+    "merge_snapshot",
+    "observe",
+    "reset",
+    "snapshot",
+    "span",
+    "span_totals",
+    "span_tree",
+    "time_add",
+    "timers",
+    "warn",
+    "warnings",
+]
+
+#: Hot-path guard: instrumentation sites only touch the registry when
+#: this is True.  One attribute load + branch when telemetry is off.
+ENABLED = False
+
+#: Separator used in flattened span paths ("fig11/characterize/cell:inv").
+PATH_SEP = "/"
+
+
+def enabled_by_env() -> bool:
+    """True iff ``REPRO_TELEMETRY`` asks for collection (``1``/``on``)."""
+    return os.environ.get("REPRO_TELEMETRY", "").lower() in ("1", "true", "on")
+
+
+def force_disabled_by_env() -> bool:
+    """True iff ``REPRO_TELEMETRY`` explicitly disables collection."""
+    return os.environ.get("REPRO_TELEMETRY", "").lower() in ("0", "false",
+                                                             "off")
+
+
+class _Span:
+    """One node of the span tree (name, relative start, duration, children)."""
+
+    __slots__ = ("name", "t_start", "seconds", "children", "meta")
+
+    def __init__(self, name: str, t_start: float) -> None:
+        self.name = name
+        self.t_start = t_start
+        self.seconds = 0.0
+        self.children: list[_Span] = []
+        self.meta: dict[str, Any] = {}
+
+    def to_dict(self) -> dict:
+        node = {
+            "name": self.name,
+            "t_start": round(self.t_start, 6),
+            "seconds": round(self.seconds, 6),
+        }
+        if self.meta:
+            node["meta"] = dict(self.meta)
+        if self.children:
+            node["children"] = [c.to_dict() for c in self.children]
+        return node
+
+
+class _Registry:
+    """The per-process metric store.  One instance per process."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, list[float]] = {}   # name -> [seconds, calls]
+        self.dists: dict[str, list[float]] = {}    # name -> [n, sum, min, max]
+        self.roots: list[_Span] = []
+        self.stack: list[_Span] = []
+        self.span_totals: dict[str, list[float]] = {}  # path -> [count, secs]
+        self.warnings: list[str] = []
+        self.epoch = time.perf_counter()
+
+    # -- instruments --------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def time_add(self, name: str, seconds: float, calls: int = 1) -> None:
+        cell = self.timers.get(name)
+        if cell is None:
+            self.timers[name] = [seconds, calls]
+        else:
+            cell[0] += seconds
+            cell[1] += calls
+
+    def observe(self, name: str, value: float) -> None:
+        cell = self.dists.get(name)
+        if cell is None:
+            self.dists[name] = [1, value, value, value]
+        else:
+            cell[0] += 1
+            cell[1] += value
+            if value < cell[2]:
+                cell[2] = value
+            if value > cell[3]:
+                cell[3] = value
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(str(message))
+
+    # -- spans ---------------------------------------------------------------
+
+    def span_path(self) -> str:
+        return PATH_SEP.join(s.name for s in self.stack)
+
+    def open_span(self, name: str) -> _Span:
+        node = _Span(name, time.perf_counter() - self.epoch)
+        if self.stack:
+            self.stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self.stack.append(node)
+        return node
+
+    def close_span(self, node: _Span, t0: float) -> None:
+        node.seconds = time.perf_counter() - t0
+        # Tolerate exceptions having unwound intermediate spans.
+        while self.stack and self.stack[-1] is not node:
+            self.stack.pop()
+        if self.stack:
+            self.stack.pop()
+        path = (PATH_SEP.join([self.span_path(), node.name])
+                if self.stack else node.name)
+        cell = self.span_totals.get(path)
+        if cell is None:
+            self.span_totals[path] = [1, node.seconds]
+        else:
+            cell[0] += 1
+            cell[1] += node.seconds
+
+
+_REG = _Registry()
+
+if enabled_by_env():                               # pragma: no cover - env
+    ENABLED = True
+
+
+def enable(flag: bool = True) -> None:
+    """Turn collection on/off (leaves accumulated data in place).
+
+    ``REPRO_TELEMETRY=0`` wins over ``enable(True)`` so a user can force
+    the zero-overhead path through any driver.
+    """
+    global ENABLED
+    if flag and force_disabled_by_env():
+        ENABLED = False
+        return
+    ENABLED = bool(flag)
+
+
+def reset() -> None:
+    """Drop all accumulated metrics, spans and warnings."""
+    global _REG
+    _REG = _Registry()
+
+
+# -- module-level instrument helpers (call only behind an ENABLED check
+#    on hot paths; cold paths may call unconditionally) ----------------------
+
+def count(name: str, n: int = 1) -> None:
+    """Add *n* to counter *name*."""
+    if ENABLED:
+        _REG.count(name, n)
+
+
+def time_add(name: str, seconds: float, calls: int = 1) -> None:
+    """Accumulate wall-clock *seconds* into timer *name*."""
+    if ENABLED:
+        _REG.time_add(name, seconds, calls)
+
+
+def observe(name: str, value: float) -> None:
+    """Fold *value* into the count/sum/min/max summary of *name*."""
+    if ENABLED:
+        _REG.observe(name, float(value))
+
+
+def warn(message: str) -> None:
+    """Record a warning line for the run report (always collected)."""
+    _REG.warn(message)
+
+
+@contextmanager
+def span(name: str, **meta) -> Iterator[None]:
+    """A timed hierarchical region; nests under the enclosing span.
+
+    No-op (and allocation-free) while telemetry is disabled.
+    """
+    if not ENABLED:
+        yield
+        return
+    node = _REG.open_span(name)
+    if meta:
+        node.meta.update(meta)
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        _REG.close_span(node, t0)
+
+
+def current_path() -> str:
+    """Flattened path of the innermost open span ('' at top level)."""
+    return _REG.span_path()
+
+
+# -- snapshots and deterministic merge ---------------------------------------
+
+def snapshot() -> dict:
+    """Serialisable copy of the registry (ships across process pools).
+
+    Workers call this once per task (on a freshly reset registry, so the
+    snapshot *is* the task's delta); the parent merges snapshots in task
+    order with :func:`merge_snapshot`.  Open spans are not included —
+    only completed spans have defined durations.
+    """
+    return {
+        "counters": dict(_REG.counters),
+        "timers": {k: list(v) for k, v in _REG.timers.items()},
+        "dists": {k: list(v) for k, v in _REG.dists.items()},
+        "span_totals": {k: list(v) for k, v in _REG.span_totals.items()},
+        "warnings": list(_REG.warnings),
+    }
+
+
+def merge_snapshot(snap: dict, prefix: str | None = None) -> None:
+    """Fold a worker snapshot into this process's registry.
+
+    Counters/timers/span totals add; distributions merge count/sum and
+    take elementwise min/max — all associative and applied in task
+    order, so the merged totals are independent of worker scheduling.
+    *prefix* (default: the caller's current span path) grafts the
+    worker's span paths under the span that launched the workers.
+    """
+    if prefix is None:
+        prefix = _REG.span_path()
+    for name, n in snap.get("counters", {}).items():
+        _REG.count(name, n)
+    for name, (seconds, calls) in snap.get("timers", {}).items():
+        _REG.time_add(name, seconds, int(calls))
+    for name, (n, total, lo, hi) in snap.get("dists", {}).items():
+        cell = _REG.dists.get(name)
+        if cell is None:
+            _REG.dists[name] = [n, total, lo, hi]
+        else:
+            cell[0] += n
+            cell[1] += total
+            if lo < cell[2]:
+                cell[2] = lo
+            if hi > cell[3]:
+                cell[3] = hi
+    for path, (n, seconds) in snap.get("span_totals", {}).items():
+        full = f"{prefix}{PATH_SEP}{path}" if prefix else path
+        cell = _REG.span_totals.get(full)
+        if cell is None:
+            _REG.span_totals[full] = [n, seconds]
+        else:
+            cell[0] += n
+            cell[1] += seconds
+    for message in snap.get("warnings", []):
+        _REG.warn(message)
+
+
+# -- read-side views ----------------------------------------------------------
+
+def counters() -> dict[str, int]:
+    """Copy of all counters."""
+    return dict(_REG.counters)
+
+
+def timers() -> dict[str, dict[str, float]]:
+    """``{name: {"seconds": s, "calls": n}}`` for all timers."""
+    return {k: {"seconds": v[0], "calls": int(v[1])}
+            for k, v in _REG.timers.items()}
+
+
+def distributions() -> dict[str, dict[str, float]]:
+    """``{name: {count, sum, min, max, mean}}`` for all distributions."""
+    out = {}
+    for k, (n, total, lo, hi) in _REG.dists.items():
+        out[k] = {"count": int(n), "sum": total, "min": lo, "max": hi,
+                  "mean": total / n if n else 0.0}
+    return out
+
+
+def span_totals() -> dict[str, dict[str, float]]:
+    """Flat per-path ``{count, seconds}`` totals (includes worker spans)."""
+    return {k: {"count": int(v[0]), "seconds": v[1]}
+            for k, v in sorted(_REG.span_totals.items())}
+
+
+def span_tree() -> list[dict]:
+    """This process's completed top-level spans as nested dicts."""
+    return [root.to_dict() for root in _REG.roots]
+
+
+def warnings() -> list[str]:
+    """Warning lines recorded (or merged from workers) this run."""
+    return list(_REG.warnings)
+
+
+def metrics_snapshot() -> dict:
+    """Everything a run report embeds: counters, timers, distributions."""
+    return {
+        "counters": dict(sorted(_REG.counters.items())),
+        "timers": {k: v for k, v in sorted(timers().items())},
+        "distributions": {k: v for k, v in
+                          sorted(distributions().items())},
+    }
+
+
+@contextmanager
+def collecting() -> Iterator[None]:
+    """Enable collection on a fresh registry for the duration of a block."""
+    reset()
+    enable(True)
+    try:
+        yield
+    finally:
+        enable(False)

@@ -22,7 +22,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.errors import ConvergenceError
-from repro.runtime import profiling
+from repro.runtime import profiling, telemetry
 from repro.spice.mna import MnaSystem
 from repro.spice.netlist import Circuit
 
@@ -50,6 +50,13 @@ class NewtonOptions:
     source_steps: int = 10
 
 
+def _worst_residual_node(sys: MnaSystem, F: np.ndarray | None) -> str | None:
+    """Name of the node with the largest residual magnitude, if known."""
+    if F is None or sys.n_nodes == 0:
+        return None
+    return sys.node_names[int(np.argmax(np.abs(F[:sys.n_nodes])))]
+
+
 def _newton(sys: MnaSystem, G_lin: np.ndarray, b: np.ndarray,
             x0: np.ndarray, options: NewtonOptions,
             gmin: float = 0.0) -> np.ndarray:
@@ -57,6 +64,7 @@ def _newton(sys: MnaSystem, G_lin: np.ndarray, b: np.ndarray,
     x = x0.copy()
     n_nodes = sys.n_nodes
     last_residual = np.inf
+    F = None
     diag = np.arange(n_nodes)
     for iteration in range(options.max_iterations):
         F, J = sys.residual_and_jacobian(x, G_lin, b)
@@ -68,18 +76,26 @@ def _newton(sys: MnaSystem, G_lin: np.ndarray, b: np.ndarray,
         if _dgesv is not None:
             _, _, delta, info = _dgesv(J, -F, 0, 1)
             if info != 0:
+                if telemetry.ENABLED:
+                    _flush_newton(iteration, converged=False)
                 raise ConvergenceError(
                     f"singular Jacobian in circuit {sys.circuit.name!r}",
                     iterations=iteration,
-                )
+                ).add_event("newton", iterations=iteration,
+                            reason="singular_jacobian",
+                            node=_worst_residual_node(sys, F))
         else:
             try:
                 delta = np.linalg.solve(J, -F)
             except np.linalg.LinAlgError as exc:
+                if telemetry.ENABLED:
+                    _flush_newton(iteration, converged=False)
                 raise ConvergenceError(
                     f"singular Jacobian in circuit {sys.circuit.name!r}",
                     iterations=iteration,
-                ) from exc
+                ).add_event("newton", iterations=iteration,
+                            reason="singular_jacobian",
+                            node=_worst_residual_node(sys, F)) from exc
         if profiling.ENABLED:
             profiling.add("solve", perf_counter() - t_solve)
         # Damp the step so exponential device models stay in range.
@@ -89,13 +105,27 @@ def _newton(sys: MnaSystem, G_lin: np.ndarray, b: np.ndarray,
         x += delta
         last_residual = float(np.max(np.abs(F[:n_nodes]))) if n_nodes else 0.0
         if (max_delta < options.abstol_v and last_residual < options.abstol_i):
+            if telemetry.ENABLED:
+                _flush_newton(iteration + 1, converged=True)
             return x
+    if telemetry.ENABLED:
+        _flush_newton(options.max_iterations, converged=False)
     raise ConvergenceError(
         f"Newton failed to converge in circuit {sys.circuit.name!r} "
         f"after {options.max_iterations} iterations",
         iterations=options.max_iterations,
         residual=last_residual,
-    )
+    ).add_event("newton", iterations=options.max_iterations,
+                residual=last_residual,
+                node=_worst_residual_node(sys, F))
+
+
+def _flush_newton(iterations: int, converged: bool) -> None:
+    """One guarded registry update per Newton call (never per iteration)."""
+    telemetry.count("spice.newton_solves")
+    telemetry.count("spice.newton_iterations", iterations)
+    if not converged:
+        telemetry.count("spice.newton_failures")
 
 
 def solve_operating_point(sys: MnaSystem, x0: np.ndarray | None = None,
@@ -106,26 +136,44 @@ def solve_operating_point(sys: MnaSystem, x0: np.ndarray | None = None,
     b = sys.rhs(t=0.0)
     x = np.zeros(sys.size) if x0 is None else x0.copy()
 
+    # The event trail of everything tried before the current attempt: each
+    # failed stage contributes its entries, so the error finally raised
+    # tells the whole continuation story.
+    trail: list[dict] = []
+
     try:
         return _newton(sys, G_lin, b, x, options)
-    except ConvergenceError:
-        pass
+    except ConvergenceError as exc:
+        trail.extend(exc.events)
 
     # Fallback 1: gmin stepping.
+    if telemetry.ENABLED:
+        telemetry.count("spice.gmin_fallbacks")
+    gmin = options.gmin_steps[0] if options.gmin_steps else 0.0
     try:
         xg = x.copy()
         for gmin in options.gmin_steps:
             xg = _newton(sys, G_lin, b, xg, options, gmin=gmin)
         return xg
-    except ConvergenceError:
-        pass
+    except ConvergenceError as exc:
+        trail.append({"stage": "gmin", "last_gmin": gmin})
+        trail.extend(exc.events)
 
     # Fallback 2: source stepping (DC rhs is purely source-driven).
+    if telemetry.ENABLED:
+        telemetry.count("spice.source_step_fallbacks")
     xs = np.zeros(sys.size)
     relaxed = replace(options, max_iterations=options.max_iterations * 2)
-    for alpha in np.linspace(1.0 / options.source_steps, 1.0,
-                             options.source_steps):
-        xs = _newton(sys, G_lin, alpha * b, xs, relaxed)
+    alpha = 0.0
+    try:
+        for alpha in np.linspace(1.0 / options.source_steps, 1.0,
+                                 options.source_steps):
+            xs = _newton(sys, G_lin, alpha * b, xs, relaxed)
+    except ConvergenceError as exc:
+        trail.append({"stage": "source", "last_alpha": float(alpha)})
+        trail.extend(exc.events)
+        exc.events = trail
+        raise
     return xs
 
 

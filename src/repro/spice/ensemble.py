@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.devices.tft_level61 import StackedTftParams, UnifiedTft
 from repro.errors import CircuitError, ConvergenceError
-from repro.runtime import profiling
+from repro.runtime import profiling, telemetry
 from repro.spice.dc import NewtonOptions, solve_operating_point
 from repro.spice.elements import (
     FET_GMIN,
@@ -405,6 +405,15 @@ class EnsembleSystem:
             iteration += 1
             out_of_budget = active & (iteration >= max_iterations)
             active &= ~out_of_budget
+        if telemetry.ENABLED:
+            # One flush per batched call; `iteration` is the number of
+            # stacked assemble/solve rounds the whole batch took.
+            telemetry.count("ensemble.newton_batches")
+            telemetry.count("ensemble.newton_iterations", iteration)
+            telemetry.observe("ensemble.batch_occupancy", A)
+            unconverged = int(A - int(converged.sum()))
+            if unconverged:
+                telemetry.count("ensemble.newton_lane_failures", unconverged)
         return x, converged
 
     # -- DC -----------------------------------------------------------------
@@ -435,6 +444,8 @@ class EnsembleSystem:
 
         # Fallback 1: gmin stepping on the failing subset.
         retry = np.flatnonzero(~ok)
+        if telemetry.ENABLED:
+            telemetry.count("ensemble.gmin_fallback_lanes", len(retry))
         xg = x[retry].copy()
         g_ok = np.ones(len(retry), dtype=bool)
         sub = mem_idx[retry]
@@ -455,6 +466,8 @@ class EnsembleSystem:
 
         # Fallback 2: source stepping on whatever still fails.
         retry = np.flatnonzero(~ok)
+        if telemetry.ENABLED:
+            telemetry.count("ensemble.source_fallback_lanes", len(retry))
         sub = mem_idx[retry]
         xs = np.zeros((len(retry), self.size))
         s_ok = np.ones(len(retry), dtype=bool)
@@ -498,6 +511,8 @@ def ensemble_operating_point(circuits: Sequence[Circuit],
     es = EnsembleSystem(circuits)
     x, ok = es.solve_dc(options=options)
     for lane in np.flatnonzero(~ok):
+        if telemetry.ENABLED:
+            telemetry.count("ensemble.scalar_retries")
         x[lane] = solve_operating_point(es.members[lane], options=options)
     return x, es
 
@@ -536,6 +551,8 @@ def ensemble_dc_sweep(circuits: Sequence[Circuit], source_name: str,
             # Lanes the batch cannot converge get one scalar retry before
             # being written off (matches per-circuit robustness).
             for k in np.flatnonzero(~point_ok):
+                if telemetry.ENABLED:
+                    telemetry.count("ensemble.scalar_retries")
                 try:
                     x[k] = solve_operating_point(
                         es.members[alive[k]],
@@ -647,9 +664,16 @@ class EnsembleTransient:
     def run(self) -> "EnsembleTransient":
         """Integrate every member to its ``t_stop``; returns self."""
         es = self.es
+        # Telemetry accumulates in locals across the whole run and
+        # flushes once on return (or on the failure path below).
+        n_accepted = 0
+        n_halvings = 0
+        n_lte_rejections = 0
         while True:
             act = np.flatnonzero((self.t_stop - self.t) > self.dt_min)
             if len(act) == 0:
+                if telemetry.ENABLED:
+                    self._flush_run(n_accepted, n_halvings, n_lte_rejections)
                 return self
             dt_step = np.minimum(self.dt[act], self.t_stop[act] - self.t[act])
             damped = dt_step <= 8.0 * self.dt_min[act]
@@ -696,19 +720,28 @@ class EnsembleTransient:
             # Newton failures: halve the member's step and let it retry
             # on the next active-set sweep.
             failed = np.flatnonzero(~conv)
+            n_halvings += len(failed)
             for k in failed:
                 lane = act[k]
                 new_dt = dt_step[k] / 2.0
                 if new_dt < self.dt_min[lane]:
+                    if telemetry.ENABLED:
+                        self._flush_run(n_accepted, n_halvings,
+                                        n_lte_rejections, failed=True)
                     raise ConvergenceError(
                         f"transient step failed at t={self.t[lane]:g}s in "
                         f"circuit {es.members[lane].circuit.name!r} even at "
-                        f"minimum step {self.dt_min[lane]:g}s")
+                        f"minimum step {self.dt_min[lane]:g}s",
+                        events=[{"stage": "ensemble_transient",
+                                 "t": float(self.t[lane]),
+                                 "member": int(lane),
+                                 "dt_min": float(self.dt_min[lane])}])
                 self.dt[lane] = new_dt
 
             # LTE rejection of oversized steps whose estimate blew up.
             rejected = conv & (dt_step > self.dt_nom[act]) \
                 & (pred_err > 4.0 * self.lte_tol[act])
+            n_lte_rejections += int(np.count_nonzero(rejected))
             for k in np.flatnonzero(rejected):
                 lane = act[k]
                 self.dt[lane] = max(dt_step[k] / 2.0, self.dt_nom[lane])
@@ -717,6 +750,7 @@ class EnsembleTransient:
             if not accepted.any():
                 continue
             acc = np.flatnonzero(accepted)
+            n_accepted += len(acc)
             lanes = act[acc]
             self._record_crossings(lanes, x_prev[acc], x_new[acc],
                                    self.t[lanes], dt_step[acc])
@@ -742,6 +776,19 @@ class EnsembleTransient:
             self.dt[lanes[below]] = np.minimum(
                 self.dt_nom[lanes[below]],
                 dt_step[acc][below] * self.growth[lanes[below]])
+
+    @staticmethod
+    def _flush_run(accepted: int, halvings: int, lte_rejections: int,
+                   failed: bool = False) -> None:
+        """One registry update per :meth:`run` call (never per step)."""
+        telemetry.count("ensemble.transient_runs")
+        telemetry.count("ensemble.transient_steps", accepted)
+        if halvings:
+            telemetry.count("ensemble.transient_halvings", halvings)
+        if lte_rejections:
+            telemetry.count("ensemble.lte_rejections", lte_rejections)
+        if failed:
+            telemetry.count("ensemble.transient_failures")
 
     def extend(self, members: np.ndarray | list[int],
                new_t_stop: np.ndarray | list[float]) -> None:

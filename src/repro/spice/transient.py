@@ -16,6 +16,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.runtime import telemetry
 from repro.spice.dc import NewtonOptions, _newton, solve_operating_point
 from repro.spice.mna import MnaSystem
 from repro.spice.netlist import Circuit
@@ -124,6 +125,12 @@ def transient(circuit: Circuit, options: TransientOptions,
     dt_cap = options.dt_max if options.dt_max is not None else options.dt
     lte_tol = options.lte_tol if options.lte_tol is not None else np.inf
 
+    # Telemetry accumulates in these locals and flushes once per run; the
+    # step loop itself stays guard-free.
+    n_steps = 0
+    n_halvings = 0
+    n_lte_rejections = 0
+
     # Stop when the remaining interval is below the minimum step — a
     # sub-dt_min remainder (float round-off) is not worth integrating and
     # its huge C/dt companion conductances only invite trouble.
@@ -151,12 +158,19 @@ def transient(circuit: Circuit, options: TransientOptions,
                         x_new = _newton(sys, G_lin, b, x, newton_opts)
                 else:
                     x_new = _newton(sys, G_lin, b, x, newton_opts)
-            except ConvergenceError:
+            except ConvergenceError as exc:
+                n_halvings += 1
                 dt_step /= 2.0
                 if dt_step < dt_min:
+                    if telemetry.ENABLED:
+                        _flush_transient(n_steps, n_halvings, n_lte_rejections,
+                                         failed=True)
                     raise ConvergenceError(
                         f"transient step failed at t={t:g}s in circuit "
-                        f"{circuit.name!r} even at minimum step {dt_min:g}s"
+                        f"{circuit.name!r} even at minimum step {dt_min:g}s",
+                        events=[{"stage": "transient", "t": float(t),
+                                 "halvings": n_halvings,
+                                 "dt_min": float(dt_min)}, *exc.events],
                     ) from None
                 continue
             # Reject oversized steps whose error estimate blew up (an edge
@@ -164,10 +178,12 @@ def transient(circuit: Circuit, options: TransientOptions,
             # are always accepted — the fixed-step accuracy baseline.
             if (dt_step > options.dt and pred_err is not None
                     and pred_err > 4.0 * lte_tol):
+                n_lte_rejections += 1
                 dt_step = max(dt_step / 2.0, options.dt)
                 continue
             accepted = True
         t += dt_step
+        n_steps += 1
         x_last = x
         dt_last = dt_step
         x = x_new
@@ -186,4 +202,19 @@ def transient(circuit: Circuit, options: TransientOptions,
             # Below nominal after Newton halvings: re-grow gently.
             dt = min(options.dt, dt_step * options.growth)
 
+    if telemetry.ENABLED:
+        _flush_transient(n_steps, n_halvings, n_lte_rejections)
     return TransientResult(sys, np.asarray(times), np.vstack(states))
+
+
+def _flush_transient(steps: int, halvings: int, lte_rejections: int,
+                     failed: bool = False) -> None:
+    """One registry update per transient run (never per step)."""
+    telemetry.count("spice.transient_runs")
+    telemetry.count("spice.transient_steps", steps)
+    if halvings:
+        telemetry.count("spice.transient_halvings", halvings)
+    if lte_rejections:
+        telemetry.count("spice.lte_rejections", lte_rejections)
+    if failed:
+        telemetry.count("spice.transient_failures")

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.characterization.library import Library
 from repro.errors import SynthesisError
+from repro.runtime import telemetry
 from repro.synthesis.netlist import Gate, Netlist
 from repro.synthesis.wires import WireModel
 
@@ -151,6 +152,16 @@ def static_timing(netlist: Netlist, library: Library, wire: WireModel,
         slew[output] = cell.output_slew(best_pin, slew[best_net], load)
         worst_input[gate.name] = best_net
         gate_delay[gate.name] = best_t - arrival[best_net]
+
+    if telemetry.ENABLED:
+        topo = netlist.topological_order()
+        telemetry.count("sta.runs")
+        telemetry.count("sta.scalar_runs")
+        telemetry.count("sta.gates", len(topo))
+        # One delay lookup per gate input pin plus one output-slew lookup
+        # per gate — derived after the fact, so the hot loop stays clean.
+        telemetry.count("sta.nldm_lookups",
+                        sum(len(g.inputs) for g in topo) + len(topo))
 
     max_delay = 0.0
     end_net: str | None = None
@@ -437,11 +448,14 @@ def _vector_static_timing(netlist: Netlist, library: Library,
                 + ts * (v10 + tl * (v11 - v10)))
 
     bounds = struct["bounds"]
+    n_lookups = 0
+    n_levels = 0
     start = 0
     for lv in range(struct["max_level"]):
         stop = int(bounds[lv])
         if stop == start:
             continue
+        n_levels += 1
         sl = slice(start, stop)
         start = stop
         code = g_code[sl]
@@ -474,6 +488,9 @@ def _vector_static_timing(netlist: Netlist, library: Library,
             t[~valid] = -1.0             # scalar best_t starts at -1.0
             t_rows.append(t)
             s_rows.append(s)
+            # One stacked delay + one stacked transition interpolation
+            # per (level, pin) round, covering `stop - sl.start` gates.
+            n_lookups += 2 * (stop - sl.start)
 
         t_stack = np.stack(t_rows)
         best = t_stack.argmax(axis=0)    # first max == strictly-greater scan
@@ -485,6 +502,13 @@ def _vector_static_timing(netlist: Netlist, library: Library,
         gate_best_in[sl] = best_in
         gate_t[sl] = t_best
         gate_delay_arr[sl] = t_best - arrival[best_in]
+
+    if telemetry.ENABLED:
+        telemetry.count("sta.runs")
+        telemetry.count("sta.vector_runs")
+        telemetry.count("sta.gates", n)
+        telemetry.count("sta.levels", n_levels)
+        telemetry.count("sta.nldm_lookups", n_lookups)
 
     # -- report ---------------------------------------------------------------
     names = struct["names"]

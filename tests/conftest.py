@@ -11,7 +11,18 @@ from __future__ import annotations
 import pytest
 
 from repro.characterization import organic_library, silicon_library
+from repro.runtime import telemetry
 from repro.synthesis.wires import organic_wire_model, silicon_wire_model
+
+
+@pytest.fixture(autouse=True)
+def _observability_isolation(tmp_path, monkeypatch):
+    """Keep run reports out of the working tree and telemetry state
+    from leaking between tests."""
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+    yield
+    telemetry.enable(False)
+    telemetry.reset()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,63 @@
+"""Logging configuration helper and the telemetry warning tee."""
+
+from __future__ import annotations
+
+import argparse
+import logging
+
+import pytest
+
+from repro.runtime import log, telemetry
+
+
+@pytest.fixture(autouse=True)
+def _restore_level():
+    logger = logging.getLogger(log.ROOT)
+    saved = logger.level
+    yield
+    logger.setLevel(saved)
+
+
+class TestConfigure:
+    def test_get_logger_namespacing(self):
+        assert log.get_logger("core.ipc_native").name == "repro.core.ipc_native"
+        assert log.get_logger("repro.spice").name == "repro.spice"
+
+    def test_idempotent_handler_install(self):
+        logger = log.configure()
+        log.configure()
+        ours = [h for h in logger.handlers
+                if getattr(h, "_repro_handler", False)]
+        assert len(ours) == 1
+
+    def test_verbosity_mapping(self):
+        assert log.configure(verbose=0).level == logging.WARNING
+        assert log.configure(verbose=1).level == logging.INFO
+        assert log.configure(verbose=2).level == logging.DEBUG
+        assert log.configure(level="ERROR").level == logging.ERROR
+        with pytest.raises(ValueError):
+            log.configure(level="NOPE")
+
+    def test_env_default_level(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "info")
+        assert log.configure().level == logging.INFO
+
+    def test_cli_flags_round_trip(self):
+        parser = argparse.ArgumentParser()
+        log.add_cli_flags(parser)
+        args = parser.parse_args(["-vv"])
+        assert log.configure_from_args(args).level == logging.DEBUG
+
+
+class TestWarningTee:
+    def test_warnings_reach_the_run_report(self):
+        handler = log.capture_warnings()
+        assert log.capture_warnings() is handler    # installed once
+        try:
+            with telemetry.collecting():
+                log.get_logger("spice").warning("gmin fallback engaged")
+                log.get_logger("spice").info("not captured")
+                assert telemetry.warnings() == \
+                    ["repro.spice: gmin fallback engaged"]
+        finally:
+            logging.getLogger(log.ROOT).removeHandler(handler)

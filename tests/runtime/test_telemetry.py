@@ -1,0 +1,244 @@
+"""Telemetry registry: instruments, spans, and cross-process merge."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.runtime import profiling, telemetry
+from repro.runtime.executor import parallel_map
+from repro.spice import Circuit, Resistor, VoltageSource, operating_point
+
+
+def _divider(v: float) -> Circuit:
+    ckt = Circuit("div")
+    ckt.add(VoltageSource("vin", "in", "0", v))
+    ckt.add(Resistor("r1", "in", "mid", 1e3))
+    ckt.add(Resistor("r2", "mid", "0", 1e3))
+    return ckt
+
+
+def _solve_task(v: float) -> float:
+    """Module-level (picklable) task driving the real solver counters."""
+    x, sys = operating_point(_divider(v))
+    return sys.voltage(x, "mid")
+
+
+def _count_task(i: int) -> int:
+    telemetry.count("test.tasks")
+    telemetry.count("test.units", i)
+    telemetry.observe("test.occupancy", float(i))
+    with telemetry.span("unit"):
+        pass
+    return i
+
+
+def _profiled_task(i: int) -> int:
+    if profiling.ENABLED:
+        profiling.add("stamp", 0.002)
+        profiling.add("solve", 0.001)
+    return i
+
+
+class TestInstruments:
+    def test_disabled_is_noop(self):
+        telemetry.reset()
+        telemetry.enable(False)
+        telemetry.count("x")
+        telemetry.observe("y", 1.0)
+        telemetry.time_add("z", 0.5)
+        with telemetry.span("s"):
+            pass
+        assert telemetry.counters() == {}
+        assert telemetry.timers() == {}
+        assert telemetry.span_tree() == []
+        assert telemetry.span_totals() == {}
+
+    def test_counters_and_distributions(self):
+        with telemetry.collecting():
+            telemetry.count("n")
+            telemetry.count("n", 4)
+            telemetry.observe("d", 3.0)
+            telemetry.observe("d", 1.0)
+            telemetry.observe("d", 2.0)
+            telemetry.time_add("t", 0.25, calls=2)
+            assert telemetry.counters() == {"n": 5}
+            dist = telemetry.metrics_snapshot()["distributions"]["d"]
+            assert dist["count"] == 3
+            assert dist["min"] == 1.0 and dist["max"] == 3.0
+            assert dist["mean"] == pytest.approx(2.0)
+            timer = telemetry.timers()["t"]
+            assert timer["calls"] == 2 and timer["seconds"] == 0.25
+
+    def test_env_force_disable_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "0")
+        telemetry.reset()
+        telemetry.enable(True)
+        assert telemetry.ENABLED is False
+
+    def test_reset_clears_everything(self):
+        with telemetry.collecting():
+            telemetry.count("a")
+            telemetry.warn("w")
+        telemetry.reset()
+        assert telemetry.counters() == {}
+        assert telemetry.warnings() == []
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        with telemetry.collecting():
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    pass
+                with telemetry.span("inner"):
+                    pass
+            tree = telemetry.span_tree()
+        assert len(tree) == 1
+        root = tree[0]
+        assert root["name"] == "outer"
+        assert [c["name"] for c in root["children"]] == ["inner", "inner"]
+        assert root["seconds"] >= sum(c["seconds"] for c in root["children"]) \
+            or root["seconds"] >= 0.0
+
+    def test_span_totals_flatten_paths(self):
+        with telemetry.collecting():
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    pass
+                with telemetry.span("inner"):
+                    pass
+            totals = telemetry.span_totals()
+        assert totals["outer"]["count"] == 1
+        assert totals["outer/inner"]["count"] == 2
+
+    def test_exception_unwinds_stack(self):
+        with telemetry.collecting():
+            with pytest.raises(ValueError):
+                with telemetry.span("outer"):
+                    with telemetry.span("inner"):
+                        raise ValueError("boom")
+            assert telemetry.current_path() == ""
+            totals = telemetry.span_totals()
+        assert set(totals) == {"outer", "outer/inner"}
+
+    def test_current_path(self):
+        with telemetry.collecting():
+            assert telemetry.current_path() == ""
+            with telemetry.span("a"):
+                with telemetry.span("b"):
+                    assert telemetry.current_path() == "a/b"
+
+
+class TestMerge:
+    def test_merge_is_additive_and_grafts_prefix(self):
+        with telemetry.collecting():
+            telemetry.count("n", 2)
+            snap = {
+                "counters": {"n": 3},
+                "timers": {"t": [0.5, 2]},
+                "dists": {"d": [2, 10.0, 1.0, 9.0]},
+                "span_totals": {"task": [4, 0.25]},
+                "warnings": ["worker said so"],
+            }
+            with telemetry.span("outer"):
+                telemetry.merge_snapshot(snap)
+            telemetry.merge_snapshot(
+                {"dists": {"d": [1, 0.5, 0.5, 0.5]}})
+            assert telemetry.counters()["n"] == 5
+            assert telemetry.timers()["t"] == {"seconds": 0.5, "calls": 2}
+            dist = telemetry.metrics_snapshot()["distributions"]["d"]
+            assert dist["count"] == 3
+            assert dist["min"] == 0.5 and dist["max"] == 9.0
+            assert telemetry.span_totals()["outer/task"]["count"] == 4
+            assert "worker said so" in telemetry.warnings()
+
+    def test_parallel_counters_match_serial(self):
+        """The regression the registry exists for: metrics accumulated in
+        worker processes must come back and equal the serial run's."""
+        tasks = list(range(6))
+        with telemetry.collecting():
+            parallel_map(_count_task, tasks, workers=1)
+            serial = telemetry.counters()
+            serial_dist = telemetry.metrics_snapshot()["distributions"]
+        with telemetry.collecting():
+            parallel_map(_count_task, tasks, workers=2)
+            merged = telemetry.counters()
+            merged_dist = telemetry.metrics_snapshot()["distributions"]
+        assert merged == serial
+        assert merged_dist == serial_dist
+
+    def test_parallel_solver_counters_match_serial(self):
+        voltages = [0.5, 1.0, 1.5, 2.0]
+        with telemetry.collecting():
+            serial_values = [r.value for r in
+                             parallel_map(_solve_task, voltages, workers=1)]
+            serial = telemetry.counters()
+        with telemetry.collecting():
+            parallel_values = [r.value for r in
+                               parallel_map(_solve_task, voltages, workers=2)]
+            merged = telemetry.counters()
+        assert parallel_values == serial_values
+        assert serial["spice.newton_solves"] == len(voltages)
+        assert merged == serial
+
+    def test_worker_spans_graft_under_call_site(self):
+        with telemetry.collecting():
+            with telemetry.span("outer"):
+                parallel_map(_count_task, list(range(4)), workers=2)
+            totals = telemetry.span_totals()
+        assert totals["outer/unit"]["count"] == 4
+
+    def test_profile_counters_survive_workers(self):
+        """run_bench --profile must not lose worker-side stage time."""
+        tasks = list(range(5))
+        with profiling.profiled():
+            parallel_map(_profiled_task, tasks, workers=1)
+            serial = profiling.snapshot()
+        with profiling.profiled():
+            parallel_map(_profiled_task, tasks, workers=2)
+            merged = profiling.snapshot()
+        telemetry.reset()
+        assert serial["stamp"]["calls"] == len(tasks)
+        assert merged == serial
+        breakdown = profiling.breakdown(1.0)
+        assert breakdown["overhead"] == pytest.approx(1.0)
+
+
+class TestConvergenceErrorEvents:
+    def test_trail_renders_in_message(self):
+        exc = ConvergenceError("no convergence", iterations=150,
+                               residual=3.2e-5)
+        exc.add_event("newton", iterations=150, residual=3.2e-5, node="out")
+        exc.add_event("gmin", last_gmin=0)
+        assert "trail:" in str(exc)
+        assert "newton(" in str(exc) and "gmin(" in str(exc)
+        assert "node=out" in str(exc)
+
+    def test_events_survive_pickling(self):
+        exc = ConvergenceError("stuck", iterations=9).add_event(
+            "source", last_alpha=0.25)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.events == exc.events
+        assert "source(last_alpha=0.25)" in str(clone)
+
+    def test_solver_failure_carries_trail(self):
+        from repro.devices import PENTACENE
+        from repro.spice import Fet, NewtonOptions
+
+        # A zero-iteration budget forces the whole newton -> gmin ->
+        # source fallback chain to fail, deterministically.
+        ckt = Circuit("bad")
+        ckt.add(VoltageSource("vdd", "vdd", "0", -10.0))
+        ckt.add(Fet("m1", "out", "out", "vdd", PENTACENE, w=1e-3, l=1e-5))
+        ckt.add(Resistor("rl", "out", "0", 1e6))
+        with pytest.raises(ConvergenceError) as info:
+            operating_point(ckt, options=NewtonOptions(max_iterations=0))
+        trail = info.value.events
+        assert trail, "fallback chain should record events"
+        stages = [event["stage"] for event in trail]
+        assert "newton" in stages
+        assert "gmin" in stages and "source" in stages
+        assert "trail:" in str(info.value)

@@ -55,3 +55,41 @@ class TestCli:
         from repro.__main__ import main
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_experiment_writes_run_report(self, tmp_path, capsys):
+        import json
+        from repro.__main__ import main
+        out = tmp_path / "fig6-report.json"
+        assert main(["fig6", "--report", str(out)]) == 0
+        assert f"run report: {out}" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["target"] == "fig6"
+        assert doc["status"] == "ok"
+        assert doc["span_tree"][0]["name"] == "fig6"
+        assert doc["metrics"]["counters"]["spice.newton_solves"] > 0
+
+    def test_no_report_flag(self, tmp_path, monkeypatch, capsys):
+        from repro.__main__ import main
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main(["fig4", "--no-report"]) == 0
+        assert "run report:" not in capsys.readouterr().out
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_report_subcommand(self, tmp_path, monkeypatch, capsys):
+        from repro.__main__ import main
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main(["report"]) == 1
+        assert "no run reports" in capsys.readouterr().out
+        assert main(["fig4"]) == 0
+        capsys.readouterr()
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "run report: fig4 [ok]" in out
+        assert "spans:" in out
+
+    def test_cache_stats_subcommand(self, capsys):
+        from repro.__main__ import main
+        assert main(["cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache root:" in out
+        assert "this process:" in out
