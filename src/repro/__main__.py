@@ -8,6 +8,7 @@ Usage::
     python -m repro liberty out.lib --process organic
     python -m repro cache-stats          # persistent result-cache usage
     python -m repro report               # pretty-print the latest run report
+    python -m repro validate --fast      # differential validation + faults
 
 Heavy experiments (fig11, fig13) accept ``--quick`` to shorten traces.
 
@@ -168,6 +169,33 @@ def _run_liberty(args) -> None:
     print(f"wrote {args.output} ({args.process})")
 
 
+def _run_validate(args) -> int:
+    """Differential validation and fault injection (``validate`` command).
+
+    Runs the registered checks (:mod:`repro.validate`) in fast mode by
+    default (``--full`` for the larger nightly samples), prints the
+    per-check report, optionally writes it as JSON (``--report PATH``),
+    and exits nonzero when any check failed.
+    """
+    import json
+
+    from repro.validate import run_validation
+
+    only = args.only.split(",") if args.only else None
+    try:
+        report = run_validation(fast=not args.full, seed=args.seed,
+                                only=only)
+    except ValueError as exc:          # unknown --only name
+        print(exc)
+        return 2
+    print(report.format())
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"validation report: {args.report}")
+    return 0 if report.ok else 1
+
+
 def _run_report(args) -> int:
     """Pretty-print the most recent run report (the ``report`` command)."""
     import json
@@ -235,10 +263,18 @@ def main(argv: list[str] | None = None) -> int:
                     "Biodegradable Computing' (MICRO-50 2017).")
     parser.add_argument("targets", nargs="+",
                         help="'list', experiment names (fig3..fig15), "
-                             "'liberty <out.lib>', 'cache-stats', or "
-                             "'report'")
+                             "'liberty <out.lib>', 'cache-stats', "
+                             "'report', or 'validate'")
     parser.add_argument("--quick", action="store_true",
                         help="shorter traces for the heavy sweeps")
+    parser.add_argument("--fast", action="store_true",
+                        help="validate: small seeded samples (the default)")
+    parser.add_argument("--full", action="store_true",
+                        help="validate: larger samples and all checks")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="validate: seed for the randomized samples")
+    parser.add_argument("--only", default=None, metavar="NAMES",
+                        help="validate: comma-separated check names to run")
     parser.add_argument("--process", choices=("organic", "silicon"),
                         default="organic", help="library for liberty export")
     parser.add_argument("--report", default=None, metavar="PATH",
@@ -254,13 +290,17 @@ def main(argv: list[str] | None = None) -> int:
     if targets[0] == "list":
         print("experiments:", ", ".join(sorted(EXPERIMENTS)))
         print("also: liberty <output.lib> [--process organic|silicon], "
-              "cache-stats, report")
+              "cache-stats, report, validate [--fast|--full] [--seed N]")
         return 0
     if targets[0] == "cache-stats":
         _run_cache_stats(args)
         return 0
     if targets[0] == "report":
         return _run_report(args)
+    if targets[0] == "validate":
+        if len(targets) != 1:
+            parser.error("validate takes no extra targets")
+        return _run_validate(args)
     if targets[0] == "liberty":
         if len(targets) != 2:
             parser.error("liberty needs an output path")

@@ -51,7 +51,7 @@ from repro.spice.elements import Capacitor, RampValue, VoltageSource
 from repro.spice.ensemble import EnsembleTransient, Probe
 from repro.spice.netlist import Circuit
 from repro.spice.transient import TransientOptions, transient
-from repro.spice.waveform import delay_between
+from repro.spice.waveform import delay_between, resolve_effect_delay
 
 #: Measurement thresholds (fractions of the rail swing).
 DELAY_THRESHOLD = 0.5
@@ -186,7 +186,10 @@ def measure_arc(design: CellDesign, pin: str, input_rise: bool,
             delay = delay_between(
                 w_in, w_out, DELAY_THRESHOLD * vdd, DELAY_THRESHOLD * vdd,
                 cause_direction="rise" if input_rise else "fall",
-                effect_direction=out_direction)
+                effect_direction=out_direction,
+                context=f"{design.name}.{pin} "
+                        f"{'rise' if input_rise else 'fall'} "
+                        f"slew={slew:g} load={load:g}")
             out_slew = w_out.transition_time(0.0, vdd, SLEW_LOW, SLEW_HIGH)
         except AnalysisError as exc:
             raise CharacterizationError(
@@ -271,8 +274,12 @@ def measure_arc_batch(design: CellDesign, pin: str, input_rise: bool,
                     windows[k] *= 4.0
                     still_pending.append(k)
                     continue
-                results[k] = _arc_from_ensemble(ens, m, vdd, input_rise,
-                                                out_direction, target)
+                slew_k, load_k = points[k]
+                results[k] = _arc_from_ensemble(
+                    ens, m, vdd, input_rise, out_direction, target,
+                    context=f"{design.name}.{pin} "
+                            f"{'rise' if input_rise else 'fall'} "
+                            f"slew={slew_k:g} load={load_k:g}")
                 # Settled but unmeasurable stays None: the scalar path
                 # raises the canonical CharacterizationError for it.
             pending = still_pending
@@ -289,15 +296,20 @@ def measure_arc_batch(design: CellDesign, pin: str, input_rise: bool,
 
 
 def _arc_from_ensemble(ens: EnsembleTransient, m: int, vdd: float,
-                       input_rise: bool, out_direction: str, target: float
+                       input_rise: bool, out_direction: str, target: float,
+                       context: str | None = None
                        ) -> tuple[float, float] | None:
     """(delay, out_slew) for one settled member, or None for a scalar retry.
 
     Replays :func:`repro.spice.waveform.delay_between` and
     :meth:`~repro.spice.waveform.Waveform.transition_time` on the online
-    crossing records: first cause crossing, first effect crossing at or
-    after it (last one as the heavy-input-loading fallback), and the
-    20%/80% crossings in the output's net transition direction.
+    crossing records: first cause crossing, then the shared
+    :func:`~repro.spice.waveform.resolve_effect_delay` policy (first
+    effect crossing at or after it; the heavy-input-loading fallback is
+    clamped and logged exactly as on the scalar path), and the 20%/80%
+    crossings anchored to the output's **final** transition — the same
+    last-monotone-edge rule :meth:`Waveform.transition_time` applies, so
+    glitchy outputs measure identically on both paths.
     """
     final_out = ens.final_value("out")[m]
     if abs(final_out - target) > 0.05 * vdd:
@@ -307,20 +319,26 @@ def _arc_from_ensemble(ens: EnsembleTransient, m: int, vdd: float,
         return None
     t_cause = cause[0]
     effect = ens.crossing_times(1, m, out_direction)
-    after = effect[effect >= t_cause]
-    if len(after):
-        delay = after[0] - t_cause
-    elif len(effect):
-        delay = effect[-1] - t_cause
-    else:
+    if len(effect) == 0:
         return None
+    delay = resolve_effect_delay(float(t_cause), effect, context=context)
     rising = final_out > ens.initial_value("out")[m]
     slew_dir = "rise" if rising else "fall"
     t_lo = ens.crossing_times(2, m, slew_dir)
     t_hi = ens.crossing_times(3, m, slew_dir)
     if len(t_lo) == 0 or len(t_hi) == 0:
         return None
-    return float(delay), float(abs(t_hi[0] - t_lo[0]))
+    # Final-transition anchoring (see Waveform.transition_time): the edge
+    # finishes at the threshold reached last in the transition direction.
+    if rising:
+        t_second = float(t_hi[-1])
+        firsts = t_lo[t_lo <= t_second]
+    else:
+        t_second = float(t_lo[-1])
+        firsts = t_hi[t_hi <= t_second]
+    if len(firsts) == 0:
+        return None
+    return float(delay), float(abs(t_second - float(firsts[-1])))
 
 
 def _static_power(design: CellDesign, input_levels: dict[str, float]) -> float:

@@ -54,7 +54,15 @@ class NldmTable:
         object.__setattr__(self, "_max_j", len(loads) - 2)
 
     def lookup(self, slew: float, load: float) -> float:
-        """Bilinear interpolation with linear edge extrapolation."""
+        """Bilinear interpolation with linear edge extrapolation.
+
+        Exact on grid nodes: an index that falls exactly on the grid
+        produces a segment fraction of exactly 0.0 or 1.0 (numerator and
+        denominator are the identical float expression), and those cases
+        short-circuit to the stored values — so ``lookup(slews[i],
+        loads[j]) == values[i, j]`` bit-for-bit, never a reconstruction
+        through ``v0 + 1.0*(v1 - v0)`` (which loses ulps).
+        """
         slews = self._slew_list
         loads = self._load_list
         i = bisect_right(slews, slew) - 1
@@ -73,10 +81,20 @@ class NldmTable:
         tl = (load - l0) / (loads[j + 1] - l0)
         row0 = self._value_rows[i]
         row1 = self._value_rows[i + 1]
-        v00 = row0[j]
-        v10 = row1[j]
-        return ((1 - ts) * (v00 + tl * (row0[j + 1] - v00))
-                + ts * (v10 + tl * (row1[j + 1] - v10)))
+        if tl == 0.0:
+            v0, v1 = row0[j], row1[j]
+        elif tl == 1.0:
+            v0, v1 = row0[j + 1], row1[j + 1]
+        else:
+            v00 = row0[j]
+            v10 = row1[j]
+            v0 = v00 + tl * (row0[j + 1] - v00)
+            v1 = v10 + tl * (row1[j + 1] - v10)
+        if ts == 0.0:
+            return v0
+        if ts == 1.0:
+            return v1
+        return (1 - ts) * v0 + ts * v1
 
     def scaled(self, factor: float) -> "NldmTable":
         """A copy with all values multiplied by *factor* (ablations)."""
@@ -97,6 +115,15 @@ class NldmTable:
 
 
 def _segment(axis: np.ndarray, x: float) -> int:
-    """Index of the interpolation segment for *x* (clamped for edges)."""
-    i = int(np.searchsorted(axis, x) - 1)
+    """Index of the interpolation segment for *x* (clamped for edges).
+
+    Uses ``side="right"`` so an on-grid *x* selects the segment to its
+    right — exactly the segment :meth:`NldmTable.lookup`'s
+    ``bisect_right`` picks.  (With the historic ``side="left"`` the two
+    disagreed for every interior grid node; the interpolated *value* was
+    the same only because grid nodes interpolate exactly from either
+    side, and any consumer combining both index conventions would have
+    mixed segments.)
+    """
+    i = int(np.searchsorted(axis, x, side="right") - 1)
     return min(max(i, 0), len(axis) - 2)

@@ -18,6 +18,10 @@ the one primitive they share:
 - when a pool cannot be created at all (restricted environments, missing
   semaphores), the map degrades to serial execution, logging a
   once-per-process warning so an unexpectedly slow sweep is diagnosable;
+- when a worker process **dies** mid-map (crash, OOM kill), the whole map
+  re-runs serially in the parent — mapped functions are side-effect-free
+  by contract, so no task is dropped and no caller ever hangs on a broken
+  pool; the degradation is logged every time it happens;
 - when telemetry or solver profiling is enabled in the parent, each task
   additionally returns a :mod:`repro.runtime.telemetry` registry snapshot
   (collected on a per-task-reset registry, so it is exactly that task's
@@ -35,6 +39,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
@@ -200,6 +205,18 @@ def parallel_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
                 for _value, _error, snap in outcomes:
                     if snap:
                         telemetry.merge_snapshot(snap, prefix=prefix)
+        except BrokenProcessPool as exc:
+            # A worker process died mid-map (crash, OOM kill, os._exit).
+            # The mapped functions are side-effect-free by contract, so
+            # nothing is lost by re-running the whole map serially in
+            # this process: no task is dropped, no deadlock, and per-task
+            # errors are still captured individually.  Warned every time
+            # — a dying worker is an exceptional event worth surfacing —
+            # and later maps still get to try a fresh pool.
+            _logger.warning(
+                "parallel_map: a worker process died (%s); re-running all "
+                "%d task(s) serially in this process", exc, len(tasks))
+            outcomes = None
         except (OSError, PermissionError, ImportError) as exc:
             # Restricted environment (no semaphores / fork denied): degrade
             # to serial rather than failing the analysis.

@@ -16,8 +16,11 @@ from typing import Literal
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.runtime.log import get_logger
 
 Direction = Literal["rise", "fall", "any"]
+
+_logger = get_logger(__name__)
 
 
 class Waveform:
@@ -62,22 +65,59 @@ class Waveform:
 
     def crossing_times(self, level: float, direction: Direction = "any"
                        ) -> np.ndarray:
-        """All times where the waveform crosses *level* in *direction*."""
+        """All times where the waveform crosses *level* in *direction*.
+
+        Samples lying exactly on *level* belong to the crossing they are
+        part of: a sign sequence like ``-, 0, +`` is **one** rising
+        crossing (at the on-level sample), not two, and a run of
+        consecutive on-level samples collapses to a single instant — the
+        first time the signal reaches the level.  A *touch* — the signal
+        reaching the level and returning to the same side (``-, 0, -``)
+        — is not a crossing.  A waveform that starts or ends exactly on
+        the level counts the departure/arrival as one crossing, matching
+        the interpolated behaviour in the limit.  Crossing instants are
+        strictly increasing and deduplicated.
+        """
         v = self.values - level
-        crossings: list[float] = []
         sign = np.sign(v)
-        for i in range(len(v) - 1):
-            s0, s1 = sign[i], sign[i + 1]
-            if s0 == s1 or s1 == 0 and s0 == 0:
-                continue
-            rising = v[i + 1] > v[i]
+        times = self.times
+        crossings: list[float] = []
+
+        def emit(t: float, rising: bool) -> None:
             if direction == "rise" and not rising:
-                continue
+                return
             if direction == "fall" and rising:
+                return
+            if crossings and t <= crossings[-1]:
+                return                       # dedupe identical instants
+            crossings.append(t)
+
+        prev_sign = sign[0]
+        zero_start = 0 if prev_sign == 0 else None
+        for i in range(1, len(sign)):
+            s = sign[i]
+            if s == 0:
+                if zero_start is None:
+                    zero_start = i
                 continue
-            # Linear interpolation for the crossing instant.
-            frac = -v[i] / (v[i + 1] - v[i])
-            crossings.append(float(self.times[i] + frac * (self.times[i + 1] - self.times[i])))
+            if zero_start is not None:
+                # A run of exact-on-level samples just ended.  It is one
+                # crossing if the signal left on the other side (or the
+                # waveform started on the level); a same-side touch is
+                # not a crossing.
+                if prev_sign == 0 or prev_sign != s:
+                    emit(float(times[zero_start]), rising=s > 0)
+                zero_start = None
+            elif prev_sign != s:
+                # Ordinary sign change inside one segment: interpolate.
+                frac = -v[i - 1] / (v[i] - v[i - 1])
+                emit(float(times[i - 1]
+                           + frac * (times[i] - times[i - 1])),
+                     rising=s > 0)
+            prev_sign = s
+        if zero_start is not None and prev_sign != 0:
+            # The waveform ends exactly on the level: it reached it once.
+            emit(float(times[zero_start]), rising=prev_sign < 0)
         return np.asarray(crossings)
 
     def crossing_time(self, level: float, direction: Direction = "any",
@@ -103,6 +143,13 @@ class Waveform:
         Works for both rising and falling transitions; returns the absolute
         time difference between the two fractional crossings of the final
         transition direction.
+
+        Both fractional crossings are anchored to the **last** monotone
+        transition: on a glitchy output whose early edge pokes past the
+        lower threshold before the signal settles back and makes its real
+        transition, the measurement uses the final edge only — the edge
+        that actually delivers the settled value — never a mix of a
+        glitch edge and the settling edge.
         """
         if high <= low:
             raise AnalysisError("transition_time needs high > low")
@@ -111,9 +158,29 @@ class Waveform:
         v_hi = low + high_frac * swing
         rising = self.final_value > self.initial_value
         direction: Direction = "rise" if rising else "fall"
-        t_lo = self.crossing_time(v_lo, direction)
-        t_hi = self.crossing_time(v_hi, direction)
-        return abs(t_hi - t_lo)
+        lo_crossings = self.crossing_times(v_lo, direction)
+        hi_crossings = self.crossing_times(v_hi, direction)
+        if len(lo_crossings) == 0 or len(hi_crossings) == 0:
+            missing = v_lo if len(lo_crossings) == 0 else v_hi
+            raise AnalysisError(
+                f"waveform never crosses {missing:g} ({direction}); range "
+                f"is [{self.values.min():g}, {self.values.max():g}]")
+        # The final transition finishes at the threshold it reaches last
+        # (the high one when rising, the low one when falling); the other
+        # threshold's crossing is the latest one at or before it.
+        if rising:
+            t_second = float(hi_crossings[-1])
+            first = lo_crossings[lo_crossings <= t_second]
+            v_first = v_lo
+        else:
+            t_second = float(lo_crossings[-1])
+            first = hi_crossings[hi_crossings <= t_second]
+            v_first = v_hi
+        if len(first) == 0:
+            raise AnalysisError(
+                f"waveform never crosses {v_first:g} ({direction}) before "
+                f"its final transition completes at t={t_second:g}")
+        return abs(t_second - float(first[-1]))
 
     def settled(self, target: float, tolerance: float) -> bool:
         """True if the final sample is within *tolerance* of *target*."""
@@ -125,24 +192,74 @@ class Waveform:
                 f"{self.values.max():g}])")
 
 
+def resolve_effect_delay(t_cause: float, effect_crossings: np.ndarray,
+                         *, context: str | None = None,
+                         on_negative: str = "clamp") -> float:
+    """Delay from *t_cause* to the matching effect crossing, with policy.
+
+    The effect crossing used is the first one at or after *t_cause*.
+    When every effect crossing *precedes* the cause crossing (an output
+    coupled forward by heavy input loading can switch slightly before the
+    measured input threshold), the raw difference would be negative.  The
+    documented policy:
+
+    - ``on_negative="clamp"`` (default): log a WARNING through
+      :mod:`repro.runtime.log` naming *context* (cell/arc and bias) and
+      return ``0.0`` — a negative value can therefore never enter a
+      characterised NLDM table unnoticed, and run reports capture the
+      degradation;
+    - ``on_negative="raise"``: raise :class:`AnalysisError` instead,
+      for callers that must not paper over the anomaly.
+
+    Raises :class:`AnalysisError` when there is no effect crossing at all.
+    Shared by :func:`delay_between` and the ensemble harness's online
+    crossing replay, so both measurement paths apply one policy.
+    """
+    if on_negative not in ("clamp", "raise"):
+        raise ValueError(
+            f"on_negative must be 'clamp' or 'raise', got {on_negative!r}")
+    after = effect_crossings[effect_crossings >= t_cause]
+    if len(after):
+        return float(after[0] - t_cause)
+    if len(effect_crossings) == 0:
+        raise AnalysisError(
+            f"effect waveform never crosses its threshold after "
+            f"t={t_cause:g}")
+    delay = float(effect_crossings[-1] - t_cause)
+    if delay >= 0.0:                               # pragma: no cover - guard
+        return delay
+    where = f" [{context}]" if context else ""
+    if on_negative == "raise":
+        raise AnalysisError(
+            f"effect crossing precedes cause crossing by {-delay:g}s"
+            f"{where}")
+    _logger.warning(
+        "negative propagation delay %.3gs (effect crossing precedes the "
+        "cause crossing)%s; clamping to 0 per the documented policy",
+        delay, where)
+    return 0.0
+
+
 def delay_between(cause: Waveform, effect: Waveform, cause_level: float,
                   effect_level: float, cause_direction: Direction = "any",
-                  effect_direction: Direction = "any") -> float:
+                  effect_direction: Direction = "any",
+                  context: str | None = None,
+                  on_negative: str = "clamp") -> float:
     """Propagation delay: effect's threshold crossing minus cause's.
 
     The effect crossing searched is the first one *after* the cause
     crossing, which handles gates whose outputs glitch before settling.
+    When the effect crossing precedes the cause crossing (heavy input
+    loading), :func:`resolve_effect_delay`'s documented negative-delay
+    policy applies: clamp to zero with a logged warning naming *context*,
+    or raise when ``on_negative="raise"``.
     """
     t_cause = cause.crossing_time(cause_level, cause_direction)
     candidates = effect.crossing_times(effect_level, effect_direction)
-    after = candidates[candidates >= t_cause]
-    if len(after) == 0:
-        if len(candidates):
-            # Output switched slightly before the measured input crossing
-            # (heavy input loading); fall back to the closest crossing.
-            return float(candidates[-1] - t_cause)
+    if len(candidates) == 0:
         raise AnalysisError(
             f"effect waveform never crosses {effect_level:g} "
             f"({effect_direction}) after t={t_cause:g}"
         )
-    return float(after[0] - t_cause)
+    return resolve_effect_delay(t_cause, candidates, context=context,
+                                on_negative=on_negative)

@@ -1,0 +1,285 @@
+"""Differential checks: every fast path diffed against its oracle.
+
+The repo carries four "same answer, faster" engines (batched ensemble
+transients, the packed-array/compiled IPC kernel, levelised-array STA,
+and the persistent result cache).  Each check here runs a seeded sample
+through both the fast path and its reference implementation and fails on
+any disagreement beyond the documented tolerance — the tolerances are
+the same ones the unit suites enforce, so a validation failure means a
+real regression, not noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.validate.checks import (
+    CheckContext,
+    check,
+    expect,
+    expect_close,
+    swap_attr,
+    swap_env,
+)
+
+#: Tolerance shared with the ensemble-equivalence unit suite.
+ENSEMBLE_REL = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# A small characterised library, built once per process.
+#
+# Differential STA and the NLDM invariants need real characterised
+# tables, but a full library build (4x4 grid, setup-time bisection) is a
+# minutes-scale job.  This mini build characterises the five
+# combinational cells on a 2x3 grid — every code path of the harness,
+# a fraction of the transients — and stubs the sequential timing, which
+# no validation check reads.
+# ---------------------------------------------------------------------------
+
+_MINI_CACHE: dict = {}
+
+
+def mini_organic_library():
+    """A real (but small-grid) characterised organic library, memoised."""
+    if "library" in _MINI_CACHE:
+        return _MINI_CACHE["library"]
+    from repro.cells.library_def import organic_library_definition
+    from repro.characterization.harness import (
+        CharacterizationGrid,
+        characterize_cell,
+        default_grid,
+    )
+    from repro.characterization.library import Library, SequentialTiming
+    from repro.characterization.nldm import NldmTable
+
+    defn = organic_library_definition()
+    base = default_grid(defn)
+    grid = CharacterizationGrid(
+        slews=(base.slews[0], base.slews[2]),
+        loads=(base.loads[0], base.loads[1], base.loads[2]))
+    cells = {name: characterize_cell(defn.cell(name), grid,
+                                     area=defn.cell_area(name))
+             for name in defn.COMBINATIONAL}
+
+    # Placeholder sequential timing: no validation check reads it, but
+    # Library requires the field.  Values are scaled from the inverter
+    # tables so they are at least dimensionally sensible.
+    inv_delay = cells["inv"].arcs[0].delay
+    dff = SequentialTiming(
+        name="dff", input_caps={"d": defn.input_capacitance("inv", "a"),
+                                "clk": defn.input_capacitance("inv", "a")},
+        area=defn.cell_area("dff"),
+        clk_to_q=NldmTable(inv_delay.slews.copy(), inv_delay.loads.copy(),
+                           2.0 * inv_delay.values),
+        setup_time=float(inv_delay.values.max()),
+        hold_time=0.0, leakage=0.0)
+
+    _MINI_CACHE["library"] = Library(
+        name=f"{defn.name}-mini", process=defn.process, vdd=defn.vdd,
+        cells=cells, dff=dff,
+        metadata={"note": "validation mini-library; sequential timing "
+                          "is a stub and must not be read by checks"})
+    return _MINI_CACHE["library"]
+
+
+@check("ensemble-vs-scalar-arc", "differential")
+def ensemble_vs_scalar_arc(ctx: CheckContext) -> str:
+    """Batched ensemble arc measurement == scalar transient measurement."""
+    from repro.cells.library_def import organic_library_definition
+    from repro.characterization.harness import (
+        default_grid,
+        measure_arc,
+        measure_arc_batch,
+    )
+
+    defn = organic_library_definition()
+    inv = defn.cell("inv")
+    grid = default_grid(defn)
+    rng = ctx.rng()
+    n_points = 3 if ctx.fast else 8
+    points = []
+    for _ in range(n_points):
+        s = rng.uniform(grid.slews[0], grid.slews[-1])
+        c = rng.uniform(grid.loads[0], grid.loads[-1])
+        points.append((s, c))
+
+    compared = 0
+    for input_rise in (True, False):
+        with swap_env(REPRO_ENSEMBLE="0"):
+            scalar = [measure_arc(inv, "a", input_rise, s, c)
+                      for s, c in points]
+        with swap_env(REPRO_ENSEMBLE="1"):
+            batched = measure_arc_batch(inv, "a", input_rise, points)
+        for (s, c), (d_ref, t_ref), (d_b, t_b) in zip(points, scalar,
+                                                      batched):
+            where = f"inv.a {'rise' if input_rise else 'fall'} " \
+                    f"slew={s:g} load={c:g}"
+            expect_close(d_b, d_ref, rel=ENSEMBLE_REL,
+                         label=f"delay @ {where}")
+            expect_close(t_b, t_ref, rel=ENSEMBLE_REL,
+                         label=f"transition @ {where}")
+            compared += 1
+    return f"{compared} arc points agree to rel {ENSEMBLE_REL:g}"
+
+
+@check("ensemble-vs-scalar-dc", "differential")
+def ensemble_vs_scalar_dc(ctx: CheckContext) -> str:
+    """Stacked VTC sweep == per-cell scalar sweeps on perturbed instances."""
+    from repro.analysis.yield_mc import perturb_cell
+    from repro.cells.topologies import pseudo_e_inverter
+    from repro.cells.vtc import compute_vtc, compute_vtc_batch
+    from repro.devices.pentacene import PENTACENE
+    from repro.devices.variation import VariationModel
+
+    base = pseudo_e_inverter(PENTACENE, vdd=15.0, vss=-15.0,
+                             w_drive=100e-6, w_shift_load=10e-6,
+                             l_shift_load=100e-6, w_up=100e-6,
+                             w_down=50e-6)
+    rng = ctx.np_rng()
+    n_cells = 3 if ctx.fast else 8
+    n_points = 21 if ctx.fast else 41
+    cells = [perturb_cell(base, VariationModel(), rng)
+             for _ in range(n_cells)]
+
+    with swap_env(REPRO_ENSEMBLE="1"):
+        batched = compute_vtc_batch(cells, n_points=n_points)
+    for i, (cell, curve) in enumerate(zip(cells, batched)):
+        expect(curve is not None,
+               f"batched VTC abandoned instance {i} that the scalar "
+               f"path should solve")
+        scalar = compute_vtc(cell, n_points=n_points)
+        err_v = float(np.max(np.abs(curve.vout - scalar.vout)))
+        expect(np.allclose(curve.vout, scalar.vout, rtol=1e-9, atol=1e-12),
+               f"VTC vout mismatch on instance {i}: max |dv| = {err_v:g}")
+        expect(np.allclose(curve.power, scalar.power,
+                           rtol=1e-9, atol=1e-18),
+               f"VTC rail-power mismatch on instance {i}")
+    return f"{n_cells} Monte Carlo instances x {n_points} bias points agree"
+
+
+@check("ipc-kernel-agreement", "differential")
+def ipc_kernel_agreement(ctx: CheckContext) -> str:
+    """fast-python == reference == native (when present), cycle-exact."""
+    from repro.core import ipc_native
+    from repro.core.config import CoreConfig
+    from repro.core.superscalar import simulate
+    from repro.core.tradeoffs import make_traces
+
+    n_instructions = 2_000 if ctx.fast else 12_000
+    traces = make_traces(workloads=["dhrystone", "bzip"],
+                         n_instructions=n_instructions, seed=ctx.seed)
+    configs = [CoreConfig(), CoreConfig().widened(2, 3)]
+
+    compared = 0
+    native_compared = 0
+    native_was = ipc_native.native_available()
+    try:
+        for config in configs:
+            for name, trace in traces.items():
+                where = f"{config.name}/{name}"
+                reference = simulate(config, trace, kernel="reference")
+                with swap_env(REPRO_NATIVE="0"):
+                    ipc_native.reset()
+                    python = simulate(config, trace, kernel="fast")
+                expect(python.cycles == reference.cycles,
+                       f"python fast kernel disagrees with reference on "
+                       f"{where}: {python.cycles} != {reference.cycles}")
+                expect(python.mispredicts == reference.mispredicts,
+                       f"mispredict count disagrees on {where}")
+                compared += 1
+                if native_was:
+                    ipc_native.reset()
+                    native = simulate(config, trace, kernel="fast")
+                    expect(native.cycles == reference.cycles,
+                           f"native kernel disagrees with reference on "
+                           f"{where}: {native.cycles} != {reference.cycles}")
+                    native_compared += 1
+    finally:
+        ipc_native.reset()
+    native_note = (f", native kernel on {native_compared}"
+                   if native_was else ", no native kernel available")
+    return (f"{compared} config x trace pairs cycle-exact"
+            f"{native_note}")
+
+
+@check("sta-vector-vs-scalar", "differential")
+def sta_vector_vs_scalar(ctx: CheckContext) -> str:
+    """Levelised-array STA == scalar STA on a synthesized block."""
+    import repro.synthesis.sta as sta
+    from repro.synthesis.generators import (
+        carry_select_adder,
+        ripple_carry_adder,
+        simple_alu,
+    )
+    from repro.synthesis.mapping import technology_map
+    from repro.synthesis.wires import organic_wire_model
+
+    builders = {
+        "rca8": lambda: ripple_carry_adder(8),
+        "csa8": lambda: carry_select_adder(8),
+        "alu8": lambda: simple_alu(8),
+    }
+    rng = ctx.rng()
+    names = ([rng.choice(sorted(builders))] if ctx.fast
+             else sorted(builders))
+    library = mini_organic_library()
+    wire = organic_wire_model()
+    input_slew = library.typical_slew()
+
+    checked = []
+    for name in names:
+        netlist = technology_map(builders[name]())
+        vector = sta._vector_static_timing(netlist, library, wire,
+                                           input_slew, None)
+        expect(vector is not None,
+               f"vector STA refused library it should batch ({name})")
+        with swap_attr(sta, "VECTOR_MIN_GATES", 10 ** 9):
+            scalar = sta.static_timing(netlist, library, wire)
+        expect_close(vector.max_delay, scalar.max_delay, rel=1e-12,
+                     label=f"{name} max_delay")
+        expect(vector.critical_path == scalar.critical_path,
+               f"{name}: critical paths diverge")
+        for attr in ("arrival", "slew"):
+            vec_d, ref_d = getattr(vector, attr), getattr(scalar, attr)
+            expect(vec_d.keys() == ref_d.keys(),
+                   f"{name}: {attr} key sets diverge")
+            for key, ref_val in ref_d.items():
+                expect_close(vec_d[key], ref_val, rel=1e-9,
+                             label=f"{name} {attr}[{key}]")
+        checked.append(f"{name}({len(netlist.gates)} gates)")
+    return "engines agree on " + ", ".join(checked)
+
+
+@check("cache-warm-vs-cold", "differential")
+def cache_warm_vs_cold(ctx: CheckContext) -> str:
+    """A cache hit returns exactly what the cold computation produced."""
+    import tempfile
+
+    from repro.core.config import CoreConfig
+    from repro.core.superscalar import simulate, simulate_cached
+    from repro.core.tradeoffs import make_traces
+    from repro.runtime.cache import ResultCache
+
+    config = CoreConfig()
+    trace = make_traces(workloads=["dhrystone"], n_instructions=2_000,
+                        seed=ctx.seed)["dhrystone"]
+    uncached = simulate(config, trace)
+    with tempfile.TemporaryDirectory(prefix="repro-validate-") as tmp:
+        cache = ResultCache(root=tmp, enabled=True)
+        cold = simulate_cached(config, trace, cache=cache)
+        expect(cache.misses == 1 and cache.hits == 0,
+               f"cold run should miss exactly once "
+               f"(hits={cache.hits}, misses={cache.misses})")
+        warm = simulate_cached(config, trace, cache=cache)
+        expect(cache.hits == 1,
+               f"warm run should hit (hits={cache.hits})")
+    for attr in ("instructions", "cycles", "branch_count",
+                 "mispredicts", "l1_misses"):
+        expect(getattr(warm, attr) == getattr(cold, attr)
+               == getattr(uncached, attr),
+               f"cached result field {attr} diverges: "
+               f"warm={getattr(warm, attr)}, cold={getattr(cold, attr)}, "
+               f"uncached={getattr(uncached, attr)}")
+    expect(warm.ipc == uncached.ipc, "cached IPC not bit-identical")
+    return "warm hit bit-identical to cold computation and plain simulate"

@@ -1,0 +1,155 @@
+"""Invariant checks: structural properties the data model must satisfy.
+
+Unlike the differential checks these have no second implementation to
+diff against — they assert properties that are true of the physics and
+of the serialisation contracts: characterised delays are nonnegative
+and grow with load, Liberty-style round-trips are lossless, waveform
+crossing extraction is ordered and direction-partitioned, and telemetry
+is identical however many worker processes produced it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.validate.checks import CheckContext, check, expect
+
+#: Slack for "nonnegative" / "monotone" on characterised tables: the
+#: transient measurements behind the tables are solved to much tighter
+#: tolerances than this, so a violation is a real measurement bug.
+_TABLE_SLACK = 1e-15
+
+
+@check("nldm-tables-sane", "invariant")
+def nldm_tables_sane(ctx: CheckContext) -> str:
+    """Characterised delays >= 0 and monotone in load; slews > 0."""
+    from repro.validate.differential import mini_organic_library
+
+    library = mini_organic_library()
+    n_tables = 0
+    for cell_name, cell in sorted(library.cells.items()):
+        for arc in cell.arcs:
+            where = f"{cell_name}.{arc.input_pin}/{arc.output_transition}"
+            delays = arc.delay.values
+            expect(bool(np.all(delays >= -_TABLE_SLACK)),
+                   f"negative delay in {where}: min {delays.min():g}")
+            load_steps = np.diff(delays, axis=1)
+            expect(bool(np.all(load_steps >= -_TABLE_SLACK)),
+                   f"delay not monotone in load in {where}: "
+                   f"worst step {load_steps.min():g}")
+            transitions = arc.transition.values
+            expect(bool(np.all(transitions > 0)),
+                   f"non-positive output transition in {where}: "
+                   f"min {transitions.min():g}")
+            n_tables += 2
+        expect(cell.leakage >= 0,
+               f"negative leakage on {cell_name}: {cell.leakage:g}")
+    return f"{n_tables} NLDM tables over {len(library.cells)} cells sane"
+
+
+@check("library-round-trip", "invariant")
+def library_round_trip(ctx: CheckContext) -> str:
+    """Library -> to_dict -> from_dict -> to_dict is lossless."""
+    from repro.characterization.library import Library
+    from repro.validate.differential import mini_organic_library
+
+    library = mini_organic_library()
+    first = library.to_dict()
+    second = Library.from_dict(first).to_dict()
+    expect(first == second,
+           "Library.to_dict/from_dict round-trip is not the identity")
+    # The round-trip must also be JSON-stable: what lands on disk decodes
+    # to the same payload (this is what the result cache relies on).
+    expect(json.loads(json.dumps(first)) == first,
+           "Library.to_dict payload does not survive JSON encoding")
+    return (f"round-trip lossless: {len(library.cells)} cells, "
+            f"{sum(len(c.arcs) for c in library.cells.values())} arcs")
+
+
+@check("waveform-crossing-order", "invariant")
+def waveform_crossing_order(ctx: CheckContext) -> str:
+    """Crossing lists are strictly ordered, deduplicated and partitioned.
+
+    Random piecewise-linear waveforms — with samples deliberately forced
+    exactly onto the threshold, the case the pre-fix extraction double
+    counted — must yield strictly increasing crossing instants, and the
+    rise/fall lists must partition the ``any`` list exactly.
+    """
+    from repro.spice.waveform import Waveform
+
+    rng = ctx.np_rng()
+    threshold = 0.5
+    n_waves = 40 if ctx.fast else 200
+    n_crossings = 0
+    for i in range(n_waves):
+        n = int(rng.integers(4, 40))
+        times = np.cumsum(rng.uniform(1e-9, 1e-6, size=n))
+        values = rng.uniform(0.0, 1.0, size=n)
+        # Force some samples exactly onto the threshold (runs included).
+        for k in range(int(rng.integers(0, max(2, n // 4)))):
+            values[int(rng.integers(0, n))] = threshold
+        w = Waveform(times, values)
+        rises = w.crossing_times(threshold, "rise")
+        falls = w.crossing_times(threshold, "fall")
+        both = w.crossing_times(threshold, "any")
+        for name, arr in (("rise", rises), ("fall", falls), ("any", both)):
+            expect(bool(np.all(np.diff(arr) > 0)),
+                   f"wave {i}: {name} crossings not strictly increasing")
+        merged = np.sort(np.concatenate([rises, falls]))
+        expect(len(merged) == len(both)
+               and bool(np.array_equal(merged, both)),
+               f"wave {i}: rise+fall does not partition 'any' "
+               f"({len(rises)}+{len(falls)} vs {len(both)})")
+        n_crossings += len(both)
+    expect(n_crossings > 0, "degenerate sample: no crossings generated")
+    return f"{n_waves} random waveforms, {n_crossings} crossings ordered"
+
+
+def _sim_task(task: tuple[int, int]) -> float:
+    """Simulate one seeded trace; module-level so workers can unpickle it."""
+    from repro.core.config import CoreConfig
+    from repro.core.tradeoffs import make_traces
+
+    from repro.core.superscalar import simulate
+
+    seed, n_instructions = task
+    trace = make_traces(workloads=["dhrystone"],
+                        n_instructions=n_instructions,
+                        seed=seed)["dhrystone"]
+    return simulate(CoreConfig(), trace).ipc
+
+
+@check("telemetry-serial-vs-parallel", "invariant")
+def telemetry_serial_vs_parallel(ctx: CheckContext) -> str:
+    """Merged worker telemetry == serial telemetry, counter for counter."""
+    from repro.runtime import telemetry
+    from repro.runtime.executor import parallel_map
+
+    tasks = [(ctx.seed + i, 1_000) for i in range(4)]
+    runs: dict[int, tuple[dict, list]] = {}
+    enabled_before = telemetry.ENABLED
+    try:
+        for workers in (1, 2):
+            telemetry.reset()
+            telemetry.enable(True)
+            results = parallel_map(_sim_task, tasks, workers=workers)
+            runs[workers] = (dict(telemetry.counters()),
+                             [r.unwrap() for r in results])
+            telemetry.enable(False)
+    finally:
+        telemetry.enable(enabled_before)
+        telemetry.reset()
+    serial_counters, serial_values = runs[1]
+    parallel_counters, parallel_values = runs[2]
+    expect(serial_values == parallel_values,
+           "parallel map returned different results than serial")
+    expect(serial_counters == parallel_counters,
+           f"telemetry counters diverge between serial and parallel runs: "
+           f"serial={serial_counters}, parallel={parallel_counters}")
+    expect(serial_counters.get("ipc.simulations") == len(tasks),
+           f"expected {len(tasks)} simulation counts, got "
+           f"{serial_counters.get('ipc.simulations')}")
+    return (f"{len(serial_counters)} counters identical across "
+            f"1- and 2-worker runs")

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.characterization.nldm import NldmTable
+from bisect import bisect_right
+
+from repro.characterization.nldm import NldmTable, _segment
 from repro.errors import LibraryError
 
 
@@ -65,6 +67,56 @@ class TestLookup:
         t = table()
         assert t.lookup(slew * 1.1, load) >= t.lookup(slew, load) - 1e-15
         assert t.lookup(slew, load * 1.1) >= t.lookup(slew, load) - 1e-15
+
+
+class TestSegmentReconciliation:
+    """`_segment` and `NldmTable.lookup` must pick the same segment."""
+
+    def _lookup_segment(self, axis_list: list, x: float) -> int:
+        # The exact index arithmetic NldmTable.lookup performs.
+        return min(max(bisect_right(axis_list, x) - 1, 0),
+                   len(axis_list) - 2)
+
+    @given(x=st.floats(1e-7, 1e-3))
+    @settings(max_examples=60, deadline=None)
+    def test_segments_agree_off_grid(self, x):
+        axis = np.array([1e-6, 1e-5, 1e-4])
+        assert _segment(axis, x) == self._lookup_segment(axis.tolist(), x)
+
+    def test_segments_agree_on_grid_nodes(self):
+        # Regression: side="left" searchsorted used to put every interior
+        # grid node in the segment to its *left* while bisect_right put
+        # it in the segment to its right.
+        axis = np.array([1e-6, 1e-5, 1e-4, 1e-3])
+        for x in axis:
+            assert _segment(axis, float(x)) == \
+                self._lookup_segment(axis.tolist(), float(x))
+        # Interior nodes sit at the left edge of their own segment.
+        assert _segment(axis, 1e-5) == 1
+        assert _segment(axis, 1e-4) == 2
+        # Ends clamp into the outermost segments.
+        assert _segment(axis, 1e-6) == 0
+        assert _segment(axis, 1e-3) == 2
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_exact_on_every_grid_node(self, data):
+        """Property: lookup at any grid node returns the stored value
+        bit-exactly (==, not approx) for arbitrary finite tables."""
+        n_s = data.draw(st.integers(2, 5))
+        n_l = data.draw(st.integers(2, 5))
+        values = np.array([[data.draw(st.floats(-1e3, 1e3,
+                                                allow_nan=False))
+                            for _ in range(n_l)] for _ in range(n_s)])
+        slews = np.cumsum(np.array(
+            [data.draw(st.floats(1e-7, 1e-5)) for _ in range(n_s)])) + 1e-7
+        loads = np.cumsum(np.array(
+            [data.draw(st.floats(1e-13, 1e-11)) for _ in range(n_l)])) + 1e-13
+        t = NldmTable(slews, loads, values)
+        for i in range(n_s):
+            for j in range(n_l):
+                assert t.lookup(float(slews[i]), float(loads[j])) \
+                    == values[i, j]
 
 
 class TestSerialization:

@@ -198,3 +198,23 @@ def test_convergence_context_survives_worker(workers):
 
 def test_task_result_unwrap_ok():
     assert TaskResult(index=0, label="t", value=42).unwrap() == 42
+
+
+def _crash_in_worker(task):
+    value, parent_pid = task
+    if value == 2 and os.getpid() != parent_pid:
+        os._exit(41)  # simulate an OOM kill: no exception, no cleanup
+    return value * 10
+
+
+def test_worker_crash_falls_back_to_serial(caplog):
+    # Regression: a worker dying mid-map used to propagate
+    # BrokenProcessPool out of parallel_map (only pool-*creation*
+    # failures degraded to serial).  The map must complete with every
+    # task's result, in order, and warn about the degradation.
+    tasks = [(v, os.getpid()) for v in range(5)]
+    with caplog.at_level("WARNING", logger="repro"):
+        results = parallel_map(_crash_in_worker, tasks, workers=2)
+    assert [r.unwrap() for r in results] == [0, 10, 20, 30, 40]
+    assert any("worker process died" in r.getMessage()
+               for r in caplog.records)

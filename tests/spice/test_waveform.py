@@ -1,5 +1,7 @@
 """Waveform measurement tests."""
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -79,13 +81,142 @@ class TestDelayBetween:
         d = delay_between(a, b, 0.5, 0.5)
         assert d == pytest.approx(0.4, abs=0.01)
 
-    def test_effect_before_cause_fallback(self):
+    def test_effect_before_cause_clamps_and_warns(self, caplog):
+        # Regression: the fallback used to silently return a negative
+        # delay; the documented policy clamps to 0 and logs a warning
+        # naming the arc so it can never enter an NLDM table unnoticed.
         a = ramp_wave(t0=2.0, t1=2.5)
         b = ramp_wave(t0=0.5, t1=1.0)
-        d = delay_between(a, b, 0.5, 0.5)
-        assert d < 0  # closest-crossing fallback reports negative delay
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            d = delay_between(a, b, 0.5, 0.5, context="inv.a rise test-arc")
+        assert d == 0.0
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("negative propagation delay" in m for m in messages)
+        assert any("inv.a rise test-arc" in m for m in messages)
+
+    def test_effect_before_cause_raise_policy(self):
+        a = ramp_wave(t0=2.0, t1=2.5)
+        b = ramp_wave(t0=0.5, t1=1.0)
+        with pytest.raises(AnalysisError, match="precedes"):
+            delay_between(a, b, 0.5, 0.5, on_negative="raise")
+
+    def test_bad_on_negative_rejected(self):
+        a = ramp_wave(t0=2.0, t1=2.5)
+        b = ramp_wave(t0=0.5, t1=1.0)
+        with pytest.raises(ValueError, match="on_negative"):
+            delay_between(a, b, 0.5, 0.5, on_negative="ignore")
+
+    def test_no_effect_crossing_still_raises(self):
+        a = ramp_wave()
+        flat = Waveform([0.0, 1.0, 2.0], [0.0, 0.0, 0.0])
+        with pytest.raises(AnalysisError, match="never crosses"):
+            delay_between(a, flat, 0.5, 0.5)
 
     def test_settled(self):
         w = ramp_wave()
         assert w.settled(1.0, 0.05)
         assert not w.settled(0.5, 0.05)
+
+
+class TestExactThresholdCrossings:
+    """Regression: a sample lying exactly on the threshold is one crossing.
+
+    The pre-fix code counted the sign sequence ``-1, 0, +1`` as two
+    crossings (one per adjacent segment), double-counting the instant.
+    """
+
+    def test_rise_through_exact_sample_counted_once(self):
+        w = Waveform([0.0, 1.0, 2.0], [0.0, 0.5, 1.0])
+        crossings = w.crossing_times(0.5, "rise")
+        assert len(crossings) == 1
+        assert crossings[0] == pytest.approx(1.0)
+
+    def test_fall_through_exact_sample_counted_once(self):
+        w = Waveform([0.0, 1.0, 2.0], [1.0, 0.5, 0.0])
+        crossings = w.crossing_times(0.5, "fall")
+        assert len(crossings) == 1
+        assert crossings[0] == pytest.approx(1.0)
+
+    def test_any_direction_counted_once(self):
+        w = Waveform([0.0, 1.0, 2.0], [0.0, 0.5, 1.0])
+        assert len(w.crossing_times(0.5, "any")) == 1
+
+    def test_zero_run_collapses_to_first_instant(self):
+        w = Waveform([0.0, 1.0, 2.0, 3.0], [0.0, 0.5, 0.5, 1.0])
+        crossings = w.crossing_times(0.5, "any")
+        assert len(crossings) == 1
+        assert crossings[0] == pytest.approx(1.0)
+
+    def test_touch_is_not_a_crossing(self):
+        # Reaching the level and returning to the same side never crosses.
+        w = Waveform([0.0, 1.0, 2.0], [0.0, 0.5, 0.0])
+        assert len(w.crossing_times(0.5, "any")) == 0
+
+    def test_crossing_instants_strictly_increasing(self):
+        # Multiple crossings with exact-threshold samples stay ordered
+        # and deduplicated.
+        w = Waveform([0.0, 1.0, 2.0, 3.0, 4.0],
+                     [0.0, 0.5, 1.0, 0.5, 0.0])
+        crossings = w.crossing_times(0.5, "any")
+        assert len(crossings) == 2
+        assert np.all(np.diff(crossings) > 0)
+
+    def test_crossing_time_occurrence_with_exact_sample(self):
+        w = Waveform([0.0, 1.0, 2.0], [0.0, 0.5, 1.0])
+        assert w.crossing_time(0.5, "rise", occurrence=0) == pytest.approx(1.0)
+        with pytest.raises(AnalysisError):
+            w.crossing_time(0.5, "rise", occurrence=1)
+
+    def test_endpoint_on_threshold(self):
+        # Starting or ending exactly on the level counts once.
+        start = Waveform([0.0, 1.0], [0.5, 1.0])
+        assert len(start.crossing_times(0.5, "rise")) == 1
+        end = Waveform([0.0, 1.0], [0.0, 0.5])
+        assert len(end.crossing_times(0.5, "rise")) == 1
+
+
+class TestGlitchyTransitionTime:
+    """Regression: slew must be measured on the final monotone transition.
+
+    The pre-fix code took the *first* directional crossing of each
+    fractional threshold: on a glitch-then-settle output the 20% point
+    came from the glitch edge and the 80% point from the settling edge,
+    producing a bogusly large slew.
+    """
+
+    def _glitchy_rise(self):
+        # Glitch to 0.4 (above the 20% point), back to 0.05, then the
+        # real 0-to-1 transition between t=4 and t=6.
+        t = [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 7.0]
+        v = [0.0, 0.4, 0.05, 0.05, 0.05, 1.0, 1.0]
+        return Waveform(t, v)
+
+    def test_rising_glitch_then_settle(self):
+        w = self._glitchy_rise()
+        # Final edge: 0.05 -> 1.0 over t in [4, 6]; crosses 0.2 at
+        # t = 4 + 2*(0.15/0.95) and 0.8 at t = 4 + 2*(0.75/0.95).
+        expected = 2.0 * (0.8 - 0.2) / 0.95
+        assert w.transition_time(0.0, 1.0) == pytest.approx(expected,
+                                                            rel=1e-12)
+        # The pre-fix measurement mixed edges: first 0.2-rise crossing is
+        # on the glitch at t=0.5, giving a much larger bogus value.
+        bogus = (4.0 + 2.0 * 0.75 / 0.95) - 0.5
+        assert w.transition_time(0.0, 1.0) < 0.8 * bogus
+
+    def test_falling_glitch_then_settle(self):
+        t = [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 7.0]
+        v = [1.0, 0.6, 0.95, 0.95, 0.95, 0.0, 0.0]
+        w = Waveform(t, v)
+        # Final edge: 0.95 -> 0.0 over t in [4, 6].
+        expected = 2.0 * (0.8 - 0.2) / 0.95
+        assert w.transition_time(0.0, 1.0) == pytest.approx(expected,
+                                                            rel=1e-12)
+
+    def test_monotone_ramp_unchanged(self):
+        w = ramp_wave(t0=1.0, t1=2.0)
+        assert w.transition_time(0.0, 1.0) == pytest.approx(0.6, abs=0.01)
+
+    def test_never_reaching_high_raises(self):
+        w = Waveform([0.0, 1.0, 2.0], [0.0, 0.3, 0.3])
+        with pytest.raises(AnalysisError, match="never crosses"):
+            w.transition_time(0.0, 1.0)
