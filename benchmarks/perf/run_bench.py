@@ -14,7 +14,11 @@ the recorded pre-optimisation baselines, and writes the results to
    run twice: against a cold result cache (everything computed) and a
    warm one (every simulation and block timing replayed from disk,
    reported as ``depth_sweep_warm_cache``),
-6. ``width_sweep`` — the 30-point Figure 13/14 width grid, cold cache.
+6. ``width_sweep`` — the 30-point Figure 13/14 width grid, cold cache,
+7. ``ensemble_newton`` — the solver-backend microbench: 200 fixed-dt
+   ensemble Newton timesteps on a 16-member inverter batch, isolating
+   the ``REPRO_BACKEND`` dispatch effect from step control and probing
+   (seed baseline recorded under the ``numpy`` reference backend).
 
 Usage::
 
@@ -27,8 +31,9 @@ Usage::
         --check BENCH_perf.json --tolerance 0.25     # CI regression gate
 
 ``--profile`` reports a per-stage breakdown (stamp / device-eval /
-solve / overhead) from :mod:`repro.runtime.profiling` next to each
-timing and embeds it in the JSON artifact.  The stage counters are
+solve / rhs / probe / step-control / predict / retry / cache /
+telemetry / residual overhead) from :mod:`repro.runtime.profiling`
+next to each timing and embeds it in the JSON artifact.  The stage counters are
 process-aware: worker processes ship their telemetry snapshots back
 through ``parallel_map`` and the parent merges them in task order, so
 the breakdown is complete (and deterministic) with ``--workers`` too.
@@ -80,6 +85,7 @@ SEED_BASELINES = {
     "depth_sweep": 1.8854,                # PR-1 time of the identical call
     "depth_sweep_warm_cache": 1.8854,     # vs the same uncached PR-1 run
     "width_sweep": None,                  # new in PR 2
+    "ensemble_newton": 0.082,             # numpy reference backend (PR 6)
 }
 
 #: Trace length for the sweep benches — matches the PR-1 measurement the
@@ -123,6 +129,61 @@ def _bench_library_characterization(workers: int | None) -> float:
     t0 = time.perf_counter()
     characterize_library(organic_library_definition(), use_cache=False,
                          workers=workers)
+    return time.perf_counter() - t0
+
+
+def _bench_ensemble_newton() -> float:
+    """Raw stacked-Newton throughput through the active solver backend.
+
+    Marches 200 fixed-step backward-Euler solves of a 16-member
+    inverter ensemble straight through
+    :meth:`~repro.spice.ensemble.EnsembleSystem.newton_batch` — no step
+    control, no probing, no harness — so the row isolates exactly what
+    the backend dispatch layer (``REPRO_BACKEND``) changes.
+    """
+    import numpy as np
+
+    from repro.cells.topologies import diode_load_inverter
+    from repro.devices.pentacene import pentacene_model
+    from repro.spice import (Capacitor, Circuit, EnsembleSystem,
+                             NewtonOptions, RampValue, VoltageSource)
+
+    vdd = 15.0
+    members = []
+    for k in range(16):
+        model = pentacene_model(vt_shift=0.05 * (k % 5))
+        cell = diode_load_inverter(model, w_drive=100e-6, w_load=30e-6,
+                                   vdd=vdd)
+        ckt = Circuit(f"bench_tb{k}")
+        ckt.add(VoltageSource("v_vdd", "vdd", "0", vdd))
+        ckt.add(VoltageSource("v_a", "a", "0",
+                              RampValue(0.0, vdd, 4e-5, 2e-4)))
+        cell.instantiate(ckt, {"a": "a", "out": "out", "vdd": "vdd",
+                               "vss": "0"})
+        ckt.add(Capacitor("c_load", "out", "0", 1e-12))
+        members.append(ckt)
+    es = EnsembleSystem(members)
+    opts = NewtonOptions()
+    x, _ok = es.solve_dc(options=opts)
+
+    mem = np.arange(es.B)
+    dt = 2e-6
+    inv_dt = np.full(es.B, 1.0 / dt)
+    t = np.full(es.B, dt)
+
+    def step(x, t):
+        b = es.rhs_batch(mem, t)
+        x_new, _conv = es.newton_batch(mem, None, b, x.copy(), opts,
+                                       inv_dt=inv_dt, x_prev=x,
+                                       add_storage=True)
+        return x_new, t + dt
+
+    # Warm-up pays kernel compile / gather memoisation, then measure.
+    step(x, t)
+    profiling.reset()
+    t0 = time.perf_counter()
+    for _ in range(200):
+        x, t = step(x, t)
     return time.perf_counter() - t0
 
 
@@ -233,6 +294,7 @@ BENCHES = {
     "single_transient": lambda workers: _bench_single_transient(),
     "cell_characterization": _bench_cell_characterization,
     "library_characterization": _bench_library_characterization,
+    "ensemble_newton": lambda workers: _bench_ensemble_newton(),
     "ipc_simulate": lambda workers: _bench_ipc_simulate(),
     "depth_sweep": _bench_depth_sweep,
     "width_sweep": _bench_width_sweep,
@@ -368,6 +430,7 @@ def main(argv: list[str] | None = None) -> int:
         _record(results, name, elapsed, prof)
 
     from repro.core import ipc_native
+    from repro.spice.backends import get_backend
 
     payload = {
         "benchmarks": results,
@@ -378,6 +441,9 @@ def main(argv: list[str] | None = None) -> int:
             "ensemble": os.environ.get("REPRO_ENSEMBLE", "auto"),
             "ipc_kernel": ("native" if ipc_native.native_available()
                            else "python"),
+            "spice_backend": get_backend().name,
+            "spice_backend_requested": os.environ.get("REPRO_BACKEND",
+                                                      "auto"),
         },
         "notes": ("Characterisation seed_seconds measured at commit "
                   "a5dc719 (scalar stamping, fixed-step transient "

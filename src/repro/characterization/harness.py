@@ -882,7 +882,9 @@ def characterize_library(defn: CellLibraryDefinition,
     :func:`repro.runtime.parallel_map`); results and the cache key are
     identical whatever the worker count.
     """
-    with telemetry.span(f"characterize_library:{defn.name}"):
+    from repro.spice.backends import get_backend
+    with telemetry.span(f"characterize_library:{defn.name}",
+                        backend=get_backend().name):
         return _characterize_library(defn, grid, cache_dir, use_cache,
                                      workers)
 

@@ -26,12 +26,27 @@ Stages
 - ``device_eval`` — batched device-model kernels (the vectorized FET
   paths time their model call separately; it is reported subtracted
   from ``stamp`` so the two never double-count);
-- ``solve`` — dense linear solves (``dgesv`` / ``numpy.linalg.solve``,
-  scalar and stacked).
+- ``solve`` — linear-solve work through the active
+  :mod:`repro.spice.backends` backend (``dgesv`` /
+  ``numpy.linalg.solve`` / the blocked static LU); on the native
+  backend the compiled kernel fuses stamping and device evaluation
+  into the solve call, so its whole runtime lands here;
+- ``rhs`` — right-hand-side evaluation (sources, ramps, storage
+  history);
+- ``probe`` — waveform probing (threshold-crossing extraction);
+- ``step_control`` — timestep selection and accept/grow/shrink
+  bookkeeping;
+- ``predict`` — warm-start prediction: extrapolating the start state
+  from integration history and measuring the prediction miss (the LTE
+  estimate);
+- ``retry`` — retry orchestration (Newton-failure halving and LTE
+  rejection handling);
+- ``cache`` — cache and fingerprint maintenance (gather memoisation,
+  result-cache keys) in the harness;
+- ``telemetry`` — span/report bookkeeping while profiling.
 
-Everything else (step control, source evaluation, measurement
-bookkeeping, Python overhead) is the *overhead* line, derived by the
-reporter as ``total - stamp - solve``.
+Whatever none of the stages account for remains the *overhead* line,
+derived by the reporter as ``total - tracked``.
 """
 
 from __future__ import annotations
@@ -49,7 +64,8 @@ __all__ = ["ENABLED", "add", "breakdown", "enable", "profiled", "reset",
 #: the stage timers without turning full telemetry on.
 ENABLED = False
 
-_STAGES = ("stamp", "device_eval", "solve")
+_STAGES = ("stamp", "device_eval", "solve", "rhs", "probe",
+           "step_control", "predict", "retry", "cache", "telemetry")
 
 #: Registry timer names backing each stage.
 _TIMER = {stage: f"solver.{stage}" for stage in _STAGES}
@@ -97,15 +113,15 @@ def breakdown(total_seconds: float) -> dict[str, float]:
     """
     stamp_s, _ = _stage("stamp")
     dev_s, _ = _stage("device_eval")
-    solve_s, _ = _stage("solve")
     stamp = max(0.0, stamp_s - dev_s)
-    tracked = stamp + dev_s + solve_s
-    return {
-        "stamp": round(stamp, 4),
-        "device_eval": round(dev_s, 4),
-        "solve": round(solve_s, 4),
-        "overhead": round(max(0.0, total_seconds - tracked), 4),
-    }
+    out = {"stamp": round(stamp, 4), "device_eval": round(dev_s, 4)}
+    tracked = stamp + dev_s
+    for stage in _STAGES[2:]:
+        seconds, _ = _stage(stage)
+        out[stage] = round(seconds, 4)
+        tracked += seconds
+    out["overhead"] = round(max(0.0, total_seconds - tracked), 4)
+    return out
 
 
 @contextmanager

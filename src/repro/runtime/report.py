@@ -77,6 +77,16 @@ def env_fingerprint() -> dict:
         "workers": resolve_workers(),
         "repro_env": {k: v for k, v in sorted(os.environ.items())
                       if k.startswith("REPRO_")},
+        "solver_backend": _solver_backend(),
+    }
+
+
+def _solver_backend() -> dict:
+    """Resolved spice solver backend vs what was requested."""
+    from repro.spice.backends import get_backend
+    return {
+        "requested": os.environ.get("REPRO_BACKEND", "auto"),
+        "resolved": get_backend().name,
     }
 
 

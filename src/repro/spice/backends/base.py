@@ -1,0 +1,133 @@
+"""Solver-backend protocol for the linear-algebra core of ``repro.spice``.
+
+Every Newton iteration of the DC and transient engines bottoms out in a
+dense linear solve: ``J delta = -F`` for one circuit (scalar path) or a
+stacked ``(B, S, S)`` batch of them (ensemble path).  A
+:class:`SolverBackend` owns exactly that layer.  The contract is small on
+purpose:
+
+- :meth:`solve` / :meth:`solve_stacked` **never raise** on singular
+  matrices — they report per-system success flags instead, so a single
+  degenerate ensemble lane can never abort a whole batch (the caller
+  decides whether a failed lane is retried, deactivated, or fatal);
+- :meth:`factor_stacked` optionally returns a reusable factorisation so
+  a Newton loop whose Jacobian is frozen (bypassed stamps) can skip
+  re-factorising — backends without a cheap explicit LU return ``None``;
+- :meth:`ensemble_newton` optionally takes over the *entire* ensemble
+  Newton inner loop (assemble + device eval + solve + damped update over
+  the masked active set); backends that cannot return ``None`` and the
+  caller runs the reference NumPy loop.
+
+Backends are selected once per process by ``REPRO_BACKEND`` (see
+:mod:`repro.spice.backends`) and are stateless apart from telemetry
+counters, so one instance serves every circuit and thread of a run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.runtime import telemetry
+
+
+class SolverBackend:
+    """Interface + shared accounting for linear-solve backends."""
+
+    #: Identity reported in telemetry span metadata and run reports.
+    name = "base"
+
+    def available(self) -> bool:
+        """Whether this backend can run on the current machine."""
+        return True
+
+    # -- accounting ---------------------------------------------------------
+
+    def _count(self, lanes: int) -> None:
+        """Per-backend solve counters (one registry update per solve call)."""
+        if telemetry.ENABLED:
+            telemetry.count(f"backend.{self.name}.solve_calls")
+            telemetry.count(f"backend.{self.name}.lanes_solved", lanes)
+
+    # -- scalar -------------------------------------------------------------
+
+    def solve(self, J: np.ndarray, F: np.ndarray,
+              structure: Any | None = None) -> tuple[np.ndarray, bool]:
+        """Solve ``J delta = -F`` for one system.
+
+        Returns ``(delta, ok)``; ``ok`` is False (and ``delta`` all-zero)
+        when ``J`` is singular.  Never raises ``LinAlgError``.
+        """
+        raise NotImplementedError
+
+    # -- stacked ------------------------------------------------------------
+
+    def solve_stacked(self, J: np.ndarray, F: np.ndarray,
+                      structure: Any | None = None
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Solve ``J[a] delta[a] = -F[a]`` for a stacked ``(A, S, S)`` batch.
+
+        Returns ``(delta, ok)`` where ``ok`` is a boolean lane mask;
+        singular lanes come back ``ok[a] = False`` with ``delta[a] = 0``
+        and **must not** raise — this is the per-lane containment the
+        ensemble active set relies on.
+        """
+        raise NotImplementedError
+
+    def factor_stacked(self, J: np.ndarray,
+                       structure: Any | None = None) -> Any | None:
+        """Optional reusable factorisation of a stacked Jacobian.
+
+        Returns an object with ``solve(F) -> (delta, ok)`` semantics
+        matching :meth:`solve_stacked`, or ``None`` when this backend has
+        no cheap explicit factorisation (callers then re-solve).
+        """
+        return None
+
+    # -- whole-loop hook ----------------------------------------------------
+
+    def ensemble_newton(self, request: "EnsembleNewtonRequest"
+                        ) -> tuple[np.ndarray, np.ndarray, int] | None:
+        """Run a full ensemble Newton solve, or decline with ``None``.
+
+        Implementations must reproduce the reference semantics of
+        :meth:`repro.spice.ensemble.EnsembleSystem.newton_batch` (per-lane
+        damping, freeze-on-converge, singular-lane deactivation, stamp
+        bypass) to solver tolerance.  Returns ``(x, converged,
+        iterations)`` with ``x`` updated in place of ``request.x``.
+        """
+        return None
+
+
+class EnsembleNewtonRequest:
+    """Everything a backend needs to run one batched Newton solve.
+
+    A plain attribute bag (no behaviour) so the native kernel call site
+    and the pure-Python reference read the same fields.  ``G_lin`` is
+    either a gathered ``(A, S, S)`` array or ``None`` — in the latter
+    case the backend composes ``G_static[m] + C_unit[m] / dt`` per lane
+    from the ensemble's base arrays (the transient fast path, which
+    avoids materialising the gathered Jacobian in Python entirely).
+    """
+
+    __slots__ = ("es", "mem_idx", "G_lin", "inv_dt", "b", "x", "x_prev",
+                 "add_storage", "options", "max_step_v", "max_iterations",
+                 "gmin", "bypass")
+
+    def __init__(self, es, mem_idx, G_lin, inv_dt, b, x, x_prev,
+                 add_storage, options, max_step_v, max_iterations,
+                 gmin, bypass) -> None:
+        self.es = es
+        self.mem_idx = mem_idx
+        self.G_lin = G_lin
+        self.inv_dt = inv_dt
+        self.b = b
+        self.x = x
+        self.x_prev = x_prev
+        self.add_storage = add_storage
+        self.options = options
+        self.max_step_v = max_step_v
+        self.max_iterations = max_iterations
+        self.gmin = gmin
+        self.bypass = bypass

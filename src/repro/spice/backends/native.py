@@ -1,0 +1,607 @@
+"""Compiled C backend: the whole ensemble Newton inner loop in one call.
+
+The profile of a characterisation run is dominated not by LAPACK flops
+but by the Python orchestration *around* them: per-iteration stacked
+assembly, fancy-indexed device scatters, ``np.linalg.solve`` dispatch,
+and the active-set mask arithmetic — each a handful of microseconds,
+tens of thousands of times.  This backend moves the complete
+stamp-residual-solve-update loop over a masked lane set into one C call
+per timestep, following the proven :mod:`repro.core.ipc_native` recipe:
+compile with whatever system compiler exists (``cc``/``gcc``/``clang``),
+cache the shared object by source hash, bind through :mod:`ctypes`, and
+degrade silently to the pure-NumPy reference when any of that fails.
+
+The C kernel is a transliteration of the reference semantics:
+
+- per-lane damped Newton exactly as
+  :meth:`repro.spice.ensemble.EnsembleSystem.newton_batch` /
+  :func:`repro.spice.dc._newton` (damping scale, freeze-on-converge,
+  per-lane iteration budgets, gmin conditioning, exact-zero-pivot
+  singularity semantics — a singular lane is deactivated, never fatal);
+- the :class:`~repro.devices.tft_level61.StackedTftParams` device
+  equations, same branch structure as the NumPy kernel (branch-free
+  softplus, ``log u > 60`` deep-triode asymptote, tanh/cosh leakage);
+- the transient fast path composes ``G_static[m] + C_unit[m]/dt`` and
+  the storage history term per lane *inside* the kernel, so Python
+  never materialises gathered ``(A, S, S)`` arrays at all;
+- the stamp-bypass protocol (see :mod:`repro.spice.transient`): frozen
+  lanes reuse the cached nonlinear stamps, fresh converged lanes write
+  the per-member cache back — the same decision rule, same cache
+  layout, as the scalar and NumPy-ensemble engines.
+
+Scalar and small-batch solves inherit the NumPy reference paths; only
+the ensemble hook is native.  Results agree with the reference to
+solver/rounding tolerance (libm vs NumPy transcendentals differ in the
+last ulp), which the backend-equivalence suite pins down.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.devices.tft_level61 import StackedTftParams
+from repro.runtime import telemetry
+from repro.runtime.log import get_logger
+from repro.spice.backends.base import EnsembleNewtonRequest
+from repro.spice.backends.numpy_ref import NumpyBackend
+from repro.spice.elements import FET_GMIN
+
+logger = get_logger(__name__)
+
+_C_SOURCE = r"""
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* Damped Newton over a masked lane set: assemble (linear base + TFT
+ * stamps), solve by partial-pivot LU, damp, update, converge — per lane
+ * to completion.  A transliteration of EnsembleSystem.newton_batch and
+ * StackedTftParams.evaluate; see the Python module docstring for the
+ * exact correspondence.  Returns the largest per-lane iteration count,
+ * or -1 when scratch allocation fails.
+ */
+
+#define PF 15  /* parameter fields per device, StackedTftParams order */
+
+static void eval_tft(const double *pr, double vgs, double vds,
+                     double *ids, double *gm, double *gds)
+{
+    double k_z = pr[0], k_zd = pr[1], z0 = pr[2], nvth = pr[3];
+    double beta = pr[4], p = pr[5], beta_p = pr[6], alpha = pr[7];
+    double k_vsat = pr[8], m = pr[9], e_pow = pr[10], lam = pr[11];
+    double vt_dibl = pr[12], leak_i = pr[13], leak_g = pr[14];
+
+    double z = vgs * k_z - vds * k_zd - z0;
+    double sp = fmax(z, 0.0) + log1p(exp(-fabs(z)));
+    if (sp < 1e-300) sp = 1e-300;
+    double sig = exp(z - sp);
+    double vgte = nvth * sp;
+    double vsat = k_vsat * sp;
+
+    double log_u = m * log(vds / vsat);   /* vds==0 -> -inf -> u=0 */
+    double vdse, dvdse_dvsat, base_pow;
+    if (log_u > 60.0) {                   /* deep-triode asymptote */
+        vdse = vsat;
+        dvdse_dvsat = 1.0;
+        base_pow = 0.0;
+    } else {
+        double u = exp(log_u);
+        double t = 1.0 + u;
+        base_pow = pow(t, e_pow);
+        vdse = vds * (base_pow * t);
+        dvdse_dvsat = (vds * (base_pow * u)) / vsat;
+    }
+
+    double clm = 1.0 + lam * vds;
+    double vgte_p = pow(vgte, p);
+    double i0 = (beta * clm) * vgte_p;
+    double i_ch = i0 * vdse;
+    double di_dvgte = (beta_p * clm) * (vgte_p / vgte) * vdse;
+
+    double g_m = (di_dvgte + i0 * (dvdse_dvsat * alpha)) * sig;
+    double dvgte_dvds = sig * (-vt_dibl);
+    double g_ds = di_dvgte * dvgte_dvds
+        + i0 * (base_pow + (dvdse_dvsat * alpha) * dvgte_dvds)
+        + i_ch * (lam / clm);
+
+    if (leak_i > 0.0) {
+        double x_leak = vds * 10.0;       /* 1 / V_LEAK, V_LEAK = 0.1 */
+        i_ch += leak_i * tanh(x_leak);
+        double ch = cosh(x_leak);         /* overflow -> inf -> g += 0 */
+        g_ds += leak_g / (ch * ch);
+    }
+    *ids = i_ch; *gm = g_m; *gds = g_ds;
+}
+
+/* Partial-pivot LU solve of J delta = rhs, in place; J is S x S with
+ * row stride `stride`.  Returns 0, or 1 on an exactly-zero pivot (the
+ * LAPACK dgesv singularity condition). */
+static int lu_solve(double *J, long stride, double *rhs, long S)
+{
+    for (long k = 0; k < S; k++) {
+        long p = k;
+        double best = fabs(J[k * stride + k]);
+        for (long i = k + 1; i < S; i++) {
+            double v = fabs(J[i * stride + k]);
+            if (v > best) { best = v; p = i; }
+        }
+        if (J[p * stride + k] == 0.0) return 1;
+        if (p != k) {
+            for (long j = k; j < S; j++) {
+                double t = J[k * stride + j];
+                J[k * stride + j] = J[p * stride + j];
+                J[p * stride + j] = t;
+            }
+            double t = rhs[k]; rhs[k] = rhs[p]; rhs[p] = t;
+        }
+        double piv = J[k * stride + k];
+        for (long i = k + 1; i < S; i++) {
+            double f = J[i * stride + k] / piv;
+            J[i * stride + k] = f;
+            for (long j = k + 1; j < S; j++)
+                J[i * stride + j] -= f * J[k * stride + j];
+            rhs[i] -= f * rhs[k];
+        }
+    }
+    for (long k = S - 1; k >= 0; k--) {
+        double t = rhs[k];
+        for (long j = k + 1; j < S; j++)
+            t -= J[k * stride + j] * rhs[j];
+        rhs[k] = t / J[k * stride + k];
+    }
+    return 0;
+}
+
+long repro_ensemble_newton(
+    long A, long S, long n_nodes,
+    const int64_t *mem,
+    long compose_g,
+    const double *G_lin,        /* A*S*S when compose_g == 0 */
+    const double *G_static,     /* member-indexed, compose mode */
+    const double *C_unit,       /* member-indexed, compose/storage */
+    const double *inv_dt,       /* per lane */
+    const double *b,            /* A*S */
+    long add_storage,
+    const double *x_prev,       /* A*S; accepted state (storage, bypass) */
+    const int64_t *dev_off,     /* member -> device range */
+    const int64_t *d_loc, const int64_t *g_loc, const int64_t *s_loc,
+    const double *pol,
+    const double *par,          /* n_dev x PF, field-minor */
+    double fet_gmin,
+    double abstol_v, double abstol_i,
+    const double *max_step_v,   /* per lane */
+    const int64_t *max_iter,    /* per lane */
+    double gmin,
+    long bypass_on, double eta,
+    long n_slots, const int64_t *slots,
+    uint8_t *cache_valid,       /* member-indexed bypass cache */
+    double *cache_x, double *cache_jnl, double *cache_fnl,
+    double *x,                  /* A*S, in/out */
+    uint8_t *conv,              /* A, out */
+    int64_t *stats)             /* [0] frozen lane-steps, out */
+{
+    long ext = S + 1;
+    double *gbase = malloc((size_t)(S * S) * sizeof(double));
+    double *jmat  = malloc((size_t)(S * S) * sizeof(double));
+    double *jnl   = malloc((size_t)(ext * ext) * sizeof(double));
+    double *fnl   = malloc((size_t)ext * sizeof(double));
+    double *xext  = malloc((size_t)ext * sizeof(double));
+    double *beff  = malloc((size_t)S * sizeof(double));
+    double *fvec  = malloc((size_t)S * sizeof(double));
+    double *rhs   = malloc((size_t)S * sizeof(double));
+    long iters_max = 0;
+    long frozen_steps = 0;
+    if (!gbase || !jmat || !jnl || !fnl || !xext || !beff || !fvec || !rhs) {
+        iters_max = -1;
+        goto done;
+    }
+
+    for (long lane = 0; lane < A; lane++) {
+        long m = mem[lane];
+        double *xl = x + lane * S;
+        const double *bl = b + lane * S;
+        const double *xp = x_prev ? x_prev + lane * S : 0;
+
+        /* Linear base: gathered G_lin, or G_static[m] + C_unit[m]/dt. */
+        const double *G;
+        if (compose_g) {
+            const double *gs = G_static + (size_t)m * S * S;
+            const double *cu = C_unit + (size_t)m * S * S;
+            double idt = inv_dt[lane];
+            for (long i = 0; i < S * S; i++)
+                gbase[i] = gs[i] + cu[i] * idt;
+            G = gbase;
+        } else {
+            G = G_lin + (size_t)lane * S * S;
+        }
+
+        /* Effective rhs: b plus the storage history C x_prev / dt. */
+        if (add_storage) {
+            const double *cu = C_unit + (size_t)m * S * S;
+            double idt = inv_dt[lane];
+            for (long i = 0; i < S; i++) {
+                double acc = 0.0;
+                for (long j = 0; j < S; j++)
+                    acc += cu[i * S + j] * xp[j];
+                beff[i] = bl[i] + acc * idt;
+            }
+        } else {
+            memcpy(beff, bl, (size_t)S * sizeof(double));
+        }
+
+        /* Stamp bypass: reuse cached nonlinear stamps while no device
+         * terminal has drifted beyond eta from the cached state. */
+        long frozen = 0;
+        if (bypass_on && cache_valid[m]) {
+            double mv = 0.0;
+            const double *cx = cache_x + (size_t)m * S;
+            for (long si = 0; si < n_slots; si++) {
+                long sl = slots[si];
+                double d = fabs(xp[sl] - cx[sl]);
+                if (d > mv) mv = d;
+            }
+            frozen = mv <= eta;
+        }
+        if (frozen) frozen_steps++;
+
+        long budget = max_iter[lane];
+        double step_cap = max_step_v[lane];
+        long iter = 0;
+        long ok = 0;
+        while (iter < budget) {
+            /* Nonlinear stamps: cached (frozen) or fresh. */
+            if (frozen) {
+                const double *cj = cache_jnl + (size_t)m * S * S;
+                const double *cf = cache_fnl + (size_t)m * S;
+                for (long i = 0; i < S; i++)
+                    for (long j = 0; j < S; j++)
+                        jmat[i * S + j] = G[i * S + j] + cj[i * S + j];
+                for (long i = 0; i < S; i++) {
+                    double acc = 0.0;
+                    for (long j = 0; j < S; j++)
+                        acc += G[i * S + j] * xl[j];
+                    fvec[i] = acc - beff[i] + cf[i];
+                }
+            } else {
+                memset(jnl, 0, (size_t)(ext * ext) * sizeof(double));
+                memset(fnl, 0, (size_t)ext * sizeof(double));
+                memcpy(xext, xl, (size_t)S * sizeof(double));
+                xext[S] = 0.0;
+                for (long dev = dev_off[m]; dev < dev_off[m + 1]; dev++) {
+                    long d = d_loc[dev], g = g_loc[dev], s = s_loc[dev];
+                    double pl = pol[dev];
+                    double dv = xext[d] - xext[s];
+                    long a_n = d, b_n = s;
+                    if (pl * dv < 0.0) { a_n = s; b_n = d; }
+                    double vds_n = fabs(dv);
+                    double vgs_n = pl * (xext[g] - xext[b_n]);
+                    double ids, gmv, gdsv;
+                    eval_tft(par + (size_t)dev * PF, vgs_n, vds_n,
+                             &ids, &gmv, &gdsv);
+                    double i_phys = pl * (ids + fet_gmin * vds_n);
+                    fnl[a_n] += i_phys;
+                    fnl[b_n] -= i_phys;
+                    double g_ds = gdsv + fet_gmin;
+                    double gsum = gmv + g_ds;
+                    jnl[a_n * ext + a_n] += g_ds;
+                    jnl[a_n * ext + g]   += gmv;
+                    jnl[a_n * ext + b_n] -= gsum;
+                    jnl[b_n * ext + a_n] -= g_ds;
+                    jnl[b_n * ext + g]   -= gmv;
+                    jnl[b_n * ext + b_n] += gsum;
+                }
+                for (long i = 0; i < S; i++)
+                    for (long j = 0; j < S; j++)
+                        jmat[i * S + j] = G[i * S + j] + jnl[i * ext + j];
+                for (long i = 0; i < S; i++) {
+                    double acc = 0.0;
+                    for (long j = 0; j < S; j++)
+                        acc += G[i * S + j] * xl[j];
+                    fvec[i] = acc - beff[i] + fnl[i];
+                }
+            }
+            if (gmin > 0.0) {
+                for (long i = 0; i < n_nodes; i++) {
+                    jmat[i * S + i] += gmin;
+                    fvec[i] += gmin * xl[i];
+                }
+            }
+            double residual = 0.0;
+            for (long i = 0; i < n_nodes; i++) {
+                double v = fabs(fvec[i]);
+                if (v > residual) residual = v;
+            }
+            for (long i = 0; i < S; i++)
+                rhs[i] = -fvec[i];
+            if (lu_solve(jmat, S, rhs, S)) {
+                ok = 0;          /* singular lane: deactivate, not fatal */
+                break;
+            }
+            double max_delta = 0.0;
+            for (long i = 0; i < S; i++) {
+                double v = fabs(rhs[i]);
+                if (v > max_delta) max_delta = v;
+            }
+            double scale = 1.0;
+            if (max_delta > step_cap)
+                scale = step_cap / max_delta;
+            long done_now = (max_delta < abstol_v) && (residual < abstol_i);
+            if (done_now && !frozen && bypass_on) {
+                /* Export the stamps evaluated at the pre-update state. */
+                double *cj = cache_jnl + (size_t)m * S * S;
+                double *cf = cache_fnl + (size_t)m * S;
+                double *cx = cache_x + (size_t)m * S;
+                for (long i = 0; i < S; i++)
+                    for (long j = 0; j < S; j++)
+                        cj[i * S + j] = jnl[i * ext + j];
+                for (long i = 0; i < S; i++) cf[i] = fnl[i];
+                memcpy(cx, xl, (size_t)S * sizeof(double));
+                cache_valid[m] = 1;
+            }
+            for (long i = 0; i < S; i++)
+                xl[i] += rhs[i] * scale;
+            iter++;
+            if (done_now) { ok = 1; break; }
+        }
+        conv[lane] = (uint8_t)ok;
+        if (iter > iters_max) iters_max = iter;
+    }
+
+done:
+    free(gbase); free(jmat); free(jnl); free(fnl);
+    free(xext); free(beff); free(fvec); free(rhs);
+    if (stats) stats[0] = frozen_steps;
+    return iters_max;
+}
+"""
+
+# Load state: "unset" until the first request, then the bound ctypes
+# function or None (unavailable).  Never retried within a process.
+_STATE: list = ["unset"]
+
+#: (bypass_on, eta, n_slots, slots, valid, x_stamp, J_nl, F_nl) when the
+#: stamp bypass is off — None maps to NULL under the void* argtypes.
+_NO_BYPASS = (0, 0.0, 0, None, None, None, None, None)
+
+
+
+# Same conventions as repro.core.ipc_native (not imported: repro.core's
+# package __init__ drags in the characterization stack and would make
+# the solver import cyclic).
+def native_dir() -> Path:
+    """Directory for compiled kernels (override: REPRO_NATIVE_DIR)."""
+    override = os.environ.get("REPRO_NATIVE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "native"
+
+
+def _find_compiler() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _compile() -> Path | None:
+    """Compile (or reuse) the solver kernel; None on any failure."""
+    tag = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    directory = native_dir()
+    so_path = directory / f"spice_kernel_{tag}.so"
+    if so_path.exists():
+        return so_path
+
+    compiler = _find_compiler()
+    if compiler is None:
+        logger.warning(
+            "no C compiler found; the spice solver runs on the pure-NumPy "
+            "backend (correct, but slower)")
+        return None
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        src_path = directory / f"spice_kernel_{tag}.c"
+        src_path.write_text(_C_SOURCE)
+        with tempfile.NamedTemporaryFile(
+                dir=directory, suffix=".so", delete=False) as tmp:
+            tmp_path = Path(tmp.name)
+        result = subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", str(tmp_path),
+             str(src_path), "-lm"],
+            capture_output=True, text=True, timeout=120)
+        if result.returncode != 0:
+            logger.warning(
+                "spice kernel compile failed (%s); falling back to the "
+                "pure-NumPy backend:\n%s", compiler, result.stderr.strip())
+            tmp_path.unlink(missing_ok=True)
+            return None
+        os.replace(tmp_path, so_path)              # atomic publish
+        return so_path
+    except OSError as exc:
+        logger.warning(
+            "spice kernel build unavailable (%s); falling back to the "
+            "pure-NumPy backend", exc)
+        return None
+
+
+def _bind(so_path: Path):
+    lib = ctypes.CDLL(str(so_path))
+    fn = lib.repro_ensemble_newton
+    L, D = ctypes.c_long, ctypes.c_double
+    # All pointer parameters are declared void* and fed raw integer
+    # addresses (``ndarray.ctypes.data`` / precomputed ints): the hook
+    # runs ~1e4 times per characterisation and typed ``data_as`` casts
+    # were its single largest cost.  The caller keeps every array alive
+    # across the call and guarantees dtype/contiguity.
+    P = ctypes.c_void_p
+    fn.restype = L
+    fn.argtypes = [
+        L, L, L,                    # A, S, n_nodes
+        P,                          # mem
+        L, P, P, P, P,              # compose_g, G_lin, G_static, C_unit, inv_dt
+        P, L, P,                    # b, add_storage, x_prev
+        P, P, P, P, P, P,           # dev_off, d/g/s, pol, par
+        D, D, D,                    # fet_gmin, abstol_v, abstol_i
+        P, P, D,                    # max_step_v, max_iter, gmin
+        L, D, L, P,                 # bypass_on, eta, n_slots, slots
+        P, P, P, P,                 # cache_valid, cache_x, cache_jnl, cache_fnl
+        P, P, P,                    # x, conv, stats
+    ]
+    return fn
+
+
+def load_kernel():
+    """The bound C kernel, or None when disabled/unavailable (cached)."""
+    if _STATE[0] != "unset":
+        return _STATE[0]
+    if os.environ.get("REPRO_NATIVE", "1") == "0":
+        _STATE[0] = None
+        return None
+    so_path = _compile()
+    if so_path is None:
+        _STATE[0] = None
+        return None
+    try:
+        _STATE[0] = _bind(so_path)
+    except OSError as exc:                         # stale/foreign object
+        logger.warning(
+            "spice kernel load failed (%s); falling back to the pure-NumPy "
+            "backend", exc)
+        _STATE[0] = None
+    return _STATE[0]
+
+
+def reset(state: str = "unset") -> None:
+    """Forget the cached load state (tests toggle REPRO_NATIVE around this)."""
+    _STATE[0] = state
+
+
+class _NativePrep:
+    """Per-EnsembleSystem arrays the kernel call needs, computed once.
+
+    Besides the member-contiguous device tables this caches the raw data
+    addresses of every call-invariant array (the tables themselves plus
+    the system's ``G_static``/``C_unit``), so the per-call hook only has
+    to marshal the handful of arrays that change between calls.  The
+    arrays are kept referenced here — addresses alone would not keep
+    them alive.
+    """
+
+    __slots__ = ("ok", "dev_off", "d_loc", "g_loc", "s_loc", "pol", "par",
+                 "slots", "static_args")
+
+    def __init__(self, es) -> None:
+        # Any non-stackable nonlinear element means the Python assembly
+        # must run; decline and let the reference path handle it.
+        self.ok = all(len(fb) == 0 for fb in es._fallback)
+        if not self.ok:
+            return
+        batch = es.fet_batch
+        member_id = batch.member_id
+        self.dev_off = np.searchsorted(
+            member_id, np.arange(es.B + 1)).astype(np.int64)
+        self.d_loc = np.ascontiguousarray(batch.d_loc, dtype=np.int64)
+        self.g_loc = np.ascontiguousarray(batch.g_loc, dtype=np.int64)
+        self.s_loc = np.ascontiguousarray(batch.s_loc, dtype=np.int64)
+        self.pol = np.ascontiguousarray(batch.pol, dtype=np.float64)
+        self.par = np.ascontiguousarray(np.stack(
+            [getattr(batch.params, f) for f in StackedTftParams._FIELDS],
+            axis=1), dtype=np.float64)
+        locs = np.concatenate([self.d_loc, self.g_loc, self.s_loc])
+        self.slots = np.unique(locs[locs < es.size]).astype(np.int64)
+        # (S, n_nodes, G_static*, C_unit*, dev_off*, d*, g*, s*, pol*,
+        #  par*, n_slots, slots*) — everything below is immutable for
+        # the lifetime of the EnsembleSystem.
+        self.static_args = (
+            es.size, es.n_nodes,
+            es.G_static.ctypes.data, es.C_unit.ctypes.data,
+            self.dev_off.ctypes.data, self.d_loc.ctypes.data,
+            self.g_loc.ctypes.data, self.s_loc.ctypes.data,
+            self.pol.ctypes.data, self.par.ctypes.data,
+            len(self.slots), self.slots.ctypes.data,
+        )
+
+
+def _prep(es) -> _NativePrep:
+    prep = getattr(es, "_native_prep", None)
+    if prep is None:
+        prep = _NativePrep(es)
+        es._native_prep = prep
+    return prep
+
+
+class NativeBackend(NumpyBackend):
+    """NumPy reference solves plus the compiled ensemble Newton kernel."""
+
+    name = "native"
+
+    def available(self) -> bool:
+        return load_kernel() is not None
+
+    def ensemble_newton(self, request: EnsembleNewtonRequest
+                        ) -> tuple[np.ndarray, np.ndarray, int] | None:
+        kernel = load_kernel()
+        if kernel is None:
+            return None
+        es = request.es
+        prep = _prep(es)
+        if not prep.ok:
+            return None
+
+        # Pointer arguments travel as raw addresses (void* argtypes, see
+        # _bind); every array passed here is a C-contiguous float64 /
+        # int64 / uint8 ndarray kept alive by the request or prep.
+        mem = request.mem_idx
+        if mem.dtype != np.int64 or not mem.flags.c_contiguous:
+            mem = np.ascontiguousarray(mem, dtype=np.int64)
+        max_iter = request.max_iterations
+        if max_iter.dtype != np.int64 or not max_iter.flags.c_contiguous:
+            max_iter = np.ascontiguousarray(max_iter, dtype=np.int64)
+        A = len(mem)
+        x = request.x
+        G_lin = request.G_lin
+        options = request.options
+        conv = np.zeros(A, dtype=np.uint8)
+        stats = np.zeros(1, dtype=np.int64)
+        bypass = request.bypass
+        (S, n_nodes, g_static_a, c_unit_a, dev_off_a, d_a, g_a, s_a,
+         pol_a, par_a, n_slots, slots_a) = prep.static_args
+        if bypass is not None:
+            bypass_args = (1, bypass.eta, n_slots, slots_a, *bypass.addrs)
+        else:
+            bypass_args = _NO_BYPASS
+
+        iters = kernel(
+            A, S, n_nodes,
+            mem.ctypes.data,
+            1 if G_lin is None else 0,
+            None if G_lin is None else G_lin.ctypes.data,
+            g_static_a, c_unit_a,
+            None if request.inv_dt is None else request.inv_dt.ctypes.data,
+            request.b.ctypes.data, 1 if request.add_storage else 0,
+            None if request.x_prev is None else request.x_prev.ctypes.data,
+            dev_off_a, d_a, g_a, s_a, pol_a, par_a,
+            FET_GMIN, options.abstol_v, options.abstol_i,
+            request.max_step_v.ctypes.data,
+            max_iter.ctypes.data,
+            request.gmin,
+            *bypass_args,
+            x.ctypes.data, conv.ctypes.data, stats.ctypes.data)
+        if iters < 0:                              # scratch allocation failed
+            return None
+        if telemetry.ENABLED:
+            telemetry.count("backend.native.kernel_calls")
+            telemetry.count("backend.native.lanes_solved", A)
+            if stats[0]:
+                telemetry.count("backend.native.bypassed_lane_steps",
+                                int(stats[0]))
+        return x, conv.view(np.bool_), int(iters)

@@ -23,13 +23,9 @@ import numpy as np
 
 from repro.errors import ConvergenceError
 from repro.runtime import profiling, telemetry
-from repro.spice.mna import MnaSystem
+from repro.spice.backends import get_backend
+from repro.spice.mna import MnaSystem, StampCache
 from repro.spice.netlist import Circuit
-
-try:  # Direct LAPACK driver: ~2.5x less overhead than np.linalg.solve
-    from scipy.linalg.lapack import dgesv as _dgesv  # type: ignore
-except ImportError:  # pragma: no cover - scipy is a standard dependency
-    _dgesv = None
 
 
 @dataclass(frozen=True)
@@ -59,52 +55,56 @@ def _worst_residual_node(sys: MnaSystem, F: np.ndarray | None) -> str | None:
 
 def _newton(sys: MnaSystem, G_lin: np.ndarray, b: np.ndarray,
             x0: np.ndarray, options: NewtonOptions,
-            gmin: float = 0.0) -> np.ndarray:
-    """Damped Newton iteration; raises ConvergenceError on failure."""
+            gmin: float = 0.0,
+            cache: StampCache | None = None) -> np.ndarray:
+    """Damped Newton iteration; raises ConvergenceError on failure.
+
+    With a :class:`~repro.spice.mna.StampCache` whose freeze flag is set
+    (transient stamp bypass), assembly reuses the cached nonlinear
+    stamps; a fresh converged solve writes the cache back.
+    """
     x = x0.copy()
+    backend = get_backend()
     n_nodes = sys.n_nodes
     last_residual = np.inf
     F = None
     diag = np.arange(n_nodes)
+    frozen = cache is not None and cache.frozen
+    track = cache is not None and not cache.frozen and gmin == 0.0
     for iteration in range(options.max_iterations):
-        F, J = sys.residual_and_jacobian(x, G_lin, b)
+        if frozen:
+            F, J = sys.residual_and_jacobian_frozen(x, G_lin, b, cache)
+        else:
+            F, J = sys.residual_and_jacobian(x, G_lin, b)
         if gmin > 0.0:
             J[diag, diag] += gmin
             F[:n_nodes] += gmin * x[:n_nodes]
         if profiling.ENABLED:
             t_solve = perf_counter()
-        if _dgesv is not None:
-            _, _, delta, info = _dgesv(J, -F, 0, 1)
-            if info != 0:
-                if telemetry.ENABLED:
-                    _flush_newton(iteration, converged=False)
-                raise ConvergenceError(
-                    f"singular Jacobian in circuit {sys.circuit.name!r}",
-                    iterations=iteration,
-                ).add_event("newton", iterations=iteration,
-                            reason="singular_jacobian",
-                            node=_worst_residual_node(sys, F))
-        else:
-            try:
-                delta = np.linalg.solve(J, -F)
-            except np.linalg.LinAlgError as exc:
-                if telemetry.ENABLED:
-                    _flush_newton(iteration, converged=False)
-                raise ConvergenceError(
-                    f"singular Jacobian in circuit {sys.circuit.name!r}",
-                    iterations=iteration,
-                ).add_event("newton", iterations=iteration,
-                            reason="singular_jacobian",
-                            node=_worst_residual_node(sys, F)) from exc
+        delta, solve_ok = backend.solve(J, F)
         if profiling.ENABLED:
             profiling.add("solve", perf_counter() - t_solve)
+        if not solve_ok:
+            if telemetry.ENABLED:
+                _flush_newton(iteration, converged=False)
+            raise ConvergenceError(
+                f"singular Jacobian in circuit {sys.circuit.name!r}",
+                iterations=iteration,
+            ).add_event("newton", iterations=iteration,
+                        reason="singular_jacobian",
+                        node=_worst_residual_node(sys, F))
         # Damp the step so exponential device models stay in range.
         max_delta = float(np.max(np.abs(delta))) if delta.size else 0.0
         if max_delta > options.max_step_v:
             delta *= options.max_step_v / max_delta
-        x += delta
         last_residual = float(np.max(np.abs(F[:n_nodes]))) if n_nodes else 0.0
-        if (max_delta < options.abstol_v and last_residual < options.abstol_i):
+        done = (max_delta < options.abstol_v
+                and last_residual < options.abstol_i)
+        if done and track:
+            # Capture the stamps evaluated at the pre-update state.
+            cache.update(J - G_lin, F - (G_lin @ x - b), x)
+        x += delta
+        if done:
             if telemetry.ENABLED:
                 _flush_newton(iteration + 1, converged=True)
             return x

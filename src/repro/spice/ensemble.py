@@ -39,6 +39,11 @@ import numpy as np
 from repro.devices.tft_level61 import StackedTftParams, UnifiedTft
 from repro.errors import CircuitError, ConvergenceError
 from repro.runtime import profiling, telemetry
+from repro.spice.backends import (
+    EnsembleNewtonRequest,
+    JacobianStructure,
+    get_backend,
+)
 from repro.spice.dc import NewtonOptions, solve_operating_point
 from repro.spice.elements import (
     FET_GMIN,
@@ -48,7 +53,7 @@ from repro.spice.elements import (
     RampValue,
     VoltageSource,
 )
-from repro.spice.mna import MnaSystem
+from repro.spice.mna import MnaSystem, bypass_eta
 from repro.spice.netlist import Circuit
 from repro.spice.transient import TransientOptions
 
@@ -107,8 +112,9 @@ class _StackedFetBatch:
         sel = pos[self.member_id] >= 0
         if not sel.any():
             return None
-        vec_off = pos[self.member_id[sel]] * self.ext
-        jac_off = pos[self.member_id[sel]] * (self.ext * self.ext)
+        lane = pos[self.member_id[sel]]
+        vec_off = lane * self.ext
+        jac_off = lane * (self.ext * self.ext)
         return _GatheredFets(
             d=self.d_loc[sel] + vec_off,
             g=self.g_loc[sel] + vec_off,
@@ -118,6 +124,7 @@ class _StackedFetBatch:
             flat_normal=self.flat_normal[:, sel] + jac_off,
             flat_delta=self.flat_delta[:, sel],
             params=self.params.subset(sel),
+            lane=lane,
         )
 
 
@@ -125,11 +132,28 @@ class _GatheredFets:
     """A :class:`_StackedFetBatch` narrowed to one active member subset."""
 
     __slots__ = ("d", "g", "s", "pol", "sd_delta", "flat_normal",
-                 "flat_delta", "params")
+                 "flat_delta", "params", "lane")
 
     def __init__(self, **arrays) -> None:
         for name, value in arrays.items():
             setattr(self, name, value)
+
+    def subset(self, keep_lanes: np.ndarray) -> "_GatheredFets | None":
+        """Devices of the lanes flagged in the boolean *keep_lanes* mask
+        (stamp-bypassed lanes drop their devices from the evaluation)."""
+        sel = keep_lanes[self.lane]
+        if sel.all():
+            return self
+        if not sel.any():
+            return None
+        return _GatheredFets(
+            d=self.d[sel], g=self.g[sel], s=self.s[sel],
+            pol=self.pol[sel], sd_delta=self.sd_delta[sel],
+            flat_normal=self.flat_normal[:, sel],
+            flat_delta=self.flat_delta[:, sel],
+            params=self.params.subset(sel),
+            lane=self.lane[sel],
+        )
 
     def stamp(self, J_flat: np.ndarray, F_flat: np.ndarray,
               x_flat: np.ndarray) -> None:
@@ -253,11 +277,52 @@ class EnsembleSystem:
         self._generic_rhs = [
             tuple(m.circuit.elements[i] for i in generic_pos)
             for m in self.members]
+        self._any_generic_rhs = bool(generic_pos)
 
         # Active-set compositions repeat for long stretches of a run (they
         # only change when members finish or retry), so gathered FET
         # subsets are memoised by member-index signature.
         self._gather_cache: dict[bytes, _GatheredFets | None] = {}
+        self._structure: JacobianStructure | None | str = "unset"
+        self._nl_slots: np.ndarray | str = "unset"
+
+    @property
+    def structure(self) -> JacobianStructure | None:
+        """Shared Jacobian sparsity pattern, or None when unknowable
+        (per-member fallback elements stamp unpredictably)."""
+        if isinstance(self._structure, str):
+            if any(len(fb) for fb in self._fallback):
+                self._structure = None
+            else:
+                S = self.size
+                pattern = (self.G_static != 0.0).any(axis=0) \
+                    | (self.C_unit != 0.0).any(axis=0)
+                diag = np.arange(self.n_nodes)
+                pattern[diag, diag] = True        # gmin conditioning
+                locs = np.stack([self.fet_batch.d_loc,
+                                 self.fet_batch.g_loc,
+                                 self.fet_batch.s_loc])
+                for i in range(3):
+                    for j in range(3):
+                        r, c = locs[i], locs[j]
+                        keep = (r < S) & (c < S)
+                        pattern[r[keep], c[keep]] = True
+                self._structure = JacobianStructure(pattern, self.n_nodes)
+        return self._structure
+
+    @property
+    def nl_slots(self) -> np.ndarray:
+        """Solver slots any nonlinear element of any member stamps."""
+        if isinstance(self._nl_slots, str):
+            if any(len(fb) for fb in self._fallback):
+                # Conservative: fallback elements' reach is unknown.
+                self._nl_slots = np.arange(self.size, dtype=np.intp)
+            else:
+                locs = np.concatenate([self.fet_batch.d_loc,
+                                       self.fet_batch.g_loc,
+                                       self.fet_batch.s_loc])
+                self._nl_slots = np.unique(locs[locs < self.size])
+        return self._nl_slots
 
     def gather_cached(self, mem_idx: np.ndarray) -> "_GatheredFets | None":
         key = mem_idx.tobytes()
@@ -286,12 +351,13 @@ class EnsembleSystem:
             frac = np.clip((t - t_start[mem_idx]) * inv_dur[mem_idx],
                            0.0, 1.0)
             b[:, row] += v0[mem_idx] + dv[mem_idx] * frac
-        for i, m in enumerate(mem_idx):
-            elems = self._generic_rhs[m]
-            if elems:
-                ti = float(t[i])
-                for e in elems:
-                    e.stamp_rhs(b[i], ti, None, None)
+        if self._any_generic_rhs:
+            for i, m in enumerate(mem_idx):
+                elems = self._generic_rhs[m]
+                if elems:
+                    ti = float(t[i])
+                    for e in elems:
+                        e.stamp_rhs(b[i], ti, None, None)
         if x_prev is not None and dt is not None:
             b += np.einsum("aij,aj->ai", self.C_unit[mem_idx],
                            x_prev) / dt[:, None]
@@ -308,9 +374,16 @@ class EnsembleSystem:
     # -- stacked Newton ------------------------------------------------------
 
     def assemble(self, mem_idx: np.ndarray, gathered: "_GatheredFets | None",
-                 G_lin: np.ndarray, b: np.ndarray, x: np.ndarray
+                 G_lin: np.ndarray, b: np.ndarray, x: np.ndarray,
+                 frozen: np.ndarray | None = None,
+                 bypass: "_EnsembleBypass | None" = None
                  ) -> tuple[np.ndarray, np.ndarray]:
-        """Stacked residual ``F(x)`` and Jacobian ``J(x)`` for a subset."""
+        """Stacked residual ``F(x)`` and Jacobian ``J(x)`` for a subset.
+
+        *gathered* must already exclude the devices of lanes flagged in
+        the boolean *frozen* mask — those lanes get their nonlinear
+        stamps from the *bypass* cache instead of device evaluation.
+        """
         if profiling.ENABLED:
             t0 = perf_counter()
         A = len(mem_idx)
@@ -325,6 +398,10 @@ class EnsembleSystem:
         if gathered is not None:
             gathered.stamp(J_ext.reshape(-1), F_ext.reshape(-1),
                            x_ext.reshape(-1))
+        if frozen is not None and frozen.any():
+            mf = mem_idx[frozen]
+            J_ext[frozen, :S, :S] += bypass.J_nl[mf]
+            F_ext[frozen, :S] += bypass.F_nl[mf]
         for i, m in enumerate(mem_idx):
             for e in self._fallback[m]:
                 e.stamp_nonlinear(J_ext[i, :S, :S], F_ext[i, :S], x[i])
@@ -332,13 +409,17 @@ class EnsembleSystem:
             profiling.add("stamp", perf_counter() - t0)
         return F_ext[:, :S], J_ext[:, :S, :S]
 
-    def newton_batch(self, mem_idx: np.ndarray, G_lin: np.ndarray,
+    def newton_batch(self, mem_idx: np.ndarray, G_lin: np.ndarray | None,
                      b: np.ndarray, x0: np.ndarray,
                      options: NewtonOptions,
                      max_step_v: np.ndarray | None = None,
                      max_iterations: np.ndarray | None = None,
                      gmin: float = 0.0,
-                     gathered: "_GatheredFets | None" = None
+                     gathered: "_GatheredFets | None" = None,
+                     inv_dt: np.ndarray | None = None,
+                     x_prev: np.ndarray | None = None,
+                     add_storage: bool = False,
+                     bypass: "_EnsembleBypass | None" = None
                      ) -> tuple[np.ndarray, np.ndarray]:
         """Damped Newton on a member subset; returns ``(x, converged)``.
 
@@ -348,73 +429,132 @@ class EnsembleSystem:
         keep iterating, and a lane whose Jacobian goes singular or whose
         iteration budget runs out is reported unconverged rather than
         aborting the batch.
+
+        The whole solve is first offered to the process backend's
+        :meth:`~repro.spice.backends.base.SolverBackend.ensemble_newton`
+        hook (the compiled kernel); ``G_lin=None`` with *inv_dt* set is
+        the transient fast path where the backend composes
+        ``G_static + C_unit/dt`` itself and (with *add_storage*) adds
+        the storage history to *b* — Python never materialises either.
+        Backends that decline fall through to the reference loop here.
         """
+        if profiling.ENABLED:
+            t0 = perf_counter()
         A = len(mem_idx)
+        backend = get_backend()
         if max_step_v is None:
             max_step_v = np.full(A, options.max_step_v)
         if max_iterations is None:
-            max_iterations = np.full(A, options.max_iterations, dtype=int)
+            max_iterations = np.full(A, options.max_iterations,
+                                     dtype=np.int64)
+        x = x0.copy()
+
+        request = EnsembleNewtonRequest(
+            self, mem_idx, G_lin, inv_dt, b, x, x_prev, add_storage,
+            options, max_step_v, max_iterations,
+            gmin, bypass if gmin == 0.0 else None)
+        result = backend.ensemble_newton(request)
+        if profiling.ENABLED and result is not None:
+            # The kernel fuses stamping, device eval and the solve; the
+            # whole call (marshalling included) lands in the solve bucket.
+            profiling.add("solve", perf_counter() - t0)
+        if result is not None:
+            x, converged, iteration = result
+            self._flush_newton_batch(A, iteration, converged)
+            return x, converged
+
+        # Reference loop.  A declined transient fast path first needs
+        # the arrays the backend would have composed internally.
+        if G_lin is None:
+            G_lin = self.G_static[mem_idx] \
+                + self.C_unit[mem_idx] * inv_dt[:, None, None]
+            if add_storage:
+                b = b + np.einsum("aij,aj->ai", self.C_unit[mem_idx],
+                                  x_prev) * inv_dt[:, None]
         if gathered is None:
             gathered = self.gather_cached(mem_idx)
-        x = x0.copy()
+
+        frozen = None
+        if bypass is not None and x_prev is not None and gmin == 0.0:
+            frozen = bypass.frozen_lanes(mem_idx, x_prev)
+            if frozen.any():
+                if gathered is not None:
+                    gathered = gathered.subset(~frozen)
+            else:
+                frozen = None
+        track = bypass is not None and gmin == 0.0
+
         n = self.n_nodes
         diag = np.arange(n)
         active = np.ones(A, dtype=bool)
         converged = np.zeros(A, dtype=bool)
         iteration = 0
         budget = int(max_iterations.max())
+        structure = self.structure
         while active.any() and iteration < budget:
-            F, J = self.assemble(mem_idx, gathered, G_lin, b, x)
+            F, J = self.assemble(mem_idx, gathered, G_lin, b, x,
+                                 frozen=frozen, bypass=bypass)
             if gmin > 0.0:
                 J[:, diag, diag] += gmin
                 F[:, :n] += gmin * x[:, :n]
             act_idx = np.flatnonzero(active)
             if profiling.ENABLED:
                 t0 = perf_counter()
-            try:
-                delta = np.linalg.solve(J[act_idx],
-                                        -F[act_idx][..., None])[..., 0]
-            except np.linalg.LinAlgError:
-                # Some lane is singular: solve lane by lane, dropping
-                # the singular ones from the active set.
-                delta = np.zeros((len(act_idx), self.size))
-                keep = np.ones(len(act_idx), dtype=bool)
-                for k, lane in enumerate(act_idx):
-                    try:
-                        delta[k] = np.linalg.solve(J[lane], -F[lane])
-                    except np.linalg.LinAlgError:
-                        keep[k] = False
-                        active[lane] = False
-                act_idx = act_idx[keep]
-                delta = delta[keep]
+            delta, solve_ok = backend.solve_stacked(J[act_idx], F[act_idx],
+                                                    structure)
             if profiling.ENABLED:
                 profiling.add("solve", perf_counter() - t0)
+            if not solve_ok.all():
+                # Singular lanes are deactivated (reported unconverged,
+                # routed to the caller's scalar-retry path), never fatal.
+                active[act_idx[~solve_ok]] = False
+                act_idx = act_idx[solve_ok]
+                delta = delta[solve_ok]
             if len(act_idx) == 0:
                 break
             max_delta = np.max(np.abs(delta), axis=1) if delta.size \
                 else np.zeros(len(act_idx))
             scale = np.minimum(1.0, max_step_v[act_idx]
                                / np.maximum(max_delta, 1e-300))
-            x[act_idx] += delta * scale[:, None]
             residual = np.max(np.abs(F[act_idx][:, :n]), axis=1) if n \
                 else np.zeros(len(act_idx))
             done = (max_delta < options.abstol_v) \
                 & (residual < options.abstol_i)
-            converged[act_idx[done]] = True
-            active[act_idx[done]] = False
+            new_done = act_idx[done]
+            if track and len(new_done):
+                # Write back fresh stamps at the pre-update state for
+                # lanes that just converged without the bypass.
+                nd = new_done if frozen is None \
+                    else new_done[~frozen[new_done]]
+                if len(nd):
+                    m = mem_idx[nd]
+                    lin = np.einsum("aij,aj->ai", G_lin[nd], x[nd]) - b[nd]
+                    bypass.J_nl[m] = J[nd] - G_lin[nd]
+                    bypass.F_nl[m] = F[nd] - lin
+                    bypass.x_stamp[m] = x[nd]
+                    bypass.valid[m] = 1
+            x[act_idx] += delta * scale[:, None]
+            converged[new_done] = True
+            active[new_done] = False
             iteration += 1
             out_of_budget = active & (iteration >= max_iterations)
             active &= ~out_of_budget
-        if telemetry.ENABLED:
-            # One flush per batched call; `iteration` is the number of
-            # stacked assemble/solve rounds the whole batch took.
-            telemetry.count("ensemble.newton_batches")
-            telemetry.count("ensemble.newton_iterations", iteration)
-            telemetry.observe("ensemble.batch_occupancy", A)
-            unconverged = int(A - int(converged.sum()))
-            if unconverged:
-                telemetry.count("ensemble.newton_lane_failures", unconverged)
+        self._flush_newton_batch(A, iteration, converged)
         return x, converged
+
+    @staticmethod
+    def _flush_newton_batch(A: int, iteration: int,
+                            converged: np.ndarray) -> None:
+        """One registry update per batched call; `iteration` is the
+        number of stacked assemble/solve rounds the batch took."""
+        if not telemetry.ENABLED:
+            return
+        telemetry.count("ensemble.newton_batches")
+        telemetry.count("ensemble.newton_iterations", iteration)
+        telemetry.observe("ensemble.batch_occupancy", A)
+        unconverged = int(A - int(converged.sum()))
+        if unconverged:
+            telemetry.count("ensemble.newton_lane_failures", unconverged)
 
     # -- DC -----------------------------------------------------------------
 
@@ -558,7 +698,9 @@ def ensemble_dc_sweep(circuits: Sequence[Circuit], source_name: str,
                         es.members[alive[k]],
                         x0=None if x0 is None else x0[k], options=options)
                     point_ok[k] = True
-                except ConvergenceError:
+                except (ConvergenceError, np.linalg.LinAlgError):
+                    # A lane whose scalar retry is singular/unconverged
+                    # is written off; it must never kill the sweep.
                     pass
             ok[alive[~point_ok]] = False
             good = alive[point_ok]
@@ -575,6 +717,41 @@ def ensemble_dc_sweep(circuits: Sequence[Circuit], source_name: str,
 # ---------------------------------------------------------------------------
 # Transient
 # ---------------------------------------------------------------------------
+
+class _EnsembleBypass:
+    """Per-member stamp cache for the ensemble transient bypass.
+
+    The batched twin of :class:`repro.spice.mna.StampCache`: one slot
+    per ensemble member, indexed by member id so lanes keep their cache
+    across active-set recompositions.  Layouts are exactly what the
+    native kernel reads/writes (`valid` as uint8, stamps without the
+    trash slot), and the NumPy reference path uses the same arrays, so
+    freeze decisions agree across backends.
+    """
+
+    __slots__ = ("eta", "slots", "valid", "x_stamp", "J_nl", "F_nl",
+                 "addrs")
+
+    def __init__(self, eta: float, slots: np.ndarray, B: int,
+                 size: int) -> None:
+        self.eta = eta
+        self.slots = slots
+        self.valid = np.zeros(B, dtype=np.uint8)
+        self.x_stamp = np.zeros((B, size))
+        self.J_nl = np.zeros((B, size, size))
+        self.F_nl = np.zeros((B, size))
+        # Raw data addresses for the native kernel: the arrays above are
+        # allocated once and only ever mutated in place.
+        self.addrs = (self.valid.ctypes.data, self.x_stamp.ctypes.data,
+                      self.J_nl.ctypes.data, self.F_nl.ctypes.data)
+
+    def frozen_lanes(self, mem_idx: np.ndarray,
+                     x_accepted: np.ndarray) -> np.ndarray:
+        """Boolean lane mask: cached stamps still usable at *x_accepted*."""
+        dist = np.max(np.abs(x_accepted[:, self.slots]
+                             - self.x_stamp[mem_idx][:, self.slots]), axis=1)
+        return (self.valid[mem_idx] != 0) & (dist <= self.eta)
+
 
 class Probe:
     """A threshold-crossing watchpoint: one node, one level per member.
@@ -633,6 +810,16 @@ class EnsembleTransient:
         self.growth = np.array([o.growth for o in options])
         self._damped_step_v = newton.max_step_v / 8.0
         self._damped_iter = newton.max_iterations * 3
+        # Undamped per-lane limits, sliced per sweep (read-only), and a
+        # reusable prediction-error buffer.
+        self._step_v_full = np.full(B, newton.max_step_v)
+        self._iter_full = np.full(B, newton.max_iterations, dtype=np.int64)
+        self._pred_buf = np.empty(B)
+        self._lte4 = 4.0 * self.lte_tol
+        # Controller parameters stacked for a single per-sweep gather:
+        # rows are lte_tol, dt_nom, dt_cap, growth.
+        self._ctrl = np.stack([self.lte_tol, self.dt_nom,
+                               self.dt_cap, self.growth])
 
         if x0 is None:
             x, ok = es.solve_dc(options=newton)
@@ -650,11 +837,22 @@ class EnsembleTransient:
         self.has_hist = np.zeros(B, dtype=bool)
         self.steps = np.zeros(B, dtype=int)
 
+        eta = bypass_eta(newton)
+        self._bypass = None
+        if eta > 0.0 and (len(es.fet_batch.member_id)
+                          or any(len(fb) for fb in es._fallback)):
+            self._bypass = _EnsembleBypass(eta, es.nl_slots, B, es.size)
+
         self.probes = list(probes)
         self._probe_slots = [es.node_slot(p.node) for p in self.probes]
         self._probe_levels = [np.broadcast_to(
             np.asarray(p.levels, dtype=float), (B,)).copy()
             for p in self.probes]
+        # Stacked (P,) slots and (P, B) levels so crossing detection is
+        # one vectorised compare over all probes per accepted sweep.
+        self._probe_slot_arr = np.asarray(self._probe_slots, dtype=np.intp)
+        self._levels_mat = (np.stack(self._probe_levels)
+                            if self.probes else np.zeros((0, B)))
         #: crossings[probe][member] -> list of (time, rising) tuples.
         self.crossings: list[list[list[tuple[float, bool]]]] = [
             [[] for _ in range(B)] for _ in self.probes]
@@ -662,14 +860,24 @@ class EnsembleTransient:
     # -- integration ---------------------------------------------------------
 
     def run(self) -> "EnsembleTransient":
-        """Integrate every member to its ``t_stop``; returns self."""
+        """Integrate every member to its ``t_stop``; returns self.
+
+        The linear transient Jacobian ``G_static + C_unit/dt`` and the
+        storage history term are *not* built here: :meth:`newton_batch`
+        passes ``inv_dt`` through to the backend, which composes them
+        per lane (inside the compiled kernel on the native backend,
+        vectorised in NumPy otherwise).
+        """
         es = self.es
+        profiled = profiling.ENABLED
         # Telemetry accumulates in locals across the whole run and
         # flushes once on return (or on the failure path below).
         n_accepted = 0
         n_halvings = 0
         n_lte_rejections = 0
         while True:
+            if profiled:
+                t0 = perf_counter()
             act = np.flatnonzero((self.t_stop - self.t) > self.dt_min)
             if len(act) == 0:
                 if telemetry.ENABLED:
@@ -677,105 +885,154 @@ class EnsembleTransient:
                 return self
             dt_step = np.minimum(self.dt[act], self.t_stop[act] - self.t[act])
             damped = dt_step <= 8.0 * self.dt_min[act]
-            max_step_v = np.where(damped, self._damped_step_v,
-                                  self.newton.max_step_v)
-            max_iter = np.where(damped, self._damped_iter,
-                                self.newton.max_iterations)
-
+            if damped.any():
+                max_step_v = np.where(damped, self._damped_step_v,
+                                      self.newton.max_step_v)
+                max_iter = np.where(damped, self._damped_iter,
+                                    self.newton.max_iterations)
+            else:
+                # The common sweep has no damped lane: share the
+                # preallocated constant arrays instead of two np.where.
+                max_step_v = self._step_v_full[:len(act)]
+                max_iter = self._iter_full[:len(act)]
+            if profiled:
+                profiling.add("step_control", perf_counter() - t0)
+                t0 = perf_counter()
             x_prev = self.x[act]
-            G_lin = es.G_static[act] + es.C_unit[act] \
-                / dt_step[:, None, None]
-            b = es.rhs_batch(act, self.t[act] + dt_step,
-                             x_prev=x_prev, dt=dt_step)
-            gathered = es.gather_cached(act)
-
             hist = self.has_hist[act]
-            x_start = x_prev.copy()
-            if hist.any():
-                ratio = dt_step[hist] / self.dt_last[act][hist]
-                x_start[hist] = x_prev[hist] + (
-                    x_prev[hist] - self.x_last[act][hist]) * ratio[:, None]
+            hist_all = bool(hist.all())
+            if hist_all:
+                ratio = dt_step / self.dt_last[act]
+                x_start = x_prev + (x_prev - self.x_last[act]) \
+                    * ratio[:, None]
+            else:
+                x_start = x_prev.copy()
+                if hist.any():
+                    ratio = dt_step[hist] / self.dt_last[act][hist]
+                    x_start[hist] = x_prev[hist] + (
+                        x_prev[hist] - self.x_last[act][hist]) * ratio[:, None]
+            if profiled:
+                profiling.add("predict", perf_counter() - t0)
+                t0 = perf_counter()
+            b = es.rhs_batch(act, self.t[act] + dt_step)
+            if profiled:
+                profiling.add("rhs", perf_counter() - t0)
+            inv_dt = 1.0 / dt_step
             x_new, conv = es.newton_batch(
-                act, G_lin, b, x_start, self.newton,
+                act, None, b, x_start, self.newton,
                 max_step_v=max_step_v, max_iterations=max_iter,
-                gathered=gathered)
-            pred_err = np.full(len(act), np.nan)
-            warm = hist & conv
-            if warm.any():
-                pred_err[warm] = np.max(
-                    np.abs(x_new[warm] - x_start[warm]), axis=1)
+                inv_dt=inv_dt, x_prev=x_prev, add_storage=True,
+                bypass=self._bypass)
+            if profiled:
+                t0 = perf_counter()
+            all_conv = bool(conv.all())
+            pred_err = self._pred_buf[:len(act)]
+            pred_err.fill(np.nan)
+            if hist_all and all_conv:
+                np.max(np.abs(x_new - x_start), axis=1, out=pred_err)
+                if profiled:
+                    profiling.add("predict", perf_counter() - t0)
+            else:
+                warm = hist & conv
+                if warm.any():
+                    pred_err[warm] = np.max(
+                        np.abs(x_new[warm] - x_start[warm]), axis=1)
 
-            # Bad predictions (e.g. across a source edge): retry those
-            # lanes from the previous accepted state, like the scalar
-            # controller's inner fallback.
-            retry = hist & ~conv
-            if retry.any():
-                r = np.flatnonzero(retry)
-                x_r, conv_r = es.newton_batch(
-                    act[r], G_lin[r], b[r], x_prev[r], self.newton,
-                    max_step_v=max_step_v[r], max_iterations=max_iter[r])
-                x_new[r] = x_r
-                conv[r] = conv_r
+                # Bad predictions (e.g. across a source edge): retry
+                # those lanes from the previous accepted state, like the
+                # scalar controller's inner fallback.
+                retry = hist & ~conv
+                if profiled:
+                    profiling.add("predict", perf_counter() - t0)
+                if retry.any():
+                    r = np.flatnonzero(retry)
+                    x_r, conv_r = es.newton_batch(
+                        act[r], None, b[r], x_prev[r], self.newton,
+                        max_step_v=max_step_v[r], max_iterations=max_iter[r],
+                        inv_dt=inv_dt[r], x_prev=x_prev[r], add_storage=True,
+                        bypass=self._bypass)
+                    x_new[r] = x_r
+                    conv[r] = conv_r
 
+            if profiled:
+                t0 = perf_counter()
             # Newton failures: halve the member's step and let it retry
             # on the next active-set sweep.
-            failed = np.flatnonzero(~conv)
-            n_halvings += len(failed)
-            for k in failed:
-                lane = act[k]
-                new_dt = dt_step[k] / 2.0
-                if new_dt < self.dt_min[lane]:
-                    if telemetry.ENABLED:
-                        self._flush_run(n_accepted, n_halvings,
-                                        n_lte_rejections, failed=True)
-                    raise ConvergenceError(
-                        f"transient step failed at t={self.t[lane]:g}s in "
-                        f"circuit {es.members[lane].circuit.name!r} even at "
-                        f"minimum step {self.dt_min[lane]:g}s",
-                        events=[{"stage": "ensemble_transient",
-                                 "t": float(self.t[lane]),
-                                 "member": int(lane),
-                                 "dt_min": float(self.dt_min[lane])}])
-                self.dt[lane] = new_dt
+            if not conv.all():
+                failed = np.flatnonzero(~conv)
+                n_halvings += len(failed)
+                for k in failed:
+                    lane = act[k]
+                    new_dt = dt_step[k] / 2.0
+                    if new_dt < self.dt_min[lane]:
+                        if telemetry.ENABLED:
+                            self._flush_run(n_accepted, n_halvings,
+                                            n_lte_rejections, failed=True)
+                        raise ConvergenceError(
+                            f"transient step failed at t={self.t[lane]:g}s "
+                            f"in circuit "
+                            f"{es.members[lane].circuit.name!r} even at "
+                            f"minimum step {self.dt_min[lane]:g}s",
+                            events=[{"stage": "ensemble_transient",
+                                     "t": float(self.t[lane]),
+                                     "member": int(lane),
+                                     "dt_min": float(self.dt_min[lane])}])
+                    self.dt[lane] = new_dt
 
             # LTE rejection of oversized steps whose estimate blew up.
             rejected = conv & (dt_step > self.dt_nom[act]) \
-                & (pred_err > 4.0 * self.lte_tol[act])
-            n_lte_rejections += int(np.count_nonzero(rejected))
-            for k in np.flatnonzero(rejected):
-                lane = act[k]
-                self.dt[lane] = max(dt_step[k] / 2.0, self.dt_nom[lane])
+                & (pred_err > self._lte4[act])
+            n_rej = int(np.count_nonzero(rejected))
+            if n_rej:
+                n_lte_rejections += n_rej
+                for k in np.flatnonzero(rejected):
+                    lane = act[k]
+                    self.dt[lane] = max(dt_step[k] / 2.0, self.dt_nom[lane])
+            if profiled:
+                profiling.add("retry", perf_counter() - t0)
 
             accepted = conv & ~rejected
-            if not accepted.any():
+            if accepted.all():
+                # Common sweep: everything accepted, skip the gathers.
+                lanes = act
+                xp_acc, xn_acc = x_prev, x_new
+                dt_acc, err = dt_step, pred_err
+            elif accepted.any():
+                acc = np.flatnonzero(accepted)
+                lanes = act[acc]
+                xp_acc, xn_acc = x_prev[acc], x_new[acc]
+                dt_acc, err = dt_step[acc], pred_err[acc]
+            else:
                 continue
-            acc = np.flatnonzero(accepted)
-            n_accepted += len(acc)
-            lanes = act[acc]
-            self._record_crossings(lanes, x_prev[acc], x_new[acc],
-                                   self.t[lanes], dt_step[acc])
-            self.x_last[lanes] = x_prev[acc]
-            self.dt_last[lanes] = dt_step[acc]
+            n_accepted += len(lanes)
+            if profiled:
+                t0 = perf_counter()
+            self._record_crossings(lanes, xp_acc, xn_acc,
+                                   self.t[lanes], dt_acc)
+            if profiled:
+                profiling.add("probe", perf_counter() - t0)
+                t0 = perf_counter()
+            self.x_last[lanes] = xp_acc
+            self.dt_last[lanes] = dt_acc
             self.has_hist[lanes] = True
-            self.x[lanes] = x_new[acc]
-            self.t[lanes] += dt_step[acc]
+            self.x[lanes] = xn_acc
+            self.t[lanes] += dt_acc
             self.steps[lanes] += 1
 
-            # Step-size update, scalar growth rules per lane.
-            err = pred_err[acc]
-            at_nom = dt_step[acc] >= self.dt_nom[lanes]
-            grow = at_nom & (err < 0.25 * self.lte_tol[lanes])
-            shrink = at_nom & (err > self.lte_tol[lanes])
-            hold = at_nom & ~grow & ~shrink
-            below = ~at_nom
-            self.dt[lanes[grow]] = np.minimum(
-                2.0 * dt_step[acc][grow], self.dt_cap[lanes[grow]])
-            self.dt[lanes[shrink]] = np.maximum(
-                dt_step[acc][shrink] / 2.0, self.dt_nom[lanes[shrink]])
-            self.dt[lanes[hold]] = dt_step[acc][hold]
-            self.dt[lanes[below]] = np.minimum(
-                self.dt_nom[lanes[below]],
-                dt_step[acc][below] * self.growth[lanes[below]])
+            # Step-size update, scalar growth rules per lane.  Lanes
+            # without a prediction have err = NaN: both comparisons are
+            # False, so they hold their step — same as the masked form.
+            tol, dt_nom_l, dt_cap_l, growth_l = self._ctrl[:, lanes]
+            self.dt[lanes] = np.where(
+                dt_acc >= dt_nom_l,
+                np.where(err < 0.25 * tol,
+                         np.minimum(2.0 * dt_acc, dt_cap_l),
+                         np.where(err > tol,
+                                  np.maximum(dt_acc / 2.0, dt_nom_l),
+                                  dt_acc)),
+                np.minimum(dt_nom_l, dt_acc * growth_l))
+            if profiled:
+                profiling.add("step_control", perf_counter() - t0)
 
     @staticmethod
     def _flush_run(accepted: int, halvings: int, lte_rejections: int,
@@ -800,17 +1057,19 @@ class EnsembleTransient:
     def _record_crossings(self, lanes: np.ndarray, x_prev: np.ndarray,
                           x_new: np.ndarray, t0: np.ndarray,
                           dt: np.ndarray) -> None:
-        for p, (slot, levels) in enumerate(zip(self._probe_slots,
-                                               self._probe_levels)):
-            v0 = x_prev[:, slot] - levels[lanes]
-            v1 = x_new[:, slot] - levels[lanes]
-            crossed = np.sign(v0) != np.sign(v1)
-            if not crossed.any():
-                continue
-            for k in np.flatnonzero(crossed):
-                frac = -v0[k] / (v1[k] - v0[k])
-                self.crossings[p][lanes[k]].append(
-                    (float(t0[k] + frac * dt[k]), bool(v1[k] > v0[k])))
+        if not self.probes:
+            return
+        lv = self._levels_mat[:, lanes]                # (P, A)
+        v0 = x_prev[:, self._probe_slot_arr].T - lv
+        v1 = x_new[:, self._probe_slot_arr].T - lv
+        crossed = np.sign(v0) != np.sign(v1)
+        if not crossed.any():
+            return
+        for p, k in zip(*np.nonzero(crossed)):
+            a, c = v0[p, k], v1[p, k]
+            frac = -a / (c - a)
+            self.crossings[p][lanes[k]].append(
+                (float(t0[k] + frac * dt[k]), bool(c > a)))
 
     # -- measurements --------------------------------------------------------
 

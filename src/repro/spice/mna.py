@@ -49,6 +49,69 @@ from repro.spice.netlist import Circuit
 VECTORIZE_MIN_FETS = 10
 
 
+def bypass_eta(newton_options) -> float:
+    """Stamp-bypass freeze threshold in volts (0 disables the bypass).
+
+    ``REPRO_BYPASS`` scales the threshold as a fraction of the Newton
+    voltage tolerance ``abstol_v`` (default ``1``: freeze while no
+    nonlinear device terminal moved beyond the tolerance between
+    accepted steps — the solver cannot distinguish such states anyway).
+    ``REPRO_BYPASS=0`` disables stamp bypassing entirely.
+    """
+    try:
+        frac = float(os.environ.get("REPRO_BYPASS", "1"))
+    except ValueError:
+        frac = 1.0
+    return frac * newton_options.abstol_v if frac > 0.0 else 0.0
+
+
+class StampCache:
+    """Accepted-state nonlinear stamps, reused while the state is frozen.
+
+    The transient engines re-evaluate and re-stamp every nonlinear
+    device each Newton iteration even when the circuit is sitting in a
+    settled region and no device terminal has moved measurably between
+    accepted steps.  This cache holds the nonlinear-only Jacobian and
+    residual contributions (``J - G_lin``, ``F - (G_lin x - b)``)
+    captured at the last converged, freshly-stamped solve; while the
+    accepted state stays within ``eta`` volts of the captured state on
+    every nonlinear terminal (:meth:`refresh`), assembly degenerates to
+    two dense adds.  All engines (scalar, NumPy ensemble, native kernel)
+    apply the identical rule so backend equivalence is preserved.
+    """
+
+    __slots__ = ("eta", "slots", "valid", "frozen", "x_stamp", "J_nl",
+                 "F_nl", "hits", "misses")
+
+    def __init__(self, eta: float, slots: np.ndarray, size: int) -> None:
+        self.eta = eta
+        self.slots = slots
+        self.valid = False
+        self.frozen = False
+        self.x_stamp = np.zeros(size)
+        self.J_nl = np.zeros((size, size))
+        self.F_nl = np.zeros(size)
+        self.hits = 0
+        self.misses = 0
+
+    def refresh(self, x_accepted: np.ndarray) -> None:
+        """Recompute the freeze flag against the accepted state."""
+        self.frozen = self.valid and float(np.max(np.abs(
+            x_accepted[self.slots] - self.x_stamp[self.slots]))) <= self.eta
+        if self.frozen:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def update(self, J_nl: np.ndarray, F_nl: np.ndarray,
+               x: np.ndarray) -> None:
+        """Capture stamps evaluated at (pre-update) state *x*."""
+        self.J_nl[...] = J_nl
+        self.F_nl[...] = F_nl
+        self.x_stamp[...] = x
+        self.valid = True
+
+
 class _FetBatch:
     """All FETs of one circuit that share a device model, as index arrays.
 
@@ -227,6 +290,34 @@ class MnaSystem:
             self._F_ext = np.zeros(ext)
             self._x_ext = np.zeros(ext)
 
+        self._nl_slots: np.ndarray | None | str = "unset"
+
+    @property
+    def nl_slots(self) -> np.ndarray:
+        """Solver indices any nonlinear element stamps (sorted, unique).
+
+        Elements whose terminal bindings cannot be introspected widen
+        the set to every unknown — conservative, never wrong, for the
+        stamp-bypass freeze test.
+        """
+        if isinstance(self._nl_slots, str):
+            slots: set[int] = set()
+            for e in self._nonlinear:
+                idx = getattr(e, "_idx", None)
+                if idx is None:
+                    slots = set(range(self.size))
+                    break
+                slots.update(i for i in idx if i >= 0)
+            self._nl_slots = np.array(sorted(slots), dtype=np.intp)
+        return self._nl_slots
+
+    def make_stamp_cache(self, eta: float) -> StampCache | None:
+        """A :class:`StampCache` for this system, or None when pointless
+        (bypass disabled, or nothing nonlinear to cache)."""
+        if eta <= 0.0 or not self._nonlinear:
+            return None
+        return StampCache(eta, self.nl_slots, self.size)
+
     # -- assembly -------------------------------------------------------------
 
     def linear_jacobian(self, dt: float | None = None) -> np.ndarray:
@@ -263,6 +354,18 @@ class MnaSystem:
             profiling.add("stamp", perf_counter() - t0)
             return result
         return self._residual_and_jacobian(x, G_lin, b)
+
+    def residual_and_jacobian_frozen(
+            self, x: np.ndarray, G_lin: np.ndarray, b: np.ndarray,
+            cache: StampCache) -> tuple[np.ndarray, np.ndarray]:
+        """Assembly from cached nonlinear stamps (stamp-bypassed step)."""
+        if profiling.ENABLED:
+            t0 = perf_counter()
+        J = G_lin + cache.J_nl
+        F = G_lin @ x - b + cache.F_nl
+        if profiling.ENABLED:
+            profiling.add("stamp", perf_counter() - t0)
+        return F, J
 
     def _residual_and_jacobian(self, x: np.ndarray, G_lin: np.ndarray,
                                b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -18,7 +18,7 @@ import numpy as np
 from repro.errors import ConvergenceError
 from repro.runtime import telemetry
 from repro.spice.dc import NewtonOptions, _newton, solve_operating_point
-from repro.spice.mna import MnaSystem
+from repro.spice.mna import MnaSystem, bypass_eta
 from repro.spice.netlist import Circuit
 from repro.spice.waveform import Waveform
 
@@ -115,6 +115,12 @@ def transient(circuit: Circuit, options: TransientOptions,
     # per-step cost and dt rarely changes.
     jac_cache: dict[float, np.ndarray] = {}
 
+    # Stamp bypass: while no nonlinear device terminal has moved beyond
+    # the Newton tolerance between accepted steps, reuse the nonlinear
+    # stamps captured at the last freshly-stamped converged solve
+    # instead of re-evaluating every device (see StampCache).
+    cache = sys.make_stamp_cache(bypass_eta(options.newton))
+
     # Warm-start state: linear extrapolation through the last two accepted
     # points predicts the next solution well on smooth waveform segments,
     # cutting the average Newton iteration count roughly in half.  With
@@ -145,19 +151,24 @@ def transient(circuit: Circuit, options: TransientOptions,
             b = sys.rhs(t + dt_step, x_prev=x, dt=dt_step)
             newton_opts = (options.newton if dt_step > 8 * dt_min
                            else damped)
+            if cache is not None:
+                cache.refresh(x)
             pred_err = None
             try:
                 if x_last is not None and dt_last > 0.0:
                     x_pred = x + (x - x_last) * (dt_step / dt_last)
                     try:
-                        x_new = _newton(sys, G_lin, b, x_pred, newton_opts)
+                        x_new = _newton(sys, G_lin, b, x_pred, newton_opts,
+                                        cache=cache)
                         pred_err = float(np.max(np.abs(x_new - x_pred)))
                     except ConvergenceError:
                         # Bad prediction (e.g. across a source edge):
                         # fall back to the previous accepted state.
-                        x_new = _newton(sys, G_lin, b, x, newton_opts)
+                        x_new = _newton(sys, G_lin, b, x, newton_opts,
+                                        cache=cache)
                 else:
-                    x_new = _newton(sys, G_lin, b, x, newton_opts)
+                    x_new = _newton(sys, G_lin, b, x, newton_opts,
+                                    cache=cache)
             except ConvergenceError as exc:
                 n_halvings += 1
                 dt_step /= 2.0

@@ -158,6 +158,54 @@ def ensemble_vs_scalar_dc(ctx: CheckContext) -> str:
     return f"{n_cells} Monte Carlo instances x {n_points} bias points agree"
 
 
+@check("backend-agreement", "differential")
+def backend_agreement(ctx: CheckContext) -> str:
+    """numpy == blocked == native solver backends on real arc measurements."""
+    from repro.cells.library_def import organic_library_definition
+    from repro.characterization.harness import default_grid, measure_arc_batch
+    from repro.spice.backends import get_backend, reset_backend
+
+    defn = organic_library_definition()
+    inv = defn.cell("inv")
+    grid = default_grid(defn)
+    rng = ctx.rng()
+    n_points = 2 if ctx.fast else 5
+    points = []
+    for _ in range(n_points):
+        s = rng.uniform(grid.slews[0], grid.slews[-1])
+        c = rng.uniform(grid.loads[0], grid.loads[-1])
+        points.append((s, c))
+
+    results: dict[str, list[tuple[float, float]]] = {}
+    try:
+        for name in ("numpy", "blocked", "native"):
+            with swap_env(REPRO_BACKEND=name, REPRO_ENSEMBLE="1"):
+                reset_backend()
+                if get_backend().name != name:
+                    continue             # e.g. native without a C compiler
+                results[name] = measure_arc_batch(inv, "a", True, points)
+    finally:
+        reset_backend()
+
+    expect("numpy" in results, "reference numpy backend failed to resolve")
+    reference = results["numpy"]
+    compared = 0
+    for name, measured in results.items():
+        if name == "numpy":
+            continue
+        # Blocked shares the reference dtype/order exactly; the compiled
+        # kernel reorders floating-point work, so it gets solver tolerance.
+        rel = ENSEMBLE_REL if name == "blocked" else 1e-6
+        for (s, c), (d_ref, t_ref), (d_b, t_b) in zip(points, reference,
+                                                      measured):
+            where = f"{name} inv.a rise slew={s:g} load={c:g}"
+            expect_close(d_b, d_ref, rel=rel, label=f"delay @ {where}")
+            expect_close(t_b, t_ref, rel=rel, label=f"transition @ {where}")
+            compared += 1
+    backends = "+".join(sorted(results))
+    return f"{backends}: {compared} arc points agree"
+
+
 @check("ipc-kernel-agreement", "differential")
 def ipc_kernel_agreement(ctx: CheckContext) -> str:
     """fast-python == reference == native (when present), cycle-exact."""

@@ -1,0 +1,236 @@
+"""Solver-backend dispatch, equivalence, and degradation tests.
+
+The backend layer promises that ``REPRO_BACKEND`` changes *where* the
+linear algebra runs, never *what* it computes: the NumPy reference and
+the blocked backend below its batch threshold are bit-identical, the
+blocked static-LU path and the compiled kernel agree to solver
+tolerance, a singular lane is deactivated instead of killing its batch,
+and a machine without a C compiler degrades to the reference backend
+with a single warning.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells.topologies import diode_load_inverter
+from repro.devices.pentacene import pentacene_model
+from repro.runtime import telemetry
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    EnsembleSystem,
+    EnsembleTransient,
+    NewtonOptions,
+    Probe,
+    RampValue,
+    Resistor,
+    TransientOptions,
+    VoltageSource,
+)
+from repro.spice.backends import (
+    BlockedBackend,
+    NumpyBackend,
+    get_backend,
+    reset_backend,
+)
+from repro.spice.backends import native as native_mod
+
+VDD = 15.0
+
+BACKENDS = ("numpy", "blocked", "native")
+
+
+@pytest.fixture(autouse=True)
+def _backend_isolation():
+    """Re-resolve the backend (and the kernel load state) after each test."""
+    yield
+    reset_backend()
+    native_mod.reset()
+
+
+def _use(monkeypatch, name: str, **env: str):
+    for key, value in env.items():
+        monkeypatch.setenv(key, value)
+    monkeypatch.setenv("REPRO_BACKEND", name)
+    reset_backend()
+    return get_backend()
+
+
+def inverter_testbench(load=1e-12, slew=2e-4, vt_shift=0.0):
+    model = pentacene_model(vt_shift=vt_shift)
+    cell = diode_load_inverter(model, w_drive=100e-6, w_load=30e-6, vdd=VDD)
+    ckt = Circuit("tb")
+    ckt.add(VoltageSource("v_vdd", "vdd", "0", VDD))
+    ckt.add(VoltageSource("v_a", "a", "0",
+                          RampValue(0.0, VDD, 0.2 * slew, slew)))
+    cell.instantiate(ckt, {"a": "a", "out": "out", "vdd": "vdd", "vss": "0"})
+    ckt.add(Capacitor("c_load", "out", "0", load))
+    return ckt
+
+
+def grid_run():
+    """Final values + crossing times for a 2x2 slew/load ensemble grid."""
+    members, opts = [], []
+    for slew in (1e-4, 4e-4):
+        for load in (0.5e-12, 4e-12):
+            members.append(inverter_testbench(load=load, slew=slew))
+            dt = min(2e-3 / 400, slew / 8)
+            opts.append(TransientOptions(dt=dt, t_stop=2e-3, dt_max=16 * dt,
+                                         lte_tol=5e-4 * VDD))
+    ens = EnsembleTransient(members, opts, [Probe("out", 0.5 * VDD)]).run()
+    crossings = [ens.crossing_times(0, m) for m in range(len(members))]
+    return ens.final_value("out"), crossings
+
+
+class TestEquivalence:
+    def test_blocked_small_batch_bit_identical_to_numpy(self, monkeypatch):
+        """Below MIN_BATCH the blocked backend is the reference, bitwise."""
+        _use(monkeypatch, "numpy")
+        ref_final, ref_cross = grid_run()
+        _use(monkeypatch, "blocked")
+        final, cross = grid_run()
+        assert np.array_equal(final, ref_final)
+        for c, rc in zip(cross, ref_cross):
+            assert np.array_equal(c, rc)
+
+    def test_blocked_static_lu_matches_numpy(self, monkeypatch):
+        """Forcing the static-pivot LU path agrees to solver tolerance."""
+        _use(monkeypatch, "numpy")
+        ref_final, ref_cross = grid_run()
+        _use(monkeypatch, "blocked", REPRO_BLOCKED_MIN_BATCH="1")
+        final, cross = grid_run()
+        np.testing.assert_allclose(final, ref_final, rtol=1e-9, atol=1e-12)
+        for c, rc in zip(cross, ref_cross):
+            assert len(c) == len(rc)
+            np.testing.assert_allclose(c, rc, rtol=1e-9, atol=1e-15)
+
+    def test_native_matches_numpy_within_tolerance(self, monkeypatch):
+        backend = _use(monkeypatch, "native")
+        if backend.name != "native":
+            pytest.skip("no C compiler on this machine")
+        final, cross = grid_run()
+        _use(monkeypatch, "numpy")
+        ref_final, ref_cross = grid_run()
+        np.testing.assert_allclose(final, ref_final, rtol=1e-6, atol=1e-9)
+        for c, rc in zip(cross, ref_cross):
+            assert len(c) == len(rc)
+            np.testing.assert_allclose(c, rc, rtol=1e-6, atol=1e-12)
+
+    @settings(max_examples=5, deadline=None)
+    @given(vt_shift=st.floats(-0.4, 0.4),
+           load=st.floats(0.5e-12, 4e-12),
+           slew=st.floats(1e-4, 4e-4))
+    def test_randomized_bindings_agree_across_backends(
+            self, vt_shift, load, slew):
+        """Hypothesis-randomized bindings: every backend, same answer."""
+        def run():
+            members = [inverter_testbench(load=load, slew=slew,
+                                          vt_shift=vt_shift),
+                       inverter_testbench()]
+            dt = min(2e-3 / 400, slew / 8)
+            opts = [TransientOptions(dt=dt, t_stop=2e-3, dt_max=16 * dt,
+                                     lte_tol=5e-4 * VDD)] * 2
+            ens = EnsembleTransient(members, opts,
+                                    [Probe("out", 0.5 * VDD)]).run()
+            return ens.final_value("out")
+
+        try:
+            with pytest.MonkeyPatch.context() as mp:
+                _use(mp, "numpy")
+                ref = run()
+            for name in ("blocked", "native"):
+                with pytest.MonkeyPatch.context() as mp:
+                    backend = _use(mp, name)
+                    if name == "native" and backend.name != "native":
+                        continue       # no C compiler on this machine
+                    np.testing.assert_allclose(run(), ref,
+                                               rtol=1e-6, atol=1e-9)
+        finally:
+            reset_backend()
+
+
+class TestSingularLanes:
+    def test_solve_stacked_flags_singular_lane(self):
+        """A singular lane yields ok=False, zeros — never LinAlgError."""
+        rng = np.random.default_rng(0)
+        J = rng.normal(size=(3, 4, 4)) + 4.0 * np.eye(4)
+        J[1] = 0.0
+        F = rng.normal(size=(3, 4))
+        for backend in (NumpyBackend(), BlockedBackend()):
+            delta, ok = backend.solve_stacked(J, F, None)
+            assert ok.tolist() == [True, False, True]
+            assert np.all(delta[1] == 0.0)
+            np.testing.assert_allclose(J[0] @ delta[0], -F[0], atol=1e-9)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_singular_lane_never_kills_the_batch(self, monkeypatch, name):
+        """Integration: one degenerate lane, the others still converge."""
+        backend = _use(monkeypatch, name)
+        if name == "native" and backend.name != "native":
+            pytest.skip("no C compiler on this machine")
+        members = []
+        for k in range(2):
+            ckt = Circuit(f"rc{k}")
+            ckt.add(VoltageSource("v1", "in", "0", 1.0))
+            ckt.add(Resistor("r1", "in", "out", 1e3))
+            ckt.add(Resistor("r2", "out", "0", 1e3 * (k + 1)))
+            members.append(ckt)
+        es = EnsembleSystem(members)
+        G = es.G_static.copy()
+        G[0] = 0.0                       # lane 0: exactly singular
+        b = np.zeros((es.B, es.size))
+        b[:, es.size - 1] = 1.0          # drive the source branch row
+        x, conv = es.newton_batch(np.arange(es.B), G, b,
+                                  np.zeros((es.B, es.size)), NewtonOptions())
+        assert conv.tolist() == [False, True]
+        assert np.all(np.isfinite(x))
+
+
+class TestDispatchAndDegradation:
+    def test_forced_numpy(self, monkeypatch):
+        assert _use(monkeypatch, "numpy").name == "numpy"
+
+    def test_unknown_name_warns_and_uses_auto(self, monkeypatch, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            backend = _use(monkeypatch, "no-such-backend")
+        assert backend.name in ("numpy", "native")
+        assert any("unknown REPRO_BACKEND" in r.getMessage()
+                   for r in caplog.records)
+
+    def test_compile_failure_degrades_with_single_warning(
+            self, monkeypatch, tmp_path, caplog):
+        """No compiler + no cached kernel: one warning, correct results."""
+        monkeypatch.setenv("REPRO_NATIVE_DIR", str(tmp_path / "kernels"))
+        monkeypatch.setattr(native_mod.shutil, "which", lambda name: None)
+        native_mod.reset()
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            backend = _use(monkeypatch, "native")
+            get_backend()                # resolving again must not re-warn
+            assert native_mod.load_kernel() is None
+        assert backend.name == "numpy"
+        native_warnings = [
+            r for r in caplog.records
+            if r.name == "repro.spice.backends.native"]
+        assert len(native_warnings) == 1
+        assert "no C compiler" in native_warnings[0].getMessage()
+        # The degraded process still solves correctly.
+        final, _ = grid_run()
+        assert np.all(np.isfinite(final))
+
+    def test_per_backend_solve_counters(self, monkeypatch):
+        backend = _use(monkeypatch, "numpy")
+        telemetry.reset()
+        telemetry.enable(True)
+        try:
+            J = np.eye(3)[None].repeat(2, axis=0)
+            backend.solve_stacked(J, np.ones((2, 3)), None)
+        finally:
+            telemetry.enable(False)
+        metrics = telemetry.metrics_snapshot()
+        counters = metrics.get("counters", metrics)
+        assert counters.get("backend.numpy.solve_calls", 0) >= 1
+        assert counters.get("backend.numpy.lanes_solved", 0) >= 2
