@@ -18,7 +18,12 @@ the recorded pre-optimisation baselines, and writes the results to
 7. ``ensemble_newton`` — the solver-backend microbench: 200 fixed-dt
    ensemble Newton timesteps on a 16-member inverter batch, isolating
    the ``REPRO_BACKEND`` dispatch effect from step control and probing
-   (seed baseline recorded under the ``numpy`` reference backend).
+   (seed baseline recorded under the ``numpy`` reference backend),
+8. ``native_timestep`` — 25 complete 16-member ensemble transient
+   sweeps (predictor, RHS, Newton, LTE step control, probing): the
+   region the whole-timestep native kernel owns, seeded from the
+   numpy-backend time of the identical call so the kernel is gated by
+   ``--check`` from day one.
 
 Usage::
 
@@ -86,6 +91,7 @@ SEED_BASELINES = {
     "depth_sweep_warm_cache": 1.8854,     # vs the same uncached PR-1 run
     "width_sweep": None,                  # new in PR 2
     "ensemble_newton": 0.082,             # numpy reference backend (PR 6)
+    "native_timestep": 2.55,              # numpy backend, PR-6 sweep loop
 }
 
 #: Trace length for the sweep benches — matches the PR-1 measurement the
@@ -184,6 +190,56 @@ def _bench_ensemble_newton() -> float:
     t0 = time.perf_counter()
     for _ in range(200):
         x, t = step(x, t)
+    return time.perf_counter() - t0
+
+
+def _bench_native_timestep() -> float:
+    """The whole transient sweep loop through the active solver backend.
+
+    Where ``ensemble_newton`` isolates the stacked Newton inner loop,
+    this row times complete :meth:`~repro.spice.ensemble.
+    EnsembleTransient.run` sweeps — predictor, RHS assembly, Newton,
+    LTE step control and probe crossing extraction — on a 16-member
+    inverter ensemble with spread slews and loads, which is exactly the
+    region the whole-timestep native kernel
+    (``SolverBackend.ensemble_timestep``) takes over.  Seeded from the
+    numpy-backend time of the identical call at the PR-6 commit, so the
+    kernel is regression-gated from day one.
+    """
+    from repro.cells.topologies import diode_load_inverter
+    from repro.devices.pentacene import pentacene_model
+    from repro.spice import (Capacitor, Circuit, RampValue, VoltageSource)
+    from repro.spice.ensemble import EnsembleTransient, Probe
+    from repro.spice.transient import TransientOptions
+
+    vdd = 15.0
+    members, opts = [], []
+    for k in range(16):
+        model = pentacene_model(vt_shift=0.05 * (k % 5))
+        cell = diode_load_inverter(model, w_drive=100e-6, w_load=30e-6,
+                                   vdd=vdd)
+        slew = 1e-4 * (1.0 + 0.5 * (k % 4))
+        ckt = Circuit(f"ts_tb{k}")
+        ckt.add(VoltageSource("v_vdd", "vdd", "0", vdd))
+        ckt.add(VoltageSource("v_a", "a", "0",
+                              RampValue(0.0, vdd, 4e-5, slew)))
+        cell.instantiate(ckt, {"a": "a", "out": "out", "vdd": "vdd",
+                               "vss": "0"})
+        ckt.add(Capacitor("c_load", "out", "0", 1e-12 * (1 + k % 3)))
+        members.append(ckt)
+        dt = min(2e-3 / 400.0, slew / 8.0)
+        opts.append(TransientOptions(dt=dt, t_stop=2e-3, dt_max=16.0 * dt,
+                                     lte_tol=5e-4 * vdd))
+    probes = [Probe("a", 0.5 * vdd), Probe("out", 0.5 * vdd)]
+
+    # Warm-up pays kernel compile / gather memoisation, then measure.
+    # 25 sweeps keep the row ~100ms: long enough that scheduler noise
+    # stays well inside the --check tolerance.
+    EnsembleTransient(members, opts, probes).run()
+    profiling.reset()
+    t0 = time.perf_counter()
+    for _ in range(25):
+        EnsembleTransient(members, opts, probes).run()
     return time.perf_counter() - t0
 
 
@@ -295,6 +351,7 @@ BENCHES = {
     "cell_characterization": _bench_cell_characterization,
     "library_characterization": _bench_library_characterization,
     "ensemble_newton": lambda workers: _bench_ensemble_newton(),
+    "native_timestep": lambda workers: _bench_native_timestep(),
     "ipc_simulate": lambda workers: _bench_ipc_simulate(),
     "depth_sweep": _bench_depth_sweep,
     "width_sweep": _bench_width_sweep,

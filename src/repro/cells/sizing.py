@@ -63,19 +63,26 @@ def estimate_gate_delay(cell: CellDesign, load_cap: float) -> float:
     mid-rail — for the pseudo-E topology this captures the level-shifter's
     effect on the pull-down gate drive, which a hand formula would miss.
     """
+    from repro.spice.elements import VoltageSource
+    from repro.spice.ensemble import ensemble_operating_point
+
     vdd = cell.rails["vdd"]
-    delays = []
-    for vin, direction in ((0.0, "pull_up"), (vdd, "pull_down")):
+    circuits = []
+    for vin in (0.0, vdd):               # pull-up, then pull-down drive
         ckt = build_dc_testbench(cell, {p: vin for p in cell.inputs})
         # Pin the output mid-rail and measure the net charging current.
-        from repro.spice.elements import VoltageSource
         ckt.add(VoltageSource("v_probe", "out", "0", vdd / 2.0))
-        try:
-            x, sys = operating_point(ckt)
-        except ConvergenceError as exc:
-            raise AnalysisError(
-                f"delay estimate failed for {cell.name!r}: {exc}") from exc
-        i_net = abs(sys.source_current(x, "v_probe"))
+        circuits.append(ckt)
+    # The two bias points are structurally identical circuits — one
+    # stacked DC solve instead of two scalar operating points.
+    try:
+        x, es = ensemble_operating_point(circuits)
+    except ConvergenceError as exc:
+        raise AnalysisError(
+            f"delay estimate failed for {cell.name!r}: {exc}") from exc
+    delays = []
+    for lane in range(2):
+        i_net = abs(float(x[lane, es.branch_index["v_probe"]]))
         if i_net <= 0:
             return float("inf")
         delays.append(load_cap * (vdd / 2.0) / i_net)

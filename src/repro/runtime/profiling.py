@@ -56,8 +56,20 @@ from typing import Iterator
 
 from repro.runtime import telemetry
 
-__all__ = ["ENABLED", "add", "breakdown", "enable", "profiled", "reset",
-           "snapshot"]
+__all__ = ["ENABLED", "ProfileAccountingError", "add", "breakdown",
+           "enable", "profiled", "reset", "snapshot"]
+
+
+class ProfileAccountingError(RuntimeError):
+    """Stage sub-timers exceed the measured wall time.
+
+    Raised by :func:`breakdown` when the tracked stages sum to more than
+    the row's wall clock (beyond timer-granularity slack): some stage is
+    being double-counted — typically a new fused native stage whose time
+    is also still accumulated by the Python path it replaced.  Without
+    this check the ``overhead`` line just clamps to zero and the
+    double-count ships silently in BENCH_perf.json.
+    """
 
 #: Hot-path guard: solver code only calls :func:`add` when this is True.
 #: Kept separate from ``telemetry.ENABLED`` so ``--profile`` can collect
@@ -103,13 +115,26 @@ def snapshot() -> dict[str, dict[str, float]]:
     return out
 
 
-def breakdown(total_seconds: float) -> dict[str, float]:
+#: Accounting slack before :func:`breakdown` declares a double-count:
+#: per-call timer granularity and clock skew legitimately push the stage
+#: sum a little past wall time, but a genuinely double-counted stage
+#: overshoots by its whole runtime.
+_SUM_SLACK_FRACTION = 0.02
+_SUM_SLACK_SECONDS = 2e-3
+
+
+def breakdown(total_seconds: float, check: bool = True) -> dict[str, float]:
     """Per-stage seconds plus the derived ``overhead`` line.
 
     ``device_eval`` time is recorded from inside ``stamp`` regions, so it
     is subtracted from the stamp line rather than double-counted;
     ``overhead`` is whatever part of *total_seconds* none of the solver
     stages account for (step control, sources, measurements, Python).
+
+    With ``check`` (the default) the stage sum is verified against
+    *total_seconds* and :class:`ProfileAccountingError` is raised when it
+    exceeds wall time beyond measurement slack — the signature of a stage
+    counted twice (see the exception docstring).
     """
     stamp_s, _ = _stage("stamp")
     dev_s, _ = _stage("device_eval")
@@ -120,6 +145,12 @@ def breakdown(total_seconds: float) -> dict[str, float]:
         seconds, _ = _stage(stage)
         out[stage] = round(seconds, 4)
         tracked += seconds
+    if check and tracked > (total_seconds * (1.0 + _SUM_SLACK_FRACTION)
+                            + _SUM_SLACK_SECONDS):
+        raise ProfileAccountingError(
+            f"profiled stages sum to {tracked:.4f}s but the row's wall "
+            f"time is only {total_seconds:.4f}s — a stage is being "
+            f"double-counted (stages: {out})")
     out["overhead"] = round(max(0.0, total_seconds - tracked), 4)
     return out
 

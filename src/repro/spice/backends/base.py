@@ -99,6 +99,24 @@ class SolverBackend:
         """
         return None
 
+    def ensemble_timestep(self, et) -> dict | None:
+        """Run a whole transient sweep natively, or decline with ``None``.
+
+        *et* is an :class:`repro.spice.ensemble.EnsembleTransient`.  An
+        implementation integrates every lane towards its ``t_stop`` with
+        the **bit-exact** per-lane step schedule of the reference sweep
+        loop in :meth:`~repro.spice.ensemble.EnsembleTransient.run`
+        (predictor extrapolation, BE companion RHS, Newton with stamp
+        bypass, LTE accept/reject and dt halving/growth, probe crossing
+        records), mutating the transient's state arrays and crossing
+        lists in place.  Lanes it cannot finish must be left at their
+        last accepted state — the reference loop resumes them.  Returns
+        ``{"accepted", "halvings", "lte_rejections", "bailed"}`` step
+        counts for the caller's telemetry flush, or ``None`` to decline
+        (the default: only the native backend implements this).
+        """
+        return None
+
 
 class EnsembleNewtonRequest:
     """Everything a backend needs to run one batched Newton solve.

@@ -124,6 +124,11 @@ class BlockedBackend(NumpyBackend):
     def __init__(self) -> None:
         self.min_batch = int(os.environ.get("REPRO_BLOCKED_MIN_BATCH",
                                             MIN_BATCH))
+        # Lane count from which a *reusable* factorisation pays for
+        # itself (factor_stacked); defaults to the dense/static-LU
+        # crossover above.
+        self.refactor_min = int(os.environ.get("REPRO_BLOCKED_REFACTOR",
+                                               self.min_batch))
 
     # -- structure preparation ----------------------------------------------
 
@@ -192,7 +197,7 @@ class BlockedBackend(NumpyBackend):
 
     def factor_stacked(self, J: np.ndarray,
                        structure: Any | None = None):
-        if len(J) < self.min_batch:
+        if len(J) < self.refactor_min:
             return None
         prep = self._prepare(structure)
         if prep is None:

@@ -1,4 +1,4 @@
-"""Compiled C backend: the whole ensemble Newton inner loop in one call.
+"""Compiled C backend: ensemble Newton — and whole transient timesteps.
 
 The profile of a characterisation run is dominated not by LAPACK flops
 but by the Python orchestration *around* them: per-iteration stacked
@@ -11,7 +11,27 @@ compile with whatever system compiler exists (``cc``/``gcc``/``clang``),
 cache the shared object by source hash, bind through :mod:`ctypes`, and
 degrade silently to the pure-NumPy reference when any of that fails.
 
-The C kernel is a transliteration of the reference semantics:
+Two entry points share one set of per-lane C helpers:
+
+- ``repro_ensemble_newton`` — one damped Newton solve over a masked
+  lane set (the PR-6 kernel, still used for DC operating points and as
+  the per-iteration fallback of the transient engine);
+- ``repro_ensemble_timestep`` — the **entire transient timestep loop**
+  per lane: predictor extrapolation, BE companion RHS assembly (constant
+  sources + vectorised ramps + storage history), Newton with stamp
+  bypass, the per-lane LTE step controller (accept/reject, dt
+  halving/growth), and probe threshold-crossing detection.  Python is
+  re-entered only at chunk boundaries, for scalar retries, and for
+  telemetry flushes.  Because every lane is integrated independently to
+  completion, the per-lane step schedule is *bit-exact* regardless of
+  batch composition — the determinism contract the
+  ``REPRO_ENSEMBLE_BATCH`` equivalence suite pins down.  A lane the
+  kernel cannot finish (dt underflow, crossing-buffer overflow) is left
+  at its exact pre-step state and flagged; the Python sweep loop then
+  replays it with identical arithmetic (and raises the context-rich
+  ``ConvergenceError`` itself when the failure is real).
+
+The C kernels are transliterations of the reference semantics:
 
 - per-lane damped Newton exactly as
   :meth:`repro.spice.ensemble.EnsembleSystem.newton_batch` /
@@ -27,12 +47,22 @@ The C kernel is a transliteration of the reference semantics:
 - the stamp-bypass protocol (see :mod:`repro.spice.transient`): frozen
   lanes reuse the cached nonlinear stamps, fresh converged lanes write
   the per-member cache back — the same decision rule, same cache
-  layout, as the scalar and NumPy-ensemble engines.
+  layout, as the scalar and NumPy-ensemble engines;
+- the timestep controller of
+  :meth:`repro.spice.ensemble.EnsembleTransient.run` (itself the
+  batched twin of the scalar :func:`repro.spice.transient.transient`
+  controller), operation for operation.  The kernel is compiled with
+  ``-ffp-contract=off`` so the controller arithmetic stays IEEE-faithful
+  to the NumPy orchestration — the whole-timestep and per-iteration
+  native paths produce identical step schedules.
 
 Scalar and small-batch solves inherit the NumPy reference paths; only
-the ensemble hook is native.  Results agree with the reference to
+the ensemble hooks are native.  Results agree with the reference to
 solver/rounding tolerance (libm vs NumPy transcendentals differ in the
-last ulp), which the backend-equivalence suite pins down.
+last ulp), which the backend-equivalence suite pins down.  Setting
+``REPRO_NATIVE_TIMESTEP=0`` disables only the whole-timestep entry
+(every step still uses the per-iteration kernel) — the configuration
+the backend-agreement validation check compares against.
 """
 
 from __future__ import annotations
@@ -56,18 +86,25 @@ from repro.spice.elements import FET_GMIN
 
 logger = get_logger(__name__)
 
+#: Per-(probe, lane) crossing-buffer capacity of the whole-timestep
+#: kernel.  A real timing arc produces a handful of crossings per probe;
+#: a lane that would overflow bails back to the Python sweep loop, which
+#: records into unbounded lists.
+CROSS_CAP = 32
+
 _C_SOURCE = r"""
 #include <math.h>
 #include <stdint.h>
 #include <stdlib.h>
 #include <string.h>
 
-/* Damped Newton over a masked lane set: assemble (linear base + TFT
- * stamps), solve by partial-pivot LU, damp, update, converge — per lane
- * to completion.  A transliteration of EnsembleSystem.newton_batch and
- * StackedTftParams.evaluate; see the Python module docstring for the
- * exact correspondence.  Returns the largest per-lane iteration count,
- * or -1 when scratch allocation fails.
+/* Batched SPICE kernels: a damped Newton solve over a masked lane set
+ * (repro_ensemble_newton) and the whole per-lane transient timestep
+ * loop (repro_ensemble_timestep).  Both are transliterations of
+ * EnsembleSystem.newton_batch / EnsembleTransient.run; see the Python
+ * module docstring for the exact correspondence.  They share the lane
+ * helpers below, so a Newton solve is the same arithmetic whichever
+ * entry point reaches it.
  */
 
 #define PF 15  /* parameter fields per device, StackedTftParams order */
@@ -161,6 +198,153 @@ static int lu_solve(double *J, long stride, double *rhs, long S)
     return 0;
 }
 
+/* Everything a single-lane Newton solve needs that does not change
+ * between steps: system shape, device tables, tolerances, the bypass
+ * cache, and the scratch buffers (owned by the entry points). */
+typedef struct {
+    long S, n_nodes;
+    const int64_t *dev_off, *d_loc, *g_loc, *s_loc;
+    const double *pol, *par;
+    double fet_gmin, abstol_v, abstol_i;
+    long bypass_on;
+    long n_slots;
+    const int64_t *slots;
+    double eta;
+    uint8_t *cache_valid;
+    double *cache_x, *cache_jnl, *cache_fnl;
+    double *jmat, *jnl, *fnl, *xext, *fvec, *rhs;
+} lane_ctx;
+
+/* Cached stamps still usable at the accepted state xp?  Mirrors
+ * _EnsembleBypass.frozen_lanes for one member. */
+static long lane_frozen(const lane_ctx *c, long m, const double *xp)
+{
+    if (!c->bypass_on || !c->cache_valid[m])
+        return 0;
+    const double *cx = c->cache_x + (size_t)m * c->S;
+    double mv = 0.0;
+    for (long si = 0; si < c->n_slots; si++) {
+        long sl = c->slots[si];
+        double d = fabs(xp[sl] - cx[sl]);
+        if (d > mv) mv = d;
+    }
+    return mv <= c->eta;
+}
+
+/* Damped Newton to completion for one lane: assemble (linear base G +
+ * TFT stamps or cached bypass stamps), partial-pivot LU, damp, update.
+ * xl is updated in place (partial iterate on non-convergence, like the
+ * reference).  Returns the iteration count; *ok_out is 1 on
+ * convergence, 0 on budget exhaustion or a singular Jacobian. */
+static long lane_newton(const lane_ctx *c, long m, const double *G,
+                        const double *beff, double *xl, long frozen,
+                        long budget, double step_cap, double gmin,
+                        long *ok_out)
+{
+    long S = c->S, n_nodes = c->n_nodes, ext = S + 1;
+    double *jmat = c->jmat, *jnl = c->jnl, *fnl = c->fnl;
+    double *xext = c->xext, *fvec = c->fvec, *rhs = c->rhs;
+    long iter = 0;
+    long ok = 0;
+    while (iter < budget) {
+        /* Nonlinear stamps: cached (frozen) or fresh. */
+        if (frozen) {
+            const double *cj = c->cache_jnl + (size_t)m * S * S;
+            const double *cf = c->cache_fnl + (size_t)m * S;
+            for (long i = 0; i < S; i++)
+                for (long j = 0; j < S; j++)
+                    jmat[i * S + j] = G[i * S + j] + cj[i * S + j];
+            for (long i = 0; i < S; i++) {
+                double acc = 0.0;
+                for (long j = 0; j < S; j++)
+                    acc += G[i * S + j] * xl[j];
+                fvec[i] = acc - beff[i] + cf[i];
+            }
+        } else {
+            memset(jnl, 0, (size_t)(ext * ext) * sizeof(double));
+            memset(fnl, 0, (size_t)ext * sizeof(double));
+            memcpy(xext, xl, (size_t)S * sizeof(double));
+            xext[S] = 0.0;
+            for (long dev = c->dev_off[m]; dev < c->dev_off[m + 1]; dev++) {
+                long d = c->d_loc[dev], g = c->g_loc[dev], s = c->s_loc[dev];
+                double pl = c->pol[dev];
+                double dv = xext[d] - xext[s];
+                long a_n = d, b_n = s;
+                if (pl * dv < 0.0) { a_n = s; b_n = d; }
+                double vds_n = fabs(dv);
+                double vgs_n = pl * (xext[g] - xext[b_n]);
+                double ids, gmv, gdsv;
+                eval_tft(c->par + (size_t)dev * PF, vgs_n, vds_n,
+                         &ids, &gmv, &gdsv);
+                double i_phys = pl * (ids + c->fet_gmin * vds_n);
+                fnl[a_n] += i_phys;
+                fnl[b_n] -= i_phys;
+                double g_ds = gdsv + c->fet_gmin;
+                double gsum = gmv + g_ds;
+                jnl[a_n * ext + a_n] += g_ds;
+                jnl[a_n * ext + g]   += gmv;
+                jnl[a_n * ext + b_n] -= gsum;
+                jnl[b_n * ext + a_n] -= g_ds;
+                jnl[b_n * ext + g]   -= gmv;
+                jnl[b_n * ext + b_n] += gsum;
+            }
+            for (long i = 0; i < S; i++)
+                for (long j = 0; j < S; j++)
+                    jmat[i * S + j] = G[i * S + j] + jnl[i * ext + j];
+            for (long i = 0; i < S; i++) {
+                double acc = 0.0;
+                for (long j = 0; j < S; j++)
+                    acc += G[i * S + j] * xl[j];
+                fvec[i] = acc - beff[i] + fnl[i];
+            }
+        }
+        if (gmin > 0.0) {
+            for (long i = 0; i < n_nodes; i++) {
+                jmat[i * S + i] += gmin;
+                fvec[i] += gmin * xl[i];
+            }
+        }
+        double residual = 0.0;
+        for (long i = 0; i < n_nodes; i++) {
+            double v = fabs(fvec[i]);
+            if (v > residual) residual = v;
+        }
+        for (long i = 0; i < S; i++)
+            rhs[i] = -fvec[i];
+        if (lu_solve(jmat, S, rhs, S)) {
+            ok = 0;          /* singular lane: deactivate, not fatal */
+            break;
+        }
+        double max_delta = 0.0;
+        for (long i = 0; i < S; i++) {
+            double v = fabs(rhs[i]);
+            if (v > max_delta) max_delta = v;
+        }
+        double scale = 1.0;
+        if (max_delta > step_cap)
+            scale = step_cap / max_delta;
+        long done_now = (max_delta < c->abstol_v) && (residual < c->abstol_i);
+        if (done_now && !frozen && c->bypass_on) {
+            /* Export the stamps evaluated at the pre-update state. */
+            double *cj = c->cache_jnl + (size_t)m * S * S;
+            double *cf = c->cache_fnl + (size_t)m * S;
+            double *cx = c->cache_x + (size_t)m * S;
+            for (long i = 0; i < S; i++)
+                for (long j = 0; j < S; j++)
+                    cj[i * S + j] = jnl[i * ext + j];
+            for (long i = 0; i < S; i++) cf[i] = fnl[i];
+            memcpy(cx, xl, (size_t)S * sizeof(double));
+            c->cache_valid[m] = 1;
+        }
+        for (long i = 0; i < S; i++)
+            xl[i] += rhs[i] * scale;
+        iter++;
+        if (done_now) { ok = 1; break; }
+    }
+    *ok_out = ok;
+    return iter;
+}
+
 long repro_ensemble_newton(
     long A, long S, long n_nodes,
     const int64_t *mem,
@@ -204,6 +388,11 @@ long repro_ensemble_newton(
         iters_max = -1;
         goto done;
     }
+    lane_ctx c = { S, n_nodes, dev_off, d_loc, g_loc, s_loc, pol, par,
+                   fet_gmin, abstol_v, abstol_i, bypass_on,
+                   n_slots, slots, eta,
+                   cache_valid, cache_x, cache_jnl, cache_fnl,
+                   jmat, jnl, fnl, xext, fvec, rhs };
 
     for (long lane = 0; lane < A; lane++) {
         long m = mem[lane];
@@ -240,118 +429,12 @@ long repro_ensemble_newton(
 
         /* Stamp bypass: reuse cached nonlinear stamps while no device
          * terminal has drifted beyond eta from the cached state. */
-        long frozen = 0;
-        if (bypass_on && cache_valid[m]) {
-            double mv = 0.0;
-            const double *cx = cache_x + (size_t)m * S;
-            for (long si = 0; si < n_slots; si++) {
-                long sl = slots[si];
-                double d = fabs(xp[sl] - cx[sl]);
-                if (d > mv) mv = d;
-            }
-            frozen = mv <= eta;
-        }
+        long frozen = xp ? lane_frozen(&c, m, xp) : 0;
         if (frozen) frozen_steps++;
 
-        long budget = max_iter[lane];
-        double step_cap = max_step_v[lane];
-        long iter = 0;
-        long ok = 0;
-        while (iter < budget) {
-            /* Nonlinear stamps: cached (frozen) or fresh. */
-            if (frozen) {
-                const double *cj = cache_jnl + (size_t)m * S * S;
-                const double *cf = cache_fnl + (size_t)m * S;
-                for (long i = 0; i < S; i++)
-                    for (long j = 0; j < S; j++)
-                        jmat[i * S + j] = G[i * S + j] + cj[i * S + j];
-                for (long i = 0; i < S; i++) {
-                    double acc = 0.0;
-                    for (long j = 0; j < S; j++)
-                        acc += G[i * S + j] * xl[j];
-                    fvec[i] = acc - beff[i] + cf[i];
-                }
-            } else {
-                memset(jnl, 0, (size_t)(ext * ext) * sizeof(double));
-                memset(fnl, 0, (size_t)ext * sizeof(double));
-                memcpy(xext, xl, (size_t)S * sizeof(double));
-                xext[S] = 0.0;
-                for (long dev = dev_off[m]; dev < dev_off[m + 1]; dev++) {
-                    long d = d_loc[dev], g = g_loc[dev], s = s_loc[dev];
-                    double pl = pol[dev];
-                    double dv = xext[d] - xext[s];
-                    long a_n = d, b_n = s;
-                    if (pl * dv < 0.0) { a_n = s; b_n = d; }
-                    double vds_n = fabs(dv);
-                    double vgs_n = pl * (xext[g] - xext[b_n]);
-                    double ids, gmv, gdsv;
-                    eval_tft(par + (size_t)dev * PF, vgs_n, vds_n,
-                             &ids, &gmv, &gdsv);
-                    double i_phys = pl * (ids + fet_gmin * vds_n);
-                    fnl[a_n] += i_phys;
-                    fnl[b_n] -= i_phys;
-                    double g_ds = gdsv + fet_gmin;
-                    double gsum = gmv + g_ds;
-                    jnl[a_n * ext + a_n] += g_ds;
-                    jnl[a_n * ext + g]   += gmv;
-                    jnl[a_n * ext + b_n] -= gsum;
-                    jnl[b_n * ext + a_n] -= g_ds;
-                    jnl[b_n * ext + g]   -= gmv;
-                    jnl[b_n * ext + b_n] += gsum;
-                }
-                for (long i = 0; i < S; i++)
-                    for (long j = 0; j < S; j++)
-                        jmat[i * S + j] = G[i * S + j] + jnl[i * ext + j];
-                for (long i = 0; i < S; i++) {
-                    double acc = 0.0;
-                    for (long j = 0; j < S; j++)
-                        acc += G[i * S + j] * xl[j];
-                    fvec[i] = acc - beff[i] + fnl[i];
-                }
-            }
-            if (gmin > 0.0) {
-                for (long i = 0; i < n_nodes; i++) {
-                    jmat[i * S + i] += gmin;
-                    fvec[i] += gmin * xl[i];
-                }
-            }
-            double residual = 0.0;
-            for (long i = 0; i < n_nodes; i++) {
-                double v = fabs(fvec[i]);
-                if (v > residual) residual = v;
-            }
-            for (long i = 0; i < S; i++)
-                rhs[i] = -fvec[i];
-            if (lu_solve(jmat, S, rhs, S)) {
-                ok = 0;          /* singular lane: deactivate, not fatal */
-                break;
-            }
-            double max_delta = 0.0;
-            for (long i = 0; i < S; i++) {
-                double v = fabs(rhs[i]);
-                if (v > max_delta) max_delta = v;
-            }
-            double scale = 1.0;
-            if (max_delta > step_cap)
-                scale = step_cap / max_delta;
-            long done_now = (max_delta < abstol_v) && (residual < abstol_i);
-            if (done_now && !frozen && bypass_on) {
-                /* Export the stamps evaluated at the pre-update state. */
-                double *cj = cache_jnl + (size_t)m * S * S;
-                double *cf = cache_fnl + (size_t)m * S;
-                double *cx = cache_x + (size_t)m * S;
-                for (long i = 0; i < S; i++)
-                    for (long j = 0; j < S; j++)
-                        cj[i * S + j] = jnl[i * ext + j];
-                for (long i = 0; i < S; i++) cf[i] = fnl[i];
-                memcpy(cx, xl, (size_t)S * sizeof(double));
-                cache_valid[m] = 1;
-            }
-            for (long i = 0; i < S; i++)
-                xl[i] += rhs[i] * scale;
-            iter++;
-            if (done_now) { ok = 1; break; }
-        }
+        long ok;
+        long iter = lane_newton(&c, m, G, beff, xl, frozen,
+                                max_iter[lane], max_step_v[lane], gmin, &ok);
         conv[lane] = (uint8_t)ok;
         if (iter > iters_max) iters_max = iter;
     }
@@ -362,16 +445,264 @@ done:
     if (stats) stats[0] = frozen_steps;
     return iters_max;
 }
+
+/* The whole transient timestep loop, per lane to completion — the
+ * controller of EnsembleTransient.run (itself the batched scalar
+ * controller of repro.spice.transient), operation for operation:
+ *
+ *   while t_stop - t > dt_min:
+ *     dt_step = min(dt, t_stop - t); damped if dt_step <= 8 dt_min
+ *     predict x_start from history; assemble rhs at t + dt_step
+ *     Newton from the prediction; on miss retry from the accepted state
+ *     failure  -> dt /= 2 (below dt_min: leave the lane untouched and
+ *                 flag it — Python replays the step and raises)
+ *     LTE blowup on an oversized step -> reject, dt = max(dt/2, dt_nom)
+ *     accept   -> record probe crossings, shift history, grow/hold dt
+ *
+ * Each lane runs independently, so its step schedule is bit-identical
+ * whatever the batch composition.  status[m]: 0 done, 1 bailed (dt
+ * underflow or crossing-buffer overflow; state is at the last accepted
+ * step).  stats: [0] accepted steps, [1] halvings, [2] LTE rejections,
+ * [3] frozen (bypassed) lane-steps, [4] bailed lanes.  Returns 0, or
+ * -1 when scratch allocation fails (no state touched). */
+long repro_ensemble_timestep(
+    long B, long S, long n_nodes,
+    const double *G_static, const double *C_unit,   /* B*S*S each */
+    const double *b_const,                          /* B*S */
+    long n_ramps, const int64_t *ramp_row,
+    const double *ramp_v0, const double *ramp_dv,   /* n_ramps*B each */
+    const double *ramp_t0, const double *ramp_inv_dur,
+    const int64_t *dev_off,
+    const int64_t *d_loc, const int64_t *g_loc, const int64_t *s_loc,
+    const double *pol, const double *par,
+    double fet_gmin, double abstol_v, double abstol_i,
+    double max_step_v, long max_iter,
+    double damped_step_v, long damped_iter,
+    long bypass_on, double eta,
+    long n_slots, const int64_t *slots,
+    uint8_t *cache_valid,
+    double *cache_x, double *cache_jnl, double *cache_fnl,
+    double *x,                  /* B*S, in/out: accepted state */
+    double *t, double *dt,      /* B, in/out */
+    double *x_last,             /* B*S, in/out: previous accepted state */
+    double *dt_last, uint8_t *has_hist, int64_t *steps,   /* B, in/out */
+    const double *t_stop, const double *dt_min, const double *dt_nom,
+    const double *dt_cap, const double *lte_tol, const double *growth,
+    long n_probes, const int64_t *probe_slot,
+    const double *probe_level,  /* n_probes*B */
+    long cross_cap,
+    double *cross_t,            /* n_probes*B*cross_cap, out */
+    uint8_t *cross_rise,        /* n_probes*B*cross_cap, out */
+    int64_t *cross_n,           /* n_probes*B, out */
+    uint8_t *status,            /* B, out */
+    int64_t *stats)             /* [5], out */
+{
+    long ext = S + 1;
+    double *gbase = malloc((size_t)(S * S) * sizeof(double));
+    double *jmat  = malloc((size_t)(S * S) * sizeof(double));
+    double *jnl   = malloc((size_t)(ext * ext) * sizeof(double));
+    double *fnl   = malloc((size_t)ext * sizeof(double));
+    double *xext  = malloc((size_t)ext * sizeof(double));
+    double *beff  = malloc((size_t)S * sizeof(double));
+    double *fvec  = malloc((size_t)S * sizeof(double));
+    double *rhs   = malloc((size_t)S * sizeof(double));
+    double *xpred = malloc((size_t)S * sizeof(double));
+    double *xn    = malloc((size_t)S * sizeof(double));
+    if (!gbase || !jmat || !jnl || !fnl || !xext
+            || !beff || !fvec || !rhs || !xpred || !xn) {
+        free(gbase); free(jmat); free(jnl); free(fnl); free(xext);
+        free(beff); free(fvec); free(rhs); free(xpred); free(xn);
+        return -1;
+    }
+    lane_ctx c = { S, n_nodes, dev_off, d_loc, g_loc, s_loc, pol, par,
+                   fet_gmin, abstol_v, abstol_i, bypass_on,
+                   n_slots, slots, eta,
+                   cache_valid, cache_x, cache_jnl, cache_fnl,
+                   jmat, jnl, fnl, xext, fvec, rhs };
+    int64_t acc_n = 0, halv_n = 0, lte_n = 0, frozen_n = 0, bail_n = 0;
+
+    for (long m = 0; m < B; m++) {
+        double *xl  = x + (size_t)m * S;
+        double *xls = x_last + (size_t)m * S;
+        const double *gs = G_static + (size_t)m * S * S;
+        const double *cu = C_unit + (size_t)m * S * S;
+        const double *bc = b_const + (size_t)m * S;
+        double lane_t = t[m], lane_dt = dt[m];
+        double stop = t_stop[m], dmin = dt_min[m], dnom = dt_nom[m];
+        double dcap = dt_cap[m], tol = lte_tol[m], grow = growth[m];
+        status[m] = 0;
+
+        while (stop - lane_t > dmin) {
+            double rem = stop - lane_t;
+            double dt_step = fmin(lane_dt, rem);
+            long damped = dt_step <= 8.0 * dmin;
+            double step_cap = damped ? damped_step_v : max_step_v;
+            long budget = damped ? damped_iter : max_iter;
+            double idt = 1.0 / dt_step;
+            double t_next = lane_t + dt_step;
+
+            /* Linear base and effective rhs for this step: constant
+             * sources + vectorised ramps + the storage history term —
+             * the same arithmetic order as rhs_batch + the kernel's
+             * storage add, so values are bitwise the reference. */
+            for (long i = 0; i < S * S; i++)
+                gbase[i] = gs[i] + cu[i] * idt;
+            memcpy(beff, bc, (size_t)S * sizeof(double));
+            for (long r = 0; r < n_ramps; r++) {
+                double frac = (t_next - ramp_t0[r * B + m])
+                    * ramp_inv_dur[r * B + m];
+                if (frac < 0.0) frac = 0.0;
+                if (frac > 1.0) frac = 1.0;
+                beff[ramp_row[r]] += ramp_v0[r * B + m]
+                    + ramp_dv[r * B + m] * frac;
+            }
+            for (long i = 0; i < S; i++) {
+                double acc = 0.0;
+                for (long j = 0; j < S; j++)
+                    acc += cu[i * S + j] * xl[j];
+                beff[i] = beff[i] + acc * idt;
+            }
+
+            /* Warm-start prediction from the integration history. */
+            long hist = has_hist[m];
+            if (hist) {
+                double ratio = dt_step / dt_last[m];
+                for (long i = 0; i < S; i++)
+                    xpred[i] = xl[i] + (xl[i] - xls[i]) * ratio;
+            } else {
+                memcpy(xpred, xl, (size_t)S * sizeof(double));
+            }
+
+            long frozen = lane_frozen(&c, m, xl);
+            if (frozen) frozen_n++;
+
+            /* Newton from the prediction; on a miss, retry once from
+             * the accepted state (the scalar controller's fallback).
+             * pred_err is only defined when the *predicted* start
+             * converged — a retried lane holds its step (NaN). */
+            memcpy(xn, xpred, (size_t)S * sizeof(double));
+            long ok;
+            lane_newton(&c, m, gbase, beff, xn, frozen,
+                        budget, step_cap, 0.0, &ok);
+            double pred_err = NAN;
+            if (ok && hist) {
+                double mv = 0.0;
+                for (long i = 0; i < S; i++) {
+                    double v = fabs(xn[i] - xpred[i]);
+                    if (v > mv) mv = v;
+                }
+                pred_err = mv;
+            } else if (!ok && hist) {
+                memcpy(xn, xl, (size_t)S * sizeof(double));
+                lane_newton(&c, m, gbase, beff, xn, frozen,
+                            budget, step_cap, 0.0, &ok);
+            }
+
+            if (!ok) {
+                halv_n++;
+                double new_dt = dt_step / 2.0;
+                if (new_dt < dmin) {
+                    /* Leave the lane at its pre-step state with the
+                     * failing dt: the Python sweep loop replays the
+                     * identical step and raises the context-rich
+                     * ConvergenceError itself. */
+                    status[m] = 1;
+                    bail_n++;
+                    break;
+                }
+                lane_dt = new_dt;
+                continue;
+            }
+
+            /* LTE rejection of oversized steps whose estimate blew up
+             * (NaN pred_err compares false: never rejected). */
+            if (dt_step > dnom && pred_err > 4.0 * tol) {
+                lte_n++;
+                lane_dt = fmax(dt_step / 2.0, dnom);
+                continue;
+            }
+
+            /* Probe crossings between the accepted states.  Capacity is
+             * checked for the whole step before anything is recorded so
+             * a bailed lane never holds a partial step. */
+            long overflow = 0;
+            for (long p = 0; p < n_probes; p++) {
+                long sl = probe_slot[p];
+                double lv = probe_level[p * B + m];
+                double v0 = xl[sl] - lv, v1 = xn[sl] - lv;
+                int s0 = (v0 > 0.0) - (v0 < 0.0);
+                int s1 = (v1 > 0.0) - (v1 < 0.0);
+                if (s0 != s1 && cross_n[p * B + m] >= cross_cap)
+                    overflow = 1;
+            }
+            if (overflow) {
+                status[m] = 1;
+                bail_n++;
+                break;
+            }
+            for (long p = 0; p < n_probes; p++) {
+                long sl = probe_slot[p];
+                double lv = probe_level[p * B + m];
+                double v0 = xl[sl] - lv, v1 = xn[sl] - lv;
+                int s0 = (v0 > 0.0) - (v0 < 0.0);
+                int s1 = (v1 > 0.0) - (v1 < 0.0);
+                if (s0 != s1) {
+                    long k = cross_n[p * B + m]++;
+                    double frac = -v0 / (v1 - v0);
+                    size_t at = ((size_t)p * B + m) * cross_cap + k;
+                    cross_t[at] = lane_t + frac * dt_step;
+                    cross_rise[at] = v1 > v0;
+                }
+            }
+
+            /* Accept: shift history, advance, grow/hold the step. */
+            memcpy(xls, xl, (size_t)S * sizeof(double));
+            dt_last[m] = dt_step;
+            has_hist[m] = 1;
+            memcpy(xl, xn, (size_t)S * sizeof(double));
+            lane_t += dt_step;
+            steps[m]++;
+            acc_n++;
+            if (dt_step >= dnom) {
+                if (pred_err < 0.25 * tol)
+                    lane_dt = fmin(2.0 * dt_step, dcap);
+                else if (pred_err > tol)
+                    lane_dt = fmax(dt_step / 2.0, dnom);
+                else
+                    lane_dt = dt_step;
+            } else {
+                lane_dt = fmin(dnom, dt_step * grow);
+            }
+        }
+        t[m] = lane_t;
+        dt[m] = lane_dt;
+    }
+
+    free(gbase); free(jmat); free(jnl); free(fnl); free(xext);
+    free(beff); free(fvec); free(rhs); free(xpred); free(xn);
+    stats[0] = acc_n; stats[1] = halv_n; stats[2] = lte_n;
+    stats[3] = frozen_n; stats[4] = bail_n;
+    return 0;
+}
 """
 
-# Load state: "unset" until the first request, then the bound ctypes
-# function or None (unavailable).  Never retried within a process.
+# Load state: "unset" until the first request, then the bound _Kernel
+# or None (unavailable).  Never retried within a process.
 _STATE: list = ["unset"]
 
 #: (bypass_on, eta, n_slots, slots, valid, x_stamp, J_nl, F_nl) when the
 #: stamp bypass is off — None maps to NULL under the void* argtypes.
 _NO_BYPASS = (0, 0.0, 0, None, None, None, None, None)
 
+
+class _Kernel:
+    """The bound C entry points (one shared object, two functions)."""
+
+    __slots__ = ("newton", "timestep")
+
+    def __init__(self, newton, timestep) -> None:
+        self.newton = newton
+        self.timestep = timestep
 
 
 # Same conventions as repro.core.ipc_native (not imported: repro.core's
@@ -395,7 +726,10 @@ def _find_compiler() -> str | None:
 
 def _compile() -> Path | None:
     """Compile (or reuse) the solver kernel; None on any failure."""
-    tag = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    # The cache key covers source AND flags: a flag change (e.g. a new
+    # optimisation level) must not silently reuse a stale binary.
+    tag = hashlib.sha256(
+        (_C_SOURCE + "|O3-native-v1").encode()).hexdigest()[:16]
     directory = native_dir()
     so_path = directory / f"spice_kernel_{tag}.so"
     if so_path.exists():
@@ -414,10 +748,22 @@ def _compile() -> Path | None:
         with tempfile.NamedTemporaryFile(
                 dir=directory, suffix=".so", delete=False) as tmp:
             tmp_path = Path(tmp.name)
+        # -ffp-contract=off: no fused multiply-adds, so the controller
+        # arithmetic in the whole-timestep loop is bit-identical to the
+        # NumPy orchestration it transliterates (-O3/-march=native keep
+        # IEEE evaluation order; only contraction would diverge).
         result = subprocess.run(
-            [compiler, "-O2", "-shared", "-fPIC", "-o", str(tmp_path),
-             str(src_path), "-lm"],
+            [compiler, "-O3", "-march=native", "-ffp-contract=off",
+             "-shared", "-fPIC",
+             "-o", str(tmp_path), str(src_path), "-lm"],
             capture_output=True, text=True, timeout=120)
+        if result.returncode != 0:
+            # Cross-compilers and exotic hosts may lack -march=native;
+            # retry portable before giving up.
+            result = subprocess.run(
+                [compiler, "-O3", "-ffp-contract=off", "-shared", "-fPIC",
+                 "-o", str(tmp_path), str(src_path), "-lm"],
+                capture_output=True, text=True, timeout=120)
         if result.returncode != 0:
             logger.warning(
                 "spice kernel compile failed (%s); falling back to the "
@@ -433,18 +779,19 @@ def _compile() -> Path | None:
         return None
 
 
-def _bind(so_path: Path):
+def _bind(so_path: Path) -> _Kernel:
     lib = ctypes.CDLL(str(so_path))
-    fn = lib.repro_ensemble_newton
     L, D = ctypes.c_long, ctypes.c_double
     # All pointer parameters are declared void* and fed raw integer
-    # addresses (``ndarray.ctypes.data`` / precomputed ints): the hook
-    # runs ~1e4 times per characterisation and typed ``data_as`` casts
-    # were its single largest cost.  The caller keeps every array alive
-    # across the call and guarantees dtype/contiguity.
+    # addresses (``ndarray.ctypes.data`` / precomputed ints): the hooks
+    # run ~1e4 times per characterisation and typed ``data_as`` casts
+    # were their single largest cost.  The caller keeps every array
+    # alive across the call and guarantees dtype/contiguity.
     P = ctypes.c_void_p
-    fn.restype = L
-    fn.argtypes = [
+
+    newton = lib.repro_ensemble_newton
+    newton.restype = L
+    newton.argtypes = [
         L, L, L,                    # A, S, n_nodes
         P,                          # mem
         L, P, P, P, P,              # compose_g, G_lin, G_static, C_unit, inv_dt
@@ -456,10 +803,28 @@ def _bind(so_path: Path):
         P, P, P, P,                 # cache_valid, cache_x, cache_jnl, cache_fnl
         P, P, P,                    # x, conv, stats
     ]
-    return fn
+
+    timestep = lib.repro_ensemble_timestep
+    timestep.restype = L
+    timestep.argtypes = [
+        L, L, L,                    # B, S, n_nodes
+        P, P, P,                    # G_static, C_unit, b_const
+        L, P, P, P, P, P,           # n_ramps, row, v0, dv, t0, inv_dur
+        P, P, P, P, P, P,           # dev_off, d/g/s, pol, par
+        D, D, D,                    # fet_gmin, abstol_v, abstol_i
+        D, L, D, L,                 # max_step_v, max_iter, damped pair
+        L, D, L, P,                 # bypass_on, eta, n_slots, slots
+        P, P, P, P,                 # cache_valid, cache_x, cache_jnl, cache_fnl
+        P, P, P, P, P, P, P,        # x, t, dt, x_last, dt_last, has_hist, steps
+        P, P, P, P, P, P,           # t_stop, dt_min, dt_nom, dt_cap, lte, growth
+        L, P, P,                    # n_probes, probe_slot, probe_level
+        L, P, P, P,                 # cross_cap, cross_t, cross_rise, cross_n
+        P, P,                       # status, stats
+    ]
+    return _Kernel(newton, timestep)
 
 
-def load_kernel():
+def load_kernel() -> _Kernel | None:
     """The bound C kernel, or None when disabled/unavailable (cached)."""
     if _STATE[0] != "unset":
         return _STATE[0]
@@ -539,8 +904,47 @@ def _prep(es) -> _NativePrep:
     return prep
 
 
+class _TimestepPrep:
+    """Per-EnsembleSystem rhs tables for the whole-timestep kernel.
+
+    The kernel evaluates the right-hand side itself, so the ensemble's
+    ramp descriptions are packed once into ``(R,)`` rows + ``(R, B)``
+    parameter planes; any generic time-dependent element forces the
+    Python ``rhs_batch`` loop and declines the whole-timestep path.
+    """
+
+    __slots__ = ("ok", "n_ramps", "rows", "v0", "dv", "t0", "inv_dur")
+
+    def __init__(self, es) -> None:
+        self.ok = not es._any_generic_rhs
+        if not self.ok:
+            return
+        ramps = es._ramps
+        self.n_ramps = len(ramps)
+        self.rows = np.array([r[0] for r in ramps], dtype=np.int64)
+
+        def plane(i: int) -> np.ndarray:
+            if not ramps:
+                return np.zeros((0, es.B))
+            return np.ascontiguousarray(
+                np.stack([r[i] for r in ramps]), dtype=np.float64)
+
+        self.v0 = plane(1)
+        self.dv = plane(2)
+        self.t0 = plane(3)
+        self.inv_dur = plane(4)
+
+
+def _ts_prep(es) -> _TimestepPrep:
+    prep = getattr(es, "_native_ts_prep", None)
+    if prep is None:
+        prep = _TimestepPrep(es)
+        es._native_ts_prep = prep
+    return prep
+
+
 class NativeBackend(NumpyBackend):
-    """NumPy reference solves plus the compiled ensemble Newton kernel."""
+    """NumPy reference solves plus the compiled ensemble kernels."""
 
     name = "native"
 
@@ -580,7 +984,7 @@ class NativeBackend(NumpyBackend):
         else:
             bypass_args = _NO_BYPASS
 
-        iters = kernel(
+        iters = kernel.newton(
             A, S, n_nodes,
             mem.ctypes.data,
             1 if G_lin is None else 0,
@@ -605,3 +1009,89 @@ class NativeBackend(NumpyBackend):
                 telemetry.count("backend.native.bypassed_lane_steps",
                                 int(stats[0]))
         return x, conv.view(np.bool_), int(iters)
+
+    def ensemble_timestep(self, et) -> dict | None:
+        """Integrate every lane of *et* to completion in one C call.
+
+        Declines (``None``) when the kernel is unavailable, disabled via
+        ``REPRO_NATIVE_TIMESTEP=0``, or the system needs Python assembly
+        (fallback nonlinear elements, generic time-dependent sources) —
+        the caller then runs the reference sweep loop, which also mops
+        up any lane the kernel flagged as bailed.
+        """
+        kernel = load_kernel()
+        if kernel is None:
+            return None
+        if os.environ.get("REPRO_NATIVE_TIMESTEP", "1") == "0":
+            return None
+        es = et.es
+        prep = _prep(es)
+        if not prep.ok:
+            return None
+        ts = _ts_prep(es)
+        if not ts.ok:
+            return None
+
+        B = es.B
+        (S, n_nodes, g_static_a, c_unit_a, dev_off_a, d_a, g_a, s_a,
+         pol_a, par_a, n_slots, slots_a) = prep.static_args
+        bypass = et._bypass
+        if bypass is not None:
+            bypass_args = (1, bypass.eta, n_slots, slots_a, *bypass.addrs)
+        else:
+            bypass_args = _NO_BYPASS
+        newton = et.newton
+        n_probes = len(et.probes)
+        cross_t = np.zeros((n_probes, B, CROSS_CAP))
+        cross_rise = np.zeros((n_probes, B, CROSS_CAP), dtype=np.uint8)
+        cross_n = np.zeros((n_probes, B), dtype=np.int64)
+        status = np.zeros(B, dtype=np.uint8)
+        stats = np.zeros(5, dtype=np.int64)
+
+        ret = kernel.timestep(
+            B, S, n_nodes,
+            g_static_a, c_unit_a, es._b_const.ctypes.data,
+            ts.n_ramps, ts.rows.ctypes.data,
+            ts.v0.ctypes.data, ts.dv.ctypes.data,
+            ts.t0.ctypes.data, ts.inv_dur.ctypes.data,
+            dev_off_a, d_a, g_a, s_a, pol_a, par_a,
+            FET_GMIN, newton.abstol_v, newton.abstol_i,
+            newton.max_step_v, newton.max_iterations,
+            et._damped_step_v, et._damped_iter,
+            *bypass_args,
+            et.x.ctypes.data, et.t.ctypes.data, et.dt.ctypes.data,
+            et.x_last.ctypes.data, et.dt_last.ctypes.data,
+            et.has_hist.view(np.uint8).ctypes.data, et.steps.ctypes.data,
+            et.t_stop.ctypes.data, et.dt_min.ctypes.data,
+            et.dt_nom.ctypes.data, et.dt_cap.ctypes.data,
+            et.lte_tol.ctypes.data, et.growth.ctypes.data,
+            n_probes, et._probe_slot_arr.ctypes.data,
+            et._levels_mat.ctypes.data,
+            CROSS_CAP, cross_t.ctypes.data, cross_rise.ctypes.data,
+            cross_n.ctypes.data,
+            status.ctypes.data, stats.ctypes.data)
+        if ret < 0:                   # scratch allocation failed, no state
+            return None               # was touched: full Python fallback
+
+        # Transfer the kernel's crossing records into the per-member
+        # event lists (oldest first, same tuples the Python recorder
+        # appends).
+        for p, m in zip(*np.nonzero(cross_n)):
+            times = cross_t[p, m]
+            rising = cross_rise[p, m]
+            et.crossings[p][m].extend(
+                (float(times[k]), bool(rising[k]))
+                for k in range(int(cross_n[p, m])))
+
+        if telemetry.ENABLED:
+            telemetry.count("backend.native.timestep_calls")
+            telemetry.count("backend.native.timestep_lanes", B)
+            telemetry.count("backend.native.timestep_steps", int(stats[0]))
+            if stats[3]:
+                telemetry.count("backend.native.bypassed_lane_steps",
+                                int(stats[3]))
+            if stats[4]:
+                telemetry.count("backend.native.timestep_bailouts",
+                                int(stats[4]))
+        return {"accepted": int(stats[0]), "halvings": int(stats[1]),
+                "lte_rejections": int(stats[2]), "bailed": int(stats[4])}

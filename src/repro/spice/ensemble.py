@@ -243,6 +243,7 @@ class EnsembleSystem:
         self._fallback = [
             tuple(m.circuit.elements[i] for i in fallback_pos)
             for m in self.members]
+        self._any_fallback = bool(fallback_pos)
 
         # Time-dependent rhs elements, position-wise: constant sources
         # fold into a precomputed per-member vector, RampValue voltage
@@ -484,6 +485,20 @@ class EnsembleSystem:
                 frozen = None
         track = bypass is not None and gmin == 0.0
 
+        # A fully-frozen batch (every lane reuses its cached stamps, no
+        # per-member fallback elements) iterates against an
+        # iteration-invariant Jacobian: assemble it once, rebuild only
+        # the cheap residual afterwards, and — where the backend offers
+        # a reusable factorisation (the blocked static LU above its
+        # refactor threshold) — factor it once and back-substitute per
+        # iteration instead of re-solving.  The residual arithmetic is
+        # the exact op sequence of :meth:`assemble`, so results stay
+        # bitwise identical to the plain loop.
+        frozen_all = (frozen is not None and bool(frozen.all())
+                      and not self._any_fallback)
+        J_frozen = None
+        factor = None
+
         n = self.n_nodes
         diag = np.arange(n)
         active = np.ones(A, dtype=bool)
@@ -492,16 +507,32 @@ class EnsembleSystem:
         budget = int(max_iterations.max())
         structure = self.structure
         while active.any() and iteration < budget:
-            F, J = self.assemble(mem_idx, gathered, G_lin, b, x,
-                                 frozen=frozen, bypass=bypass)
+            if J_frozen is None:
+                F, J = self.assemble(mem_idx, gathered, G_lin, b, x,
+                                     frozen=frozen, bypass=bypass)
+                if frozen_all:
+                    J_frozen = J
+                    factor = backend.factor_stacked(J, structure)
+            else:
+                if profiling.ENABLED:
+                    t0 = perf_counter()
+                J = J_frozen
+                F = np.einsum("aij,aj->ai", G_lin, x) - b
+                F += bypass.F_nl[mem_idx]
+                if profiling.ENABLED:
+                    profiling.add("stamp", perf_counter() - t0)
             if gmin > 0.0:
                 J[:, diag, diag] += gmin
                 F[:, :n] += gmin * x[:, :n]
             act_idx = np.flatnonzero(active)
             if profiling.ENABLED:
                 t0 = perf_counter()
-            delta, solve_ok = backend.solve_stacked(J[act_idx], F[act_idx],
-                                                    structure)
+            if factor is not None and len(act_idx) == A:
+                delta, solve_ok = factor.solve(F)
+            else:
+                delta, solve_ok = backend.solve_stacked(J[act_idx],
+                                                        F[act_idx],
+                                                        structure)
             if profiling.ENABLED:
                 profiling.add("solve", perf_counter() - t0)
             if not solve_ok.all():
@@ -835,7 +866,7 @@ class EnsembleTransient:
         self.x_last = np.zeros_like(x)
         self.dt_last = np.zeros(B)
         self.has_hist = np.zeros(B, dtype=bool)
-        self.steps = np.zeros(B, dtype=int)
+        self.steps = np.zeros(B, dtype=np.int64)
 
         eta = bypass_eta(newton)
         self._bypass = None
@@ -850,7 +881,7 @@ class EnsembleTransient:
             for p in self.probes]
         # Stacked (P,) slots and (P, B) levels so crossing detection is
         # one vectorised compare over all probes per accepted sweep.
-        self._probe_slot_arr = np.asarray(self._probe_slots, dtype=np.intp)
+        self._probe_slot_arr = np.asarray(self._probe_slots, dtype=np.int64)
         self._levels_mat = (np.stack(self._probe_levels)
                             if self.probes else np.zeros((0, B)))
         #: crossings[probe][member] -> list of (time, rising) tuples.
@@ -875,6 +906,25 @@ class EnsembleTransient:
         n_accepted = 0
         n_halvings = 0
         n_lte_rejections = 0
+        # Offer the entire run to the backend's whole-timestep hook
+        # first (the compiled kernel integrates each lane to completion
+        # with the bit-exact step schedule of the sweep loop below).
+        # Backends without the hook decline; lanes the kernel could not
+        # finish (dt underflow, crossing-buffer overflow) are simply
+        # still short of t_stop, so the sweep loop resumes them — and
+        # raises the reference ConvergenceError when the failure is
+        # real.  The hook fuses rhs/predict/solve/step-control, so its
+        # whole runtime lands in the solve bucket like the per-iteration
+        # kernel's.
+        if profiled:
+            t0 = perf_counter()
+        native = get_backend().ensemble_timestep(self)
+        if native is not None:
+            if profiled:
+                profiling.add("solve", perf_counter() - t0)
+            n_accepted = native["accepted"]
+            n_halvings = native["halvings"]
+            n_lte_rejections = native["lte_rejections"]
         while True:
             if profiled:
                 t0 = perf_counter()

@@ -7,6 +7,13 @@ Newton failure and gently re-grown on easy convergence.  Delay/slew
 measurements (the only consumers of these waveforms) are insensitive to the
 first-order accuracy as long as the step is well below the transition time,
 which the characterisation harness guarantees.
+
+This module is the *semantic reference* for the step controller: the
+ensemble sweep loop (:mod:`repro.spice.ensemble`) batches it lane-wise,
+and the native whole-timestep kernel
+(:mod:`repro.spice.backends.native`) replicates it in C with a
+bit-exact per-lane step schedule (see DESIGN.md §7g).  Any change to
+the halving/growth/LTE rules here must be mirrored in both.
 """
 
 from __future__ import annotations

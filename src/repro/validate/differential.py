@@ -160,7 +160,14 @@ def ensemble_vs_scalar_dc(ctx: CheckContext) -> str:
 
 @check("backend-agreement", "differential")
 def backend_agreement(ctx: CheckContext) -> str:
-    """numpy == blocked == native solver backends on real arc measurements."""
+    """numpy == blocked == native (both dispatch depths) on real arcs.
+
+    The native backend is measured twice: the whole-timestep C sweep
+    (``REPRO_NATIVE_TIMESTEP=1``, the default) and the per-iteration
+    Newton kernel under the Python sweep loop (``=0``).  Both must agree
+    with numpy to solver tolerance on the seeded mini-grid — and with
+    *each other* bitwise, which the step-schedule contract promises.
+    """
     from repro.cells.library_def import organic_library_definition
     from repro.characterization.harness import default_grid, measure_arc_batch
     from repro.spice.backends import get_backend, reset_backend
@@ -176,14 +183,20 @@ def backend_agreement(ctx: CheckContext) -> str:
         c = rng.uniform(grid.loads[0], grid.loads[-1])
         points.append((s, c))
 
+    legs = (("numpy", "numpy", {}),
+            ("blocked", "blocked", {}),
+            ("native", "native", {"REPRO_NATIVE_TIMESTEP": "1"}),
+            ("native-periter", "native",
+             {"REPRO_NATIVE_TIMESTEP": "0"}))
     results: dict[str, list[tuple[float, float]]] = {}
     try:
-        for name in ("numpy", "blocked", "native"):
-            with swap_env(REPRO_BACKEND=name, REPRO_ENSEMBLE="1"):
+        for leg, backend, extra in legs:
+            with swap_env(REPRO_BACKEND=backend, REPRO_ENSEMBLE="1",
+                          **extra):
                 reset_backend()
-                if get_backend().name != name:
+                if get_backend().name != backend:
                     continue             # e.g. native without a C compiler
-                results[name] = measure_arc_batch(inv, "a", True, points)
+                results[leg] = measure_arc_batch(inv, "a", True, points)
     finally:
         reset_backend()
 
@@ -202,6 +215,10 @@ def backend_agreement(ctx: CheckContext) -> str:
             expect_close(d_b, d_ref, rel=rel, label=f"delay @ {where}")
             expect_close(t_b, t_ref, rel=rel, label=f"transition @ {where}")
             compared += 1
+    if "native" in results and "native-periter" in results:
+        expect(results["native"] == results["native-periter"],
+               "whole-timestep native and per-iteration native disagree "
+               "bitwise — the step-schedule contract is broken")
     backends = "+".join(sorted(results))
     return f"{backends}: {compared} arc points agree"
 

@@ -207,6 +207,47 @@ class TestMerge:
         assert breakdown["overhead"] == pytest.approx(1.0)
 
 
+class TestProfileAccounting:
+    """breakdown() must reject stage sums exceeding wall time."""
+
+    def test_double_counted_stage_raises(self):
+        with profiling.profiled():
+            profiling.add("solve", 0.8)
+            profiling.add("step_control", 0.5)  # sums to 1.3 > 1.0
+            with pytest.raises(profiling.ProfileAccountingError,
+                               match="double-counted"):
+                profiling.breakdown(1.0)
+        telemetry.reset()
+
+    def test_timer_granularity_slack_tolerated(self):
+        # A per-call-overhead overshoot of a fraction of a percent is
+        # measurement noise, not double-counting.
+        with profiling.profiled():
+            profiling.add("solve", 1.001)
+            out = profiling.breakdown(1.0)
+        telemetry.reset()
+        assert out["overhead"] == 0.0
+
+    def test_check_can_be_disabled(self):
+        with profiling.profiled():
+            profiling.add("solve", 2.0)
+            out = profiling.breakdown(1.0, check=False)
+        telemetry.reset()
+        assert out["solve"] == pytest.approx(2.0)
+        assert out["overhead"] == 0.0
+
+    def test_device_eval_not_double_counted(self):
+        # device_eval is recorded inside stamp regions; the subtraction
+        # must keep the pair within wall time.
+        with profiling.profiled():
+            profiling.add("stamp", 0.9)
+            profiling.add("device_eval", 0.6)
+            out = profiling.breakdown(1.0)
+        telemetry.reset()
+        assert out["stamp"] == pytest.approx(0.3)
+        assert out["device_eval"] == pytest.approx(0.6)
+
+
 class TestConvergenceErrorEvents:
     def test_trail_renders_in_message(self):
         exc = ConvergenceError("no convergence", iterations=150,

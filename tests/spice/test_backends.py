@@ -153,6 +153,126 @@ class TestEquivalence:
             reset_backend()
 
 
+class TestWholeTimestepLoop:
+    """The native whole-timestep entry point (ensemble_timestep)."""
+
+    def _native_or_skip(self, mp, **env):
+        backend = _use(mp, "native", **env)
+        if backend.name != "native":
+            pytest.skip("no C compiler on this machine")
+        return backend
+
+    def test_bitwise_identical_to_per_iteration_native(self, monkeypatch):
+        """The C sweep loop replays the numpy orchestration bit-exactly.
+
+        ``REPRO_NATIVE_TIMESTEP=0`` keeps the per-iteration Newton
+        kernel but runs the sweep loop in Python — the schedule contract
+        says both paths produce the same steps, finals and crossings to
+        the last bit (probing the ramping *input* guarantees the lanes
+        actually record crossings, so the comparison is not vacuous).
+        """
+        def run():
+            members, opts = [], []
+            for slew in (1e-4, 4e-4):
+                for load in (0.5e-12, 4e-12):
+                    members.append(inverter_testbench(load=load, slew=slew))
+                    dt = min(2e-3 / 400, slew / 8)
+                    opts.append(TransientOptions(
+                        dt=dt, t_stop=2e-3, dt_max=16 * dt,
+                        lte_tol=5e-4 * VDD))
+            ens = EnsembleTransient(
+                members, opts,
+                [Probe("a", 0.5 * VDD), Probe("out", 0.5 * VDD)]).run()
+            cross = [ens.crossing_times(p, m)
+                     for p in range(2) for m in range(len(members))]
+            return ens.final_value("out"), cross, ens.steps.copy()
+
+        self._native_or_skip(monkeypatch)
+        final_ts, cross_ts, steps_ts = run()
+        assert sum(len(c) for c in cross_ts) > 0
+        monkeypatch.setenv("REPRO_NATIVE_TIMESTEP", "0")
+        reset_backend()
+        final_it, cross_it, steps_it = run()
+        assert np.array_equal(final_ts, final_it)
+        assert np.array_equal(steps_ts, steps_it)
+        for c_ts, c_it in zip(cross_ts, cross_it):
+            assert np.array_equal(c_ts, c_it)
+
+    def test_crossing_buffer_overflow_bails_to_python(self, monkeypatch):
+        """A lane overflowing the C crossing buffer resumes in Python.
+
+        With the buffer forced to zero capacity every crossing-bearing
+        lane bails at its first event; the Python sweep loop must finish
+        those lanes with results bitwise equal to the per-iteration
+        native run (the schedule contract's reference arithmetic).
+        """
+        self._native_or_skip(monkeypatch)
+        monkeypatch.setattr(native_mod, "CROSS_CAP", 0)
+
+        def run():
+            members, opts = [], []
+            for slew in (1e-4, 4e-4):
+                members.append(inverter_testbench(slew=slew))
+                dt = min(2e-3 / 400, slew / 8)
+                opts.append(TransientOptions(
+                    dt=dt, t_stop=2e-3, dt_max=16 * dt,
+                    lte_tol=5e-4 * VDD))
+            ens = EnsembleTransient(members, opts,
+                                    [Probe("a", 0.5 * VDD)]).run()
+            return (ens.final_value("out"),
+                    [ens.crossing_times(0, m) for m in range(2)],
+                    ens.steps.copy())
+
+        final_n, cross_n, steps_n = run()
+        assert all(len(c) == 1 for c in cross_n)
+        monkeypatch.setenv("REPRO_NATIVE_TIMESTEP", "0")
+        reset_backend()
+        final_ref, cross_ref, steps_ref = run()
+        assert np.array_equal(final_n, final_ref)
+        assert np.array_equal(steps_n, steps_ref)
+        for c, rc in zip(cross_n, cross_ref):
+            assert np.array_equal(c, rc)
+
+    def test_disable_knob_falls_back_to_per_iteration(self, monkeypatch):
+        backend = self._native_or_skip(monkeypatch,
+                                       REPRO_NATIVE_TIMESTEP="0")
+
+        class _Probe:
+            pass
+
+        et = _Probe()  # never touched: the knob declines before reading
+        assert backend.ensemble_timestep(et) is None
+
+    @settings(max_examples=6, deadline=None)
+    @given(batch=st.sampled_from([1, 7, 64]))
+    def test_chunk_size_bit_identical_event_times(self, batch):
+        """REPRO_ENSEMBLE_BATCH is pure scheduling under the native loop.
+
+        Each lane integrates to completion independently in C, so the
+        per-lane step schedule — and every derived event time — cannot
+        depend on which chunk a grid point lands in.  Characterising the
+        same mini-grid with batch 1, 7 and 64 must give *bit-identical*
+        delays and transitions (not approx: the contract is equality).
+        """
+        from repro.cells.library_def import organic_library_definition
+        from repro.characterization import harness
+
+        with pytest.MonkeyPatch.context() as mp:
+            self._native_or_skip(mp)
+            defn = organic_library_definition()
+            grid = harness.default_grid(defn)
+            cell = defn.cells["inv"]
+            points = [(s, l) for s in grid.slews[:3]
+                      for l in grid.loads[:3]]
+            mp.setenv("REPRO_ENSEMBLE_BATCH", str(batch))
+            got = harness.measure_arc_batch(cell, "a", True, points)
+            mp.setenv("REPRO_ENSEMBLE_BATCH", "64")
+            ref = harness.measure_arc_batch(cell, "a", True, points)
+        reset_backend()
+        native_mod.reset()
+        assert got == ref
+
+
 class TestSingularLanes:
     def test_solve_stacked_flags_singular_lane(self):
         """A singular lane yields ok=False, zeros — never LinAlgError."""
