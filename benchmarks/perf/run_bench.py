@@ -15,11 +15,17 @@ the recorded pre-optimisation baselines, and writes the results to
    warm one (every simulation and block timing replayed from disk,
    reported as ``depth_sweep_warm_cache``),
 6. ``width_sweep`` — the 30-point Figure 13/14 width grid, cold cache,
-7. ``ensemble_newton`` — the solver-backend microbench: 200 fixed-dt
+7. ``dse_sweep`` — the 1008-point batched design-space grid (4
+   library/wire combos x 7 data widths x 4 width pairs x depths 9-17)
+   from :mod:`repro.analysis.dse`, cold cache — the row the
+   shared-structure synthesis engine and incremental STA
+   (``REPRO_INCREMENTAL_STA``) own; seeded from the pre-incremental
+   path's time of the identical grid,
+8. ``ensemble_newton`` — the solver-backend microbench: 200 fixed-dt
    ensemble Newton timesteps on a 16-member inverter batch, isolating
    the ``REPRO_BACKEND`` dispatch effect from step control and probing
    (seed baseline recorded under the ``numpy`` reference backend),
-8. ``native_timestep`` — 25 complete 16-member ensemble transient
+9. ``native_timestep`` — 25 complete 16-member ensemble transient
    sweeps (predictor, RHS, Newton, LTE step control, probing): the
    region the whole-timestep native kernel owns, seeded from the
    numpy-backend time of the identical call so the kernel is gated by
@@ -70,6 +76,7 @@ directory, so a developer's warm cache can never fake a cold number.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import platform
@@ -89,7 +96,10 @@ SEED_BASELINES = {
     "ipc_simulate": None,                 # new in PR 2
     "depth_sweep": 1.8854,                # PR-1 time of the identical call
     "depth_sweep_warm_cache": 1.8854,     # vs the same uncached PR-1 run
-    "width_sweep": None,                  # new in PR 2
+    "width_sweep": 0.2364,                # PR-7 time, pre-incremental STA
+    "dse_sweep": 10.7409,                 # PR-7 path on the same 1008-pt
+                                          # grid (serial per-point loop,
+                                          # full re-time everywhere)
     "ensemble_newton": 0.082,             # numpy reference backend (PR 6)
     "native_timestep": 2.55,              # numpy backend, PR-6 sweep loop
 }
@@ -289,6 +299,7 @@ def _bench_depth_sweep(workers: int | None) -> tuple[float, float]:
     the cache the cold run just filled.
     """
     from repro.analysis.figures import load_libraries, wire_models
+    from repro.core.physical import reset_structure_caches
     from repro.core.tradeoffs import depth_sweep, make_traces
 
     org_lib, _ = load_libraries()
@@ -297,6 +308,10 @@ def _bench_depth_sweep(workers: int | None) -> tuple[float, float]:
     _warm_ipc_kernel()
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp, \
             _cache_dir(tmp):
+        # Drop every in-process synthesis memo so "cold" is genuinely
+        # cold regardless of which bench rows ran earlier in this
+        # process; the warm re-run keeps them, as a warm caller would.
+        reset_structure_caches()
         profiling.reset()
         t0 = time.perf_counter()
         depth_sweep(org_lib, org_wire, max_depth=15, traces=traces,
@@ -313,6 +328,7 @@ def _bench_depth_sweep(workers: int | None) -> tuple[float, float]:
 def _bench_width_sweep(workers: int | None) -> float:
     """The 30-point Figure 13/14 width grid, cold cache."""
     from repro.analysis.figures import load_libraries, wire_models
+    from repro.core.physical import reset_structure_caches
     from repro.core.tradeoffs import make_traces, width_sweep
 
     org_lib, _ = load_libraries()
@@ -321,9 +337,35 @@ def _bench_width_sweep(workers: int | None) -> float:
     _warm_ipc_kernel()
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp, \
             _cache_dir(tmp):
+        reset_structure_caches()
         profiling.reset()
         t0 = time.perf_counter()
         width_sweep(org_lib, org_wire, traces=traces, workers=workers)
+        return time.perf_counter() - t0
+
+
+def _bench_dse_sweep(workers: int | None) -> float:
+    """The 1008-point batched DSE grid, cold cache.
+
+    Libraries, wire models and the trace are prepared outside the timed
+    region (exactly how the seed number was measured); the timed region
+    is :func:`repro.analysis.dse.dse_sweep` on the stock grid against a
+    private cold result cache and freshly reset in-process structure
+    caches.
+    """
+    from repro.analysis.dse import DSE_TRACE_LENGTH, default_combos, dse_sweep
+    from repro.core.physical import reset_structure_caches
+    from repro.core.tradeoffs import make_traces
+
+    combos = default_combos()
+    traces = make_traces(workloads=["gzip"], n_instructions=DSE_TRACE_LENGTH)
+    _warm_ipc_kernel()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp, \
+            _cache_dir(tmp):
+        reset_structure_caches()
+        profiling.reset()
+        t0 = time.perf_counter()
+        dse_sweep(combos=combos, traces=traces, workers=workers)
         return time.perf_counter() - t0
 
 
@@ -355,6 +397,7 @@ BENCHES = {
     "ipc_simulate": lambda workers: _bench_ipc_simulate(),
     "depth_sweep": _bench_depth_sweep,
     "width_sweep": _bench_width_sweep,
+    "dse_sweep": _bench_dse_sweep,
 }
 
 
@@ -467,6 +510,9 @@ def main(argv: list[str] | None = None) -> int:
 
     results: dict = {}
     for name in names:
+        # Collect garbage left by the previous row so its collection
+        # cost lands nowhere: rows must not time each other's debris.
+        gc.collect()
         print(f"[bench] {name} ...", flush=True)
         if args.profile:
             profiling.reset()
@@ -507,8 +553,12 @@ def main(argv: list[str] | None = None) -> int:
                   "controller); depth_sweep seed_seconds is the PR-1 "
                   "(0bbc774) time of the identical call, before the "
                   "packed-array IPC kernels and the persistent result "
-                  "cache. Sweep benches run against a private temporary "
-                  "REPRO_CACHE_DIR: 'depth_sweep' is the cold-cache "
+                  "cache. width_sweep and dse_sweep seed_seconds were "
+                  "measured at the PR-7 commit (b47c364), before the "
+                  "shared-structure synthesis engine and incremental "
+                  "STA. Sweep benches run against a private temporary "
+                  "REPRO_CACHE_DIR with in-process structure caches "
+                  "reset: 'depth_sweep' is the cold-cache "
                   "time, 'depth_sweep_warm_cache' the immediate re-run. "
                   "On a single-core box all speedup comes from the "
                   "engine; multi-core boxes additionally gain from "

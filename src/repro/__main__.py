@@ -196,6 +196,34 @@ def _run_validate(args) -> int:
     return 0 if report.ok else 1
 
 
+def _run_dse(args) -> None:
+    """Batched design-space exploration (the ``dse`` command).
+
+    Evaluates the stock (depth x data width x width pair x combo) grid
+    through the shared-structure synthesis path and incremental STA
+    (:mod:`repro.analysis.dse`); ``--quick`` shrinks the grid to a
+    smoke-test slice.
+    """
+    from repro.analysis import dse as D
+
+    if args.quick:
+        result = D.dse_sweep(widths=(8, 16), width_pairs=((2, 4), (3, 5)),
+                             max_depth=11)
+    else:
+        result = D.dse_sweep()
+    rows = []
+    for combo in result.combos:
+        points = result.for_combo(combo)
+        best = result.best(combo)
+        rows.append([combo, str(len(points)),
+                     best.config.name, str(best.config.depth),
+                     f"{best.physical.frequency:.1f}",
+                     f"{best.mean_performance():.1f}"])
+    print(format_table(
+        ["combo", "points", "best config", "depth", "f (Hz)", "perf"],
+        rows, title=f"DSE grid ({len(result)} points)"))
+
+
 def _run_report(args) -> int:
     """Pretty-print the most recent run report (the ``report`` command)."""
     import json
@@ -218,7 +246,7 @@ EXPERIMENTS = {
     "fig3": _run_fig3, "fig4": _run_fig4, "fig6": _run_fig6,
     "fig7": _run_fig7, "fig8": _run_fig8, "fig11": _run_fig11,
     "fig12": _run_fig12, "fig13": _run_fig13, "fig14": _run_fig14,
-    "fig15": _run_fig15,
+    "fig15": _run_fig15, "dse": _run_dse,
 }
 
 
@@ -262,7 +290,7 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate figures from 'Architectural Tradeoffs for "
                     "Biodegradable Computing' (MICRO-50 2017).")
     parser.add_argument("targets", nargs="+",
-                        help="'list', experiment names (fig3..fig15), "
+                        help="'list', experiment names (fig3..fig15, dse), "
                              "'liberty <out.lib>', 'cache-stats', "
                              "'report', or 'validate'")
     parser.add_argument("--quick", action="store_true",

@@ -21,10 +21,10 @@ from dataclasses import dataclass
 
 from repro.characterization.library import Library
 from repro.core.config import CoreConfig
-from repro.core.physical import core_physical
-from repro.core.superscalar import simulate
+from repro.core.physical import CorePhysical, core_physical
+from repro.core.superscalar import simulate_cached
 from repro.core.trace import Trace
-from repro.core.tradeoffs import deepen_pipeline, make_traces
+from repro.core.tradeoffs import depth_sweep, make_traces
 from repro.synthesis.wires import WireModel
 
 #: Fraction of gates switching per cycle (typical synthesis assumption).
@@ -77,13 +77,17 @@ class EnergyReport:
         return self.static_power / self.total_power
 
 
-def core_energy(config: CoreConfig, library: Library, wire: WireModel,
-                trace: Trace, activity: float = DEFAULT_ACTIVITY
-                ) -> EnergyReport:
-    """Static + dynamic power and energy/instruction for one design point."""
-    physical = core_physical(config, library, wire)
-    ipc = simulate(config, trace).ipc
+def energy_from_physical(config: CoreConfig, library: Library,
+                         physical: CorePhysical, ipc: float,
+                         activity: float = DEFAULT_ACTIVITY) -> EnergyReport:
+    """Price an already-evaluated design point in energy terms.
 
+    Pure arithmetic over the physical figures and an IPC number, so
+    sweep drivers that already ran :func:`repro.core.physical.
+    core_physical` and the timing simulator (e.g. :func:`repro.core.
+    tradeoffs.depth_sweep`) can re-price their points without repeating
+    either.
+    """
     p_static = leakage_density(library) * physical.area
     c_switched = switched_capacitance_density(library) * physical.area
     p_dynamic = (activity * c_switched * library.vdd ** 2
@@ -102,6 +106,15 @@ def core_energy(config: CoreConfig, library: Library, wire: WireModel,
     )
 
 
+def core_energy(config: CoreConfig, library: Library, wire: WireModel,
+                trace: Trace, activity: float = DEFAULT_ACTIVITY
+                ) -> EnergyReport:
+    """Static + dynamic power and energy/instruction for one design point."""
+    physical = core_physical(config, library, wire)
+    ipc = simulate_cached(config, trace).ipc
+    return energy_from_physical(config, library, physical, ipc, activity)
+
+
 def energy_depth_sweep(library: Library, wire: WireModel,
                        max_depth: int = 15,
                        trace: Trace | None = None,
@@ -117,11 +130,11 @@ def energy_depth_sweep(library: Library, wire: WireModel,
     """
     if trace is None:
         trace = make_traces(workloads=["gzip"], n_instructions=20_000)["gzip"]
-    config = CoreConfig()
-    reports = []
-    while config.depth <= max_depth:
-        reports.append(core_energy(config, library, wire, trace, activity))
-        if config.depth == max_depth:
-            break
-        config = deepen_pipeline(config, library, wire)
-    return reports
+    # One shared sweep evaluates physical + IPC for every depth (with
+    # fan-out and result caching); energy pricing is then arithmetic on
+    # those points rather than a second, serial physical/simulate pass.
+    points = depth_sweep(library, wire, max_depth=max_depth,
+                         traces={"energy": trace})
+    return [energy_from_physical(p.config, library, p.physical,
+                                 p.ipc["energy"], activity)
+            for p in points]

@@ -39,8 +39,6 @@ from repro.devices.extraction import (
     fit_level61,
 )
 from repro.devices.pentacene import PENTACENE_CI
-from repro.synthesis.generators import complex_alu_slice
-from repro.synthesis.mapping import technology_map
 from repro.synthesis.netlist import Netlist
 from repro.synthesis.pipeline import PipelineResult, pipeline_sweep
 from repro.synthesis.wires import WireModel, organic_wire_model, silicon_wire_model
@@ -63,6 +61,11 @@ def wire_models() -> tuple[WireModel, WireModel]:
 
 # ---------------------------------------------------------------------------
 # Figure 3 / Section 4.1
+#
+# Figures 3 and 4 are device-level (measured transfer curves and SPICE
+# model fits); they build no gate netlists, so the shared-structure /
+# incremental-STA machinery has nothing to reuse here — audited when the
+# sweep path moved to block_netlist(), nothing to deduplicate.
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -269,13 +272,12 @@ class Fig12Result:
         return self.stage_counts[-1]
 
 
-_ALU_NETLIST_CACHE: dict[int, Netlist] = {}
-
-
 def _alu_netlist(width: int) -> Netlist:
-    if width not in _ALU_NETLIST_CACHE:
-        _ALU_NETLIST_CACHE[width] = technology_map(complex_alu_slice(width))
-    return _ALU_NETLIST_CACHE[width]
+    # Shares the mapped complex-ALU slice with the core model's block
+    # path (one generic netlist + one mapping per width, process-wide)
+    # instead of keeping a private memo here.
+    from repro.core.physical import block_netlist
+    return block_netlist("complex", width)
 
 
 def fig12_alu_depth(stage_counts: list[int] | None = None,

@@ -16,15 +16,21 @@ span — this term is what separates the processes in Figures 11 and 15.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 from repro.characterization.library import Library
 from repro.core.complexity import StructureModel
 from repro.core.config import REGION_NAMES, CoreConfig
 from repro.errors import ConfigError
+from repro.runtime import profiling
 from repro.runtime.cache import default_cache
-from repro.synthesis.generators import carry_select_adder, complex_alu_slice, simple_alu
-from repro.synthesis.mapping import technology_map
+from repro.synthesis import sta as _sta
+from repro.synthesis.generators import (carry_select_adder, complex_alu_slice,
+                                        extend_carry_select_adder, simple_alu)
+from repro.synthesis.mapping import (map_cached, mapped_cell_counts,
+                                     reset_map_cache)
+from repro.synthesis.netlist import Netlist
 from repro.synthesis.pipeline import broadcast_penalty
 from repro.synthesis.sta import static_timing
 from repro.synthesis.wires import WireModel
@@ -58,6 +64,28 @@ class CorePhysical:
 # wire model) — in-process memo in front of the persistent result cache.
 _BLOCK_CACHE: dict[tuple, tuple[float, float]] = {}
 
+# Generic (pre-mapping) netlists per (block, width): sweeps revisit the
+# same few block shapes for every (library, wire) combo, and the adder
+# additionally grows by copy-on-extend from the widest cached instance.
+_GENERIC_CACHE: dict[tuple[str, int], Netlist] = {}
+
+# Counts-based block gate area per (library fingerprint, block, width) —
+# wire-independent, unlike delay.
+_AREA_CACHE: dict[tuple, float] = {}
+
+#: Carry-select block size used by the datapath adder; an adder can only
+#: be widened by extension when its base width is a multiple of this.
+_CSA_BLOCK = 4
+
+
+def reset_structure_caches() -> None:
+    """Drop every in-process synthesis memo (tests, cache-control)."""
+    _BLOCK_CACHE.clear()
+    _GENERIC_CACHE.clear()
+    _AREA_CACHE.clear()
+    reset_map_cache()
+    _sta.reset_incremental()
+
 
 def _lib_key(library: Library) -> str:
     return str(library.metadata.get("fingerprint", library.name))
@@ -68,14 +96,103 @@ def _wire_key(wire: WireModel) -> tuple:
             wire.base_spans, wire.span_per_fanout)
 
 
+def _generic_block(block: str, width: int) -> Netlist:
+    """Generic netlist of a named datapath block, memoised per shape.
+
+    Adders reuse structure across widths: when the incremental-STA
+    feature gate is on and a narrower adder with a compatible block
+    boundary is already cached, the wider one is built by
+    :func:`extend_carry_select_adder`, sharing the base's gates so
+    mapping and STA can skip the shared prefix.
+    """
+    key = (block, width)
+    hit = _GENERIC_CACHE.get(key)
+    if hit is not None:
+        return hit
+
+    t0 = time.perf_counter() if profiling.ENABLED else 0.0
+    if block == "alu":
+        nl = simple_alu(width)
+    elif block == "complex":
+        nl = complex_alu_slice(width)
+    elif block == "adder":
+        base = None
+        base_w = 0
+        if _sta.incremental_enabled():
+            for (blk, w0), cand in _GENERIC_CACHE.items():
+                if (blk == "adder" and base_w < w0 < width
+                        and w0 % _CSA_BLOCK == 0):
+                    base, base_w = cand, w0
+        if base is not None:
+            nl = extend_carry_select_adder(base, width)
+        else:
+            nl = carry_select_adder(width)
+    else:
+        raise ConfigError(f"unknown physical block {block!r}")
+    if profiling.ENABLED:
+        profiling.add("netlist", time.perf_counter() - t0)
+    _GENERIC_CACHE[key] = nl
+    return nl
+
+
+def block_netlist(block: str, width: int) -> Netlist:
+    """Mapped netlist of a named datapath block (structure-shared).
+
+    The single construction path for ``adder`` / ``alu`` / ``complex``
+    blocks: generic generation is memoised per shape
+    (:func:`_generic_block`) and mapping goes through
+    :func:`repro.synthesis.mapping.map_cached`, so repeated callers —
+    sweeps, figures, the DSE driver — share one netlist object per
+    shape instead of re-synthesising it per (library, wire) combo.
+    """
+    return map_cached(_generic_block(block, width))
+
+
+def _block_area(block: str, width: int, library: Library) -> float:
+    """Mapped gate area of a named block, by cell counting.
+
+    Mapping is an exact per-cell integer transform
+    (:func:`repro.synthesis.mapping.mapped_cell_counts`), so area needs
+    neither the mapped netlist nor a wire model; summing in sorted cell
+    order keeps the float total deterministic.  Memoised in-process and
+    in the persistent cache (category ``block_area``).
+    """
+    key = (_lib_key(library), block, width)
+    hit = _AREA_CACHE.get(key)
+    if hit is not None:
+        return hit
+
+    cache = default_cache()
+    cache_key = cache.key({
+        "schema": 1,
+        "library": _lib_key(library),
+        "block": block,
+        "width": width,
+    })
+    payload = cache.get("block_area", cache_key)
+    if payload is not None:
+        area = float(payload["area"])
+        _AREA_CACHE[key] = area
+        return area
+
+    counts = mapped_cell_counts(_generic_block(block, width))
+    area = sum(library.cell(cell).area * n
+               for cell, n in sorted(counts.items()))
+    cache.put("block_area", cache_key, {"area": area})
+    _AREA_CACHE[key] = area
+    return area
+
+
 def _block_timing(block: str, width: int, library: Library,
                   wire: WireModel) -> tuple[float, float]:
     """(critical delay, gate area) of a named mapped block, cached.
 
-    Synthesising and timing the wide datapath blocks (the complex-ALU
-    slice is ~20k gates) is the expensive first step of any sweep, so
-    results are memoised both in-process and in the persistent result
-    cache (category ``block_timing``; disable with ``REPRO_CACHE=0``).
+    Synthesising and timing the wide datapath blocks is the expensive
+    first step of any sweep, so results are memoised both in-process and
+    in the persistent result cache (category ``block_timing``; disable
+    with ``REPRO_CACHE=0``).  Schema 2: area switched to the
+    counts-based :func:`_block_area` value (deterministic summation
+    order), so schema-1 entries are never reused.
     """
     key = (_lib_key(library), block, width, _wire_key(wire))
     hit = _BLOCK_CACHE.get(key)
@@ -84,7 +201,7 @@ def _block_timing(block: str, width: int, library: Library,
 
     cache = default_cache()
     cache_key = cache.key({
-        "schema": 1,
+        "schema": 2,
         "library": _lib_key(library),
         "block": block,
         "width": width,
@@ -96,19 +213,11 @@ def _block_timing(block: str, width: int, library: Library,
         _BLOCK_CACHE[key] = result
         return result
 
-    if block == "alu":
-        netlist = technology_map(simple_alu(width))
-    elif block == "adder":
-        netlist = technology_map(carry_select_adder(width))
-    elif block == "complex":
-        netlist = technology_map(complex_alu_slice(width))
-    else:
-        raise ConfigError(f"unknown physical block {block!r}")
+    netlist = block_netlist(block, width)
     report = static_timing(netlist, library, wire)
-    area = sum(library.cell(g.cell).area for g in netlist.gates.values())
-    result = (report.max_delay, area)
+    result = (report.max_delay, _block_area(block, width, library))
     cache.put("block_timing", cache_key,
-              {"delay": report.max_delay, "area": area})
+              {"delay": result[0], "area": result[1]})
     _BLOCK_CACHE[key] = result
     return result
 
@@ -149,9 +258,13 @@ def core_area(config: CoreConfig, library: Library,
     w = config.data_width
     fw, bw = config.front_width, config.back_width
 
-    _, alu_area = _block_timing("alu", w, library, wire)
-    _, adder_area = _block_timing("adder", w, library, wire)
-    _, complex_area = _block_timing("complex", w, library, wire)
+    # Areas come from the counts-based path: the complex block in
+    # particular is never mapped or timed (its delay is unused — the
+    # pipeliner owns complex-ALU staging), which drops the single most
+    # expensive synthesis in a cold sweep.
+    alu_area = _block_area("alu", w, library)
+    adder_area = _block_area("adder", w, library)
+    complex_area = _block_area("complex", w, library)
     nand_area = library.cell("nand2").area
 
     area = 0.0

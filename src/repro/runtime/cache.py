@@ -21,11 +21,17 @@ Environment knobs:
   cache);
 - ``REPRO_CACHE=0`` — disable reads *and* writes (every lookup misses,
   nothing is stored); any other value, or unset, leaves it enabled.
+- ``REPRO_CACHE_FSYNC=1`` — additionally ``fsync`` each entry before
+  publishing it (off by default).
 
-Writes are atomic and durable (temp file + ``fsync`` + ``os.replace``)
-so concurrent sweep workers can share a cache directory and a crash
-mid-write never leaves a truncated entry under the final name; corrupt
-entries are dropped and treated as misses.
+Writes are atomic (temp file + ``os.replace``) so concurrent sweep
+workers can share a cache directory and a crash mid-write never leaves
+a truncated entry under the final name; corrupt entries are dropped and
+treated as misses.  Because a torn or lost entry is therefore *safe*
+(it degrades to a recomputation, never a wrong result), the per-entry
+``fsync`` is opt-in: a cold 1000-point sweep writes thousands of small
+entries and the fsyncs were costing more than the JSON encoding.  Set
+``REPRO_CACHE_FSYNC=1`` to trade that speed for power-loss durability.
 
 Every :class:`ResultCache` also feeds process-wide hit/miss/byte
 counters (:func:`stats_snapshot`); ``python -m repro cache-stats``
@@ -195,12 +201,14 @@ class ResultCache:
             with os.fdopen(fd, "w") as handle:
                 blob = json.dumps(payload)
                 handle.write(blob)
-                # Durability before visibility: flush to the kernel and
-                # fsync the data before the rename publishes the entry,
-                # so a crash can only lose the temp file, never corrupt
-                # an entry other workers may already be reading.
                 handle.flush()
-                os.fsync(handle.fileno())
+                # Atomicity comes from the rename alone; fsync-before-
+                # publish only buys durability across power loss, and a
+                # lost entry is just a future miss — so it is opt-in
+                # (REPRO_CACHE_FSYNC=1) rather than a per-entry tax on
+                # every cold sweep write.
+                if os.environ.get("REPRO_CACHE_FSYNC", "") == "1":
+                    os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

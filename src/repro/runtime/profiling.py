@@ -43,7 +43,18 @@ Stages
   rejection handling);
 - ``cache`` — cache and fingerprint maintenance (gather memoisation,
   result-cache keys) in the harness;
-- ``telemetry`` — span/report bookkeeping while profiling.
+- ``telemetry`` — span/report bookkeeping while profiling;
+- ``netlist`` — gate-level netlist construction (the generator blocks a
+  sweep synthesises, including copy-on-extend construction);
+- ``mapping`` — technology mapping onto the library cells;
+- ``sta`` — static timing analysis (scalar, vector and incremental
+  engines), timed at the :func:`repro.synthesis.sta.static_timing`
+  entry point only.
+
+The three synthesis stages never nest (generation, mapping and timing
+are sequential phases of a sweep point), so the
+:class:`ProfileAccountingError` double-count guard applies to them
+unchanged.
 
 Whatever none of the stages account for remains the *overhead* line,
 derived by the reporter as ``total - tracked``.
@@ -77,7 +88,8 @@ class ProfileAccountingError(RuntimeError):
 ENABLED = False
 
 _STAGES = ("stamp", "device_eval", "solve", "rhs", "probe",
-           "step_control", "predict", "retry", "cache", "telemetry")
+           "step_control", "predict", "retry", "cache", "telemetry",
+           "netlist", "mapping", "sta")
 
 #: Registry timer names backing each stage.
 _TIMER = {stage: f"solver.{stage}" for stage in _STAGES}

@@ -192,6 +192,64 @@ def carry_select_adder(width: int = 16, block: int = 4,
     for net in out:
         nl.add_output(net)
     nl.add_output(carry)
+    # Construction state for extend_carry_select_adder: widening a CSA
+    # only appends select blocks, so the builder records where it
+    # stopped.
+    nl._csa_state = {"width": width, "block": block, "prefix": name,
+                     "a": a, "b": b, "out": out, "carry": carry}
+    return nl
+
+
+def extend_carry_select_adder(base: Netlist, width: int,
+                              name: str | None = None) -> Netlist:
+    """Widen a :func:`carry_select_adder` by copy-on-extend.
+
+    Returns a new netlist sharing the base's gates (via
+    :meth:`Netlist.extend`) with additional carry-select blocks covering
+    bits ``[base_width, width)``.  Gate-for-gate identical to a fresh
+    ``carry_select_adder(width, block)`` — auto-generated net and gate
+    names depend only on gate count, which the extension continues —
+    so downstream mapping and STA reuse the shared prefix.  Only the
+    primary-input *insertion order* differs (new ``a``/``b`` bits are
+    appended after the base's inputs), which no analysis depends on.
+
+    The base width must be a multiple of its block size (otherwise the
+    final partial block of the base would need rebuilding, breaking
+    prefix sharing) and ``width`` must strictly exceed it.
+    """
+    state = getattr(base, "_csa_state", None)
+    if state is None:
+        raise SynthesisError(
+            f"netlist {base.name!r} was not built by carry_select_adder")
+    w0 = state["width"]
+    block = state["block"]
+    if width <= w0:
+        raise SynthesisError(
+            f"extension width {width} must exceed base width {w0}")
+    if w0 % block:
+        raise SynthesisError(
+            f"base width {w0} is not a multiple of block {block}; "
+            f"its last block would need rebuilding")
+
+    nl = base.extend(name=f"{name or state['prefix']}{width}")
+    a = list(state["a"]) + [nl.add_input(f"a{i}") for i in range(w0, width)]
+    b = list(state["b"]) + [nl.add_input(f"b{i}") for i in range(w0, width)]
+
+    out: Bits = list(state["out"])
+    carry = state["carry"]
+    lo = w0
+    while lo < width:
+        hi = min(lo + block, width)
+        a_blk, b_blk = a[lo:hi], b[lo:hi]
+        s0, c0 = add_vectors(nl, a_blk, b_blk, cin=None)
+        s1, c1 = _add_vectors_cin1(nl, a_blk, b_blk)
+        out.extend(mux_vectors(nl, carry, s0, s1))
+        carry = nl.add_gate("mux2", (carry, c0, c1))
+        lo = hi
+    nl.set_outputs([*out, carry])
+    nl._csa_state = {"width": width, "block": block,
+                     "prefix": state["prefix"], "a": a, "b": b,
+                     "out": out, "carry": carry}
     return nl
 
 

@@ -9,9 +9,28 @@ technology_map` only the six library cells remain (``inv``, ``nand2``,
 The class also provides the structural queries STA and pipelining need:
 topological order, fanout maps, and logic simulation for functional
 verification of the generators.
+
+Two structural features support the incremental sweep engine
+(DESIGN §7h):
+
+- every netlist maintains a **structural fingerprint** — an incremental
+  blake2b chain over (gate, primary-input) records, with the
+  primary-output list folded in at query time — which keys the
+  memoised-mapping and incremental-STA session caches;
+- :meth:`Netlist.extend` produces a **copy-on-extend** child sharing
+  the parent's gate records and hash state, so a sweep growing a block
+  (a wider adder, a deeper chain) pays only for the appended cone.
+
+When gates are only ever added after their input drivers (true for all
+generators and for mapping output), insertion order *is* a topological
+order and :meth:`topological_order` skips the Kahn pass entirely; the
+flag also guarantees a parent's topological order stays a prefix of
+every extension's, which the vector-STA structure extension relies on.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 from dataclasses import dataclass, field
 
@@ -72,6 +91,11 @@ def _input_count(cell: str) -> int:
     return 2
 
 
+#: Pin counts of every known cell, for the fast add_gate path (a dict
+#: probe doubles as the unknown-cell check).
+_INPUT_COUNTS = {cell: _input_count(cell) for cell in GENERIC_CELLS}
+
+
 class Netlist:
     """A combinational gate-level netlist.
 
@@ -87,14 +111,29 @@ class Netlist:
         self.primary_inputs: list[str] = []
         self.primary_outputs: list[str] = []
         self._driver: dict[str, str] = {}      # net -> gate name
+        self._pi_set: set[str] = set()
         self._topo_cache: list[Gate] | None = None
+        # True while every gate was added after all of its input drivers,
+        # making insertion order a valid topological order.
+        self._insertion_topo = True
+        # Structural fingerprint: an incremental blake2b chain over gate
+        # and primary-input records.  Records are batched in _fp_pending
+        # and folded into _fp_hash lazily, so construction stays cheap.
+        self._fp_hash = hashlib.blake2b(digest_size=16)
+        self._fp_pending: list[str] = []
+        # Set by extend(): fingerprint and gate count of the parent this
+        # netlist was copy-on-extended from (None for fresh netlists).
+        self._base_fingerprint: str | None = None
+        self._base_len = 0
 
     # -- construction ---------------------------------------------------------
 
     def add_input(self, net: str) -> str:
-        if net in self._driver or net in self.primary_inputs:
+        if net in self._driver or net in self._pi_set:
             raise SynthesisError(f"net {net!r} already driven")
         self.primary_inputs.append(net)
+        self._pi_set.add(net)
+        self._fp_pending.append(f"i\x1f{net}")
         return net
 
     def add_inputs(self, prefix: str, width: int) -> list[str]:
@@ -102,6 +141,10 @@ class Netlist:
 
     def add_output(self, net: str) -> None:
         self.primary_outputs.append(net)
+
+    def set_outputs(self, nets: list[str] | tuple[str, ...]) -> None:
+        """Replace the primary-output list (used by copy-on-extend)."""
+        self.primary_outputs = list(nets)
 
     def add_gate(self, cell: str, inputs: tuple[str, ...] | list[str],
                  output: str | None = None, name: str | None = None) -> str:
@@ -112,13 +155,82 @@ class Netlist:
             name = f"g{len(self.gates)}_{cell}"
         if name in self.gates:
             raise SynthesisError(f"duplicate gate name {name!r}")
-        if output in self._driver or output in self.primary_inputs:
+        driver = self._driver
+        if output in driver or output in self._pi_set:
             raise SynthesisError(f"net {output!r} already driven")
-        gate = Gate(name=name, cell=cell, inputs=tuple(inputs), output=output)
+        expected = _INPUT_COUNTS.get(cell)
+        if expected is None:
+            raise SynthesisError(f"unknown cell type {cell!r}")
+        inputs = tuple(inputs)
+        if len(inputs) != expected:
+            raise SynthesisError(
+                f"gate {name!r} ({cell}) needs {expected} inputs, "
+                f"got {len(inputs)}")
+        # Validation above covers everything Gate.__post_init__ checks,
+        # so the frozen-dataclass construction overhead (~2x a plain
+        # object) is bypassed on this hot path.
+        gate = object.__new__(Gate)
+        gate.__dict__.update(name=name, cell=cell, inputs=inputs,
+                             output=output)
+        if self._insertion_topo:
+            pi_set = self._pi_set
+            for net in inputs:
+                if net not in driver and net not in pi_set:
+                    self._insertion_topo = False
+                    break
         self.gates[name] = gate
-        self._driver[output] = name
+        driver[output] = name
         self._topo_cache = None
+        self._fp_pending.append(
+            f"g\x1f{name}\x1f{cell}\x1f{'|'.join(inputs)}\x1f{output}")
         return output
+
+    # -- structural fingerprint ----------------------------------------------
+
+    def _fold_pending(self) -> None:
+        if self._fp_pending:
+            self._fp_hash.update(
+                "\x1e".join(self._fp_pending).encode() + b"\x1e")
+            self._fp_pending.clear()
+
+    def fingerprint(self) -> str:
+        """Hex digest identifying gates, inputs and the current outputs.
+
+        Gate/input records are chained incrementally (adding N gates
+        costs O(N) regardless of netlist size); the primary-output list
+        is folded into a *copy* of the chain at query time, so
+        reordering or replacing outputs changes the fingerprint without
+        disturbing the chain.
+        """
+        self._fold_pending()
+        h = self._fp_hash.copy()
+        h.update(("o\x1f" + "|".join(self.primary_outputs)).encode())
+        return h.hexdigest()
+
+    def extend(self, name: str | None = None) -> "Netlist":
+        """Copy-on-extend: a child netlist sharing this one's structure.
+
+        The child starts as a shallow copy (gates are immutable and
+        shared; bookkeeping dicts are copied) and records this netlist's
+        fingerprint and gate count, which the memoised mapping and
+        incremental STA layers use to re-derive only the appended cone.
+        The parent must not be mutated afterwards.
+        """
+        new = Netlist.__new__(Netlist)
+        new.name = name if name is not None else self.name
+        new.gates = dict(self.gates)
+        new.primary_inputs = list(self.primary_inputs)
+        new.primary_outputs = list(self.primary_outputs)
+        new._driver = dict(self._driver)
+        new._pi_set = set(self._pi_set)
+        new._topo_cache = None
+        new._insertion_topo = self._insertion_topo
+        self._fold_pending()
+        new._fp_hash = self._fp_hash.copy()
+        new._fp_pending = []
+        new._base_fingerprint = self.fingerprint()
+        new._base_len = len(self.gates)
+        return new
 
     # -- structure ------------------------------------------------------------
 
@@ -142,9 +254,19 @@ class Netlist:
         return fanout
 
     def topological_order(self) -> list[Gate]:
-        """Gates in dependency order (Kahn); raises on combinational loops."""
+        """Gates in dependency order; raises on combinational loops.
+
+        When every gate was added after its input drivers (the common
+        case — all generators and the mapper construct bottom-up),
+        insertion order is already topological and is returned directly;
+        otherwise a Kahn pass sorts (and validates) the graph.
+        """
         if self._topo_cache is not None:
             return self._topo_cache
+        if self._insertion_topo:
+            order = list(self.gates.values())
+            self._topo_cache = order
+            return order
 
         available = set(self.primary_inputs)
         fanout = self.fanout_map()

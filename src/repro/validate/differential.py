@@ -316,6 +316,72 @@ def sta_vector_vs_scalar(ctx: CheckContext) -> str:
     return "engines agree on " + ", ".join(checked)
 
 
+@check("sta-incremental-agreement", "differential")
+def sta_incremental_agreement(ctx: CheckContext) -> str:
+    """Incremental delta-retiming == full re-time, bit for bit.
+
+    Grows a carry-select adder through a width chain with the
+    incremental gate on (copy-on-extend netlists, memoised mapping,
+    session-based delta STA) and diffs every report field against a
+    fresh synthesis timed with the gate off.  The contract is bitwise
+    identity — ``==``, no tolerance — for both the scalar and the
+    vector engine.
+    """
+    import repro.synthesis.sta as sta
+    from repro.synthesis.generators import (
+        carry_select_adder,
+        extend_carry_select_adder,
+    )
+    from repro.synthesis.mapping import (
+        map_cached,
+        reset_map_cache,
+        technology_map,
+    )
+    from repro.synthesis.wires import organic_wire_model
+
+    library = mini_organic_library()
+    wire = organic_wire_model()
+    widths = (8, 12) if ctx.fast else (8, 12, 16, 24)
+    engines = {"scalar": 10 ** 9, "vector": 1}
+
+    compared = 0
+    for engine, min_gates in engines.items():
+        with swap_attr(sta, "VECTOR_MIN_GATES", min_gates):
+            with swap_env(REPRO_INCREMENTAL_STA="1"):
+                sta.reset_incremental()
+                reset_map_cache()
+                base = carry_select_adder(widths[0])
+                incremental = {widths[0]: sta.static_timing(
+                    map_cached(base), library, wire)}
+                for w in widths[1:]:
+                    base = extend_carry_select_adder(base, w)
+                    incremental[w] = sta.static_timing(
+                        map_cached(base), library, wire)
+                expect(len(sta._SESSIONS) > 0,
+                       f"{engine}: no sessions recorded with the gate on")
+            with swap_env(REPRO_INCREMENTAL_STA="0"):
+                sta.reset_incremental()
+                for w in widths:
+                    full = sta.static_timing(
+                        technology_map(carry_select_adder(w)), library,
+                        wire)
+                    inc = incremental[w]
+                    where = f"{engine}/csa{w}"
+                    expect(inc.max_delay == full.max_delay,
+                           f"{where}: max_delay diverges "
+                           f"({inc.max_delay!r} != {full.max_delay!r})")
+                    expect(inc.critical_path == full.critical_path,
+                           f"{where}: critical paths diverge")
+                    for attr in ("arrival", "slew", "load", "gate_delay"):
+                        expect(getattr(inc, attr) == getattr(full, attr),
+                               f"{where}: {attr} not bit-identical")
+                    compared += 1
+            sta.reset_incremental()
+            reset_map_cache()
+    return (f"{compared} engine x width points bit-identical across "
+            f"widths {list(widths)}")
+
+
 @check("cache-warm-vs-cold", "differential")
 def cache_warm_vs_cold(ctx: CheckContext) -> str:
     """A cache hit returns exactly what the cold computation produced."""

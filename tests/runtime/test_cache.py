@@ -216,12 +216,33 @@ class TestStats:
         assert disk_stats(tmp_path / "nope") == {}
 
     def test_put_leaves_no_temp_files(self, tmp_path):
-        """The fsync-and-rename write publishes exactly one final file."""
+        """The write-and-rename publish leaves exactly one final file."""
         cache = ResultCache(tmp_path, enabled=True)
         cache.put("library", cache.key({"z": 9}), {"v": 9})
         leftovers = list((tmp_path / "library").glob("*.tmp"))
         assert leftovers == []
         assert len(list((tmp_path / "library").glob("*.json"))) == 1
+
+    def test_put_fsync_opt_in(self, tmp_path, monkeypatch):
+        """REPRO_CACHE_FSYNC=1 syncs the entry; default skips the fsync."""
+        import os
+
+        import repro.runtime.cache as cache_mod
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(cache_mod.os, "fsync",
+                            lambda fd: calls.append(fd) or real_fsync(fd))
+        cache = ResultCache(tmp_path, enabled=True)
+
+        monkeypatch.delenv("REPRO_CACHE_FSYNC", raising=False)
+        cache.put("library", cache.key({"f": 0}), {"v": 0})
+        assert calls == []
+
+        monkeypatch.setenv("REPRO_CACHE_FSYNC", "1")
+        key = cache.key({"f": 1})
+        cache.put("library", key, {"v": 1})
+        assert len(calls) == 1
+        assert cache.get("library", key) == {"v": 1}
 
 
 def test_cache_stats_cli(tmp_path, monkeypatch, capsys):
