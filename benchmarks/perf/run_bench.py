@@ -52,7 +52,10 @@ the breakdown is complete (and deterministic) with ``--workers`` too.
 ``--report PATH`` additionally collects full telemetry for the whole
 benchmark run and writes a :mod:`repro.runtime.report` JSON document
 (span tree, solver/cache metrics, environment fingerprint) there — the
-artifact CI uploads per run.
+artifact CI uploads per run.  ``--trace [PATH]`` exports the same
+telemetry as a Chrome Trace Event JSON (load it in Perfetto or
+``chrome://tracing``); without an explicit PATH it lands next to the
+report (or next to ``--out``).
 
 ``--check`` re-runs the benchmarks and compares them against a
 previously recorded ``BENCH_perf.json``: any benchmark slower than the
@@ -317,7 +320,9 @@ def _bench_depth_sweep(workers: int | None) -> tuple[float, float]:
         depth_sweep(org_lib, org_wire, max_depth=15, traces=traces,
                     workers=workers)
         cold = time.perf_counter() - t0
-        profiling.reset()
+        # No profiling.reset() here: the row's breakdown is taken over
+        # cold + warm, so dropping the cold run's stage totals would
+        # misattribute the whole cold run to `overhead`.
         t0 = time.perf_counter()
         depth_sweep(org_lib, org_wire, max_depth=15, traces=traces,
                     workers=workers)
@@ -430,41 +435,25 @@ def _env_fingerprint() -> dict:
 
 def _check_against(results: dict, baseline_path: Path,
                    tolerance: float) -> int:
-    """Regression gate: exit status comparing *results* to a recorded run."""
+    """Regression gate: exit status comparing *results* to a recorded run.
+
+    Delegates to :func:`repro.runtime.history.regress_check` — the same
+    gate ``python -m repro perf regress`` applies to run reports — so
+    the two never drift apart.
+    """
+    from repro.runtime import history
     try:
         baseline = json.loads(baseline_path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         print(f"[bench] --check: cannot read {baseline_path}: {exc}")
         return 1
-    recorded_env = baseline.get("environment", {})
-    mismatch = {k: (recorded_env.get(k), now)
-                for k, now in _env_fingerprint().items()
-                if recorded_env.get(k) != now}
-    if mismatch:
-        print(f"[bench] --check skipped: environment fingerprint mismatch "
-              f"(recorded vs current): {mismatch}")
-        return 0
-    failures = []
-    for name, entry in results.items():
-        recorded = baseline.get("benchmarks", {}).get(name)
-        if not recorded or recorded.get("seed_seconds") is None:
-            continue  # benchmark newer than the baseline: not gated
-        reference = recorded.get("seconds")
-        if not reference:
-            continue
-        limit = reference * (1.0 + tolerance)
-        if entry["seconds"] > limit:
-            failures.append(f"{name}: {entry['seconds']:.4f}s vs recorded "
-                            f"{reference:.4f}s (limit {limit:.4f}s)")
-    if failures:
-        print(f"[bench] --check FAILED ({len(failures)} regression(s) "
-              f"beyond {tolerance:.0%}):")
-        for line in failures:
-            print(f"[bench]   {line}")
-        return 1
-    print(f"[bench] --check passed: no benchmark regressed beyond "
-          f"{tolerance:.0%} of {baseline_path}")
-    return 0
+    fresh = {name: entry["seconds"] for name, entry in results.items()}
+    status, lines = history.regress_check(fresh, baseline,
+                                          current_env=_env_fingerprint(),
+                                          tolerance=tolerance)
+    for line in lines:
+        print(f"[bench] --check: {line}")
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -494,6 +483,11 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="REPORT_JSON",
                         help="collect telemetry and write a run-report "
                              "JSON (span tree + solver/cache metrics) here")
+    parser.add_argument("--trace", nargs="?", const=True, default=None,
+                        metavar="TRACE_JSON",
+                        help="export a Chrome Trace Event JSON of the run "
+                             "(default path: next to --report, else next "
+                             "to --out)")
     repro_log.add_cli_flags(parser)
     args = parser.parse_args(argv)
     repro_log.configure_from_args(args)
@@ -502,7 +496,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.quick and not args.only:
         names.remove("library_characterization")
 
-    if args.report is not None:
+    collect = args.report is not None or args.trace is not None
+    if collect:
         telemetry.reset()
         telemetry.enable(True)
         repro_log.capture_warnings()
@@ -564,14 +559,22 @@ def main(argv: list[str] | None = None) -> int:
                   "engine; multi-core boxes additionally gain from "
                   "--workers."),
     }
-    if args.report is not None:
+    if collect:
         telemetry.enable(False)
         report = run_report.build_report(
             "bench", argv=argv, status="ok",
             duration_seconds=time.perf_counter() - t_run)
         report["benchmarks"] = results
-        run_report.write_report(report, path=args.report)
-        print(f"[bench] wrote run report {args.report}")
+        if args.report is not None:
+            run_report.write_report(report, path=args.report)
+            print(f"[bench] wrote run report {args.report}")
+        if args.trace is not None:
+            from repro.runtime import trace_export
+            anchor = args.report if args.report is not None else args.out
+            trace_path = trace_export.default_trace_path(anchor) \
+                if args.trace is True else Path(args.trace)
+            trace_export.write_trace(report, trace_path)
+            print(f"[bench] wrote trace {trace_path}")
 
     status = 0
     if args.check is not None:

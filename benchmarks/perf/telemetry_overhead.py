@@ -59,7 +59,46 @@ def _library_workload():
     return run
 
 
-WORKLOADS = {"cell": _cell_workload, "library": _library_workload}
+def _dse_workload():
+    """A one-combo slice of the batched DSE grid, warm structure caches.
+
+    The sweep engine's telemetry sites (span merging, per-batch solver
+    counters, the new native-kernel counter flushes) sit on a different
+    hot path than cell characterisation, so the overhead budget is
+    enforced there too.  The grid is trimmed (one combo, two widths,
+    two width pairs) to keep a repeat pair in seconds, and the result
+    cache is pinned cold per run so both modes do identical work.
+    """
+    import tempfile
+
+    from repro.analysis.dse import default_combos, dse_sweep
+    from repro.core.physical import reset_structure_caches
+    from repro.core.tradeoffs import make_traces
+
+    combos = default_combos()[:1]
+    traces = make_traces(workloads=["gzip"], n_instructions=4_000)
+
+    def run() -> None:
+        saved = os.environ.get("REPRO_CACHE_DIR")
+        with tempfile.TemporaryDirectory(
+                prefix="repro-overhead-cache-") as tmp:
+            os.environ["REPRO_CACHE_DIR"] = tmp
+            try:
+                reset_structure_caches()
+                dse_sweep(combos=combos, widths=(8, 32),
+                          width_pairs=((1, 3), (2, 4)), traces=traces,
+                          workers=None)
+            finally:
+                if saved is None:
+                    os.environ.pop("REPRO_CACHE_DIR", None)
+                else:
+                    os.environ["REPRO_CACHE_DIR"] = saved
+
+    return run
+
+
+WORKLOADS = {"cell": _cell_workload, "library": _library_workload,
+             "dse": _dse_workload}
 
 
 def _timed(run, enabled: bool) -> float:

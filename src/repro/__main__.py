@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.analysis import figures as F
 from repro.analysis.tables import format_matrix, format_series, format_table
@@ -169,30 +170,45 @@ def _run_liberty(args) -> None:
     print(f"wrote {args.output} ({args.process})")
 
 
-def _run_validate(args) -> int:
+def _run_validate(args, argv: list[str] | None = None) -> int:
     """Differential validation and fault injection (``validate`` command).
 
     Runs the registered checks (:mod:`repro.validate`) in fast mode by
     default (``--full`` for the larger nightly samples), prints the
-    per-check report, optionally writes it as JSON (``--report PATH``),
-    and exits nonzero when any check failed.
+    per-check report, and exits nonzero when any check failed.  Like
+    the experiment commands it collects telemetry and lands a schema-v1
+    run report under ``runs/`` (``--report PATH`` overrides the
+    location, ``--no-report`` skips it); the check outcomes are
+    embedded under the report's ``validation`` key so the run-history
+    index sees validation runs too.
     """
-    import json
-
     from repro.validate import run_validation
 
     only = args.only.split(",") if args.only else None
+    telemetry.reset()
+    telemetry.enable(True)
+    repro_log.capture_warnings()
+    t0 = time.perf_counter()
     try:
-        report = run_validation(fast=not args.full, seed=args.seed,
-                                only=only)
+        with telemetry.span("validate"):
+            report = run_validation(fast=not args.full, seed=args.seed,
+                                    only=only)
     except ValueError as exc:          # unknown --only name
+        telemetry.enable(False)
         print(exc)
         return 2
+    duration = time.perf_counter() - t0
     print(report.format())
-    if args.report:
-        with open(args.report, "w") as fh:
-            json.dump(report.to_dict(), fh, indent=2)
-        print(f"validation report: {args.report}")
+    if not args.no_report:
+        doc = run_report.build_report(
+            "validate", argv=argv,
+            status="ok" if report.ok else "check-failed",
+            duration_seconds=duration)
+        doc["validation"] = report.to_dict()
+        path = run_report.write_report(doc, path=args.report)
+        print(f"run report: {path}")
+        _maybe_write_trace(args, doc, path)
+    telemetry.enable(False)
     return 0 if report.ok else 1
 
 
@@ -222,6 +238,181 @@ def _run_dse(args) -> None:
     print(format_table(
         ["combo", "points", "best config", "depth", "f (Hz)", "perf"],
         rows, title=f"DSE grid ({len(result)} points)"))
+
+
+def _maybe_write_trace(args, report: dict, report_path) -> None:
+    """Honour ``--trace [PATH]``: export the Chrome trace for *report*."""
+    from repro.runtime import trace_export
+
+    if not getattr(args, "trace", None):
+        return
+    if args.trace is True:
+        if report_path is None:
+            print("--trace needs a PATH when no run report is written")
+            return
+        path = trace_export.default_trace_path(report_path)
+    else:
+        path = args.trace
+    path = trace_export.write_trace(report, path)
+    print(f"trace: {path}")
+
+
+def _run_trace(argv: list[str]) -> int:
+    """Post-hoc trace conversion (``python -m repro trace <report>``)."""
+    import json
+
+    from repro.runtime import trace_export
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Convert a saved run report to Chrome Trace Event "
+                    "JSON (chrome://tracing, ui.perfetto.dev)")
+    parser.add_argument("report", help="run-report JSON path, or a "
+                                       "history reference like -1")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="trace output path (default: "
+                             "<report>.trace.json beside the report)")
+    args = parser.parse_args(argv)
+    from repro.runtime import history
+    try:
+        path, report = history.resolve_report(args.report)
+    except (OSError, json.JSONDecodeError, FileNotFoundError) as exc:
+        print(f"cannot read report {args.report!r}: {exc}")
+        return 1
+    out = args.out or trace_export.default_trace_path(path)
+    out = trace_export.write_trace(report, out)
+    events = len(trace_export.trace_events(report))
+    print(f"trace: {out} ({events} events from {path})")
+    return 0
+
+
+def _run_perf(argv: list[str]) -> int:
+    """Run-history analytics (``python -m repro perf ...``)."""
+    import json
+
+    from repro.runtime import history
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro perf",
+        description="Run-over-run performance analytics over the "
+                    "runs/ history index")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="recent runs from the index")
+    p_list.add_argument("-n", "--limit", type=int, default=20)
+
+    p_diff = sub.add_parser("diff", help="span/benchmark deltas A -> B")
+    p_diff.add_argument("a", help="report path, -N ordinal, or substring")
+    p_diff.add_argument("b", help="report path, -N ordinal, or substring")
+    p_diff.add_argument("--threshold", type=float,
+                        default=history.DIFF_THRESHOLD,
+                        help="relative slowdown that flags a row "
+                             "(default 0.10)")
+    p_diff.add_argument("--all", action="store_true",
+                        help="show every row and counter delta")
+    p_diff.add_argument("--strict", action="store_true",
+                        help="exit 1 when any row is flagged")
+
+    p_trend = sub.add_parser("trend", help="one benchmark across history")
+    p_trend.add_argument("bench", help="benchmark name (e.g. dse_sweep)")
+    p_trend.add_argument("-n", "--limit", type=int, default=20)
+    p_trend.add_argument("--all-envs", action="store_true",
+                         help="include entries from other machines")
+
+    p_regress = sub.add_parser(
+        "regress", help="CI perf gate vs a published BENCH_perf.json")
+    p_regress.add_argument("--baseline", required=True, metavar="JSON")
+    p_regress.add_argument("--tolerance", type=float, default=0.25)
+    p_regress.add_argument("--report", default=None, metavar="PATH",
+                           help="benchmark-bearing run report to gate "
+                                "(default: most recent indexed one)")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        entries = history.load_entries()
+        if not entries:
+            print(f"empty history index: {history.default_history_path()}")
+            return 0
+        for entry in entries[-args.limit:]:
+            duration = entry.get("duration_seconds")
+            dur = f" {duration:.2f}s" if duration is not None else ""
+            benches = entry.get("benchmarks")
+            extra = f" [{len(benches)} benchmarks]" if benches else ""
+            print(f"{entry.get('timestamp', '?')}  "
+                  f"{entry.get('target', '?'):<12} "
+                  f"{entry.get('status', '?'):<12}{dur}  "
+                  f"env={entry.get('env_key', '?')}{extra}  "
+                  f"{entry.get('path', '')}")
+        return 0
+
+    if args.command == "diff":
+        try:
+            path_a, rep_a = history.resolve_report(args.a)
+            path_b, rep_b = history.resolve_report(args.b)
+        except (OSError, json.JSONDecodeError, FileNotFoundError) as exc:
+            print(f"perf diff: {exc}")
+            return 2
+        print(f"A: {path_a}\nB: {path_b}")
+        diff = history.diff_reports(rep_a, rep_b,
+                                    threshold=args.threshold)
+        print(history.format_diff(diff, verbose=args.all))
+        return 1 if args.strict and diff["flags"] else 0
+
+    if args.command == "trend":
+        entries = history.load_entries()
+        current = history.env_key(run_report.env_fingerprint())
+        rows = []
+        for entry in entries:
+            seconds = (entry.get("benchmarks") or {}).get(args.bench)
+            if seconds is None:
+                continue
+            if not args.all_envs and entry.get("env_key") != current:
+                continue
+            rows.append((entry.get("timestamp", "?"), seconds,
+                         entry.get("env_key", "?")))
+        if not rows:
+            print(f"no history entries carry benchmark {args.bench!r} "
+                  f"(env {current}; try --all-envs)")
+            return 1
+        rows = rows[-args.limit:]
+        best = min(seconds for _, seconds, _ in rows)
+        for stamp, seconds, key in rows:
+            bar = "#" * max(1, round(20 * best / seconds))
+            print(f"{stamp}  {seconds:8.4f}s  env={key}  {bar}")
+        return 0
+
+    # regress: the CI perf gate.
+    try:
+        baseline = json.loads(Path(args.baseline).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"perf regress: cannot read baseline {args.baseline}: {exc}")
+        return 2
+    if args.report is not None:
+        try:
+            _path, report = history.resolve_report(args.report)
+        except (OSError, json.JSONDecodeError, FileNotFoundError) as exc:
+            print(f"perf regress: {exc}")
+            return 2
+        fresh = history._bench_seconds(report)
+    else:
+        fresh = {}
+        for entry in reversed(history.load_entries()):
+            if entry.get("benchmarks"):
+                fresh = {k: float(v)
+                         for k, v in entry["benchmarks"].items()
+                         if v is not None}
+                print(f"gating most recent benchmark run: {entry['path']}")
+                break
+        if not fresh:
+            print("perf regress: no benchmark-bearing run in the history "
+                  "index; run run_bench --report first or pass --report")
+            return 2
+    status, lines = history.regress_check(fresh, baseline,
+                                          tolerance=args.tolerance)
+    for line in lines:
+        print(f"[perf] {line}")
+    return status
 
 
 def _run_report(args) -> int:
@@ -280,11 +471,22 @@ def _run_experiments(targets: list[str], args,
                 duration_seconds=duration)
             path = run_report.write_report(report, path=args.report)
             print(f"run report: {path}")
+            _maybe_write_trace(args, report, path)
+        elif getattr(args, "trace", None):
+            report = run_report.build_report(
+                "+".join(targets), argv=argv, status=status, error=error,
+                duration_seconds=duration)
+            _maybe_write_trace(args, report, None)
         telemetry.enable(False)
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "perf":
+        return _run_perf(raw[1:])
+    if raw and raw[0] == "trace":
+        return _run_trace(raw[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate figures from 'Architectural Tradeoffs for "
@@ -310,8 +512,12 @@ def main(argv: list[str] | None = None) -> int:
                              "a timestamped file under runs/")
     parser.add_argument("--no-report", action="store_true",
                         help="skip writing the run-report JSON")
+    parser.add_argument("--trace", nargs="?", const=True, default=None,
+                        metavar="PATH",
+                        help="additionally export a Chrome Trace Event "
+                             "JSON (default: <report>.trace.json)")
     repro_log.add_cli_flags(parser)
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
     repro_log.configure_from_args(args)
 
     targets = list(args.targets)
@@ -328,7 +534,7 @@ def main(argv: list[str] | None = None) -> int:
     if targets[0] == "validate":
         if len(targets) != 1:
             parser.error("validate takes no extra targets")
-        return _run_validate(args)
+        return _run_validate(args, argv=raw)
     if targets[0] == "liberty":
         if len(targets) != 2:
             parser.error("liberty needs an output path")
@@ -339,7 +545,7 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [t for t in targets if t not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; try 'list'")
-    return _run_experiments(targets, args, argv)
+    return _run_experiments(targets, args, raw)
 
 
 if __name__ == "__main__":

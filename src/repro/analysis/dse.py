@@ -155,7 +155,8 @@ def dse_sweep(combos: list[tuple[str, Library, WireModel]] | None = None,
         results = parallel_map(
             _eval_config_task, configs, workers=workers,
             labels=[f"dse[{label}:{c.name}:d{c.depth}]" for c in configs],
-            shared=(library, wire, traces))
+            shared=(library, wire, traces),
+            phase=f"dse[{label}]")
         for config, result in zip(configs, (r.value for r in results)):
             physical, ipc, perf = result
             points.append(DsePoint(combo=label, config=config,

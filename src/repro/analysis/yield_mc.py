@@ -139,7 +139,8 @@ def noise_margin_yield(base_cell: CellDesign,
             _nm_chunk_task, chunks, workers=workers,
             labels=[f"{base_cell.name} samples[{a}:{b}]"
                     for a, b in zip(offsets, offsets[1:])],
-            on_error="capture")
+            on_error="capture",
+            phase=f"yield[{base_cell.name}]")
         for chunk, result in zip(chunks, results):
             if result.ok:
                 for sample in result.value:
@@ -158,7 +159,8 @@ def noise_margin_yield(base_cell: CellDesign,
         results = parallel_map(_nm_sample_task, instances, workers=workers,
                                labels=[f"{base_cell.name} sample[{i}]"
                                        for i in range(n_samples)],
-                               on_error="capture")
+                               on_error="capture",
+                               phase=f"yield[{base_cell.name}]")
         for result in results:
             if result.ok:
                 vm, margin = result.value

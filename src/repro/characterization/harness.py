@@ -432,7 +432,8 @@ def _characterize_cell(design: CellDesign, grid: CharacterizationGrid,
                   for pin in design.inputs for input_rise in (True, False)]
         results = parallel_map(_measure_arc_batch_task, tasks,
                                workers=workers, labels=labels,
-                               on_error="capture")
+                               on_error="capture",
+                               phase=f"characterize[{design.name}]")
         measured = [value for r in results for value in r.unwrap()]
     else:
         tasks = []
@@ -447,7 +448,8 @@ def _characterize_cell(design: CellDesign, grid: CharacterizationGrid,
                                       f"{'rise' if input_rise else 'fall'} "
                                       f"slew[{i}] load[{j}]")
         results = parallel_map(_measure_arc_task, tasks, workers=workers,
-                               labels=labels, on_error="capture")
+                               labels=labels, on_error="capture",
+                               phase=f"characterize[{design.name}]")
         # Re-raise the first failure in task order (same exception, and
         # thus the same behaviour, as the serial loop).
         measured = [r.unwrap() for r in results]
@@ -799,7 +801,8 @@ def _characterize_dff(dff: CompositeCell, grid: CharacterizationGrid,
                   for i in range(len(chunks))]
         results = parallel_map(_clk_to_q_batch_task, tasks,
                                workers=workers, labels=labels,
-                               on_error="capture")
+                               on_error="capture",
+                               phase=f"characterize[{dff.name}]")
         flat = [v for r in results for v in r.unwrap()]
     else:
         tasks = [(dff, slew, load, t_unit)
@@ -808,7 +811,8 @@ def _characterize_dff(dff: CompositeCell, grid: CharacterizationGrid,
                   for i in range(len(grid.slews))
                   for j in range(len(grid.loads))]
         results = parallel_map(_clk_to_q_task, tasks, workers=workers,
-                               labels=labels, on_error="capture")
+                               labels=labels, on_error="capture",
+                               phase=f"characterize[{dff.name}]")
         flat = [r.unwrap() for r in results]
     values = np.asarray(flat).reshape(len(grid.slews), len(grid.loads))
     mid_slew = grid.slews[len(grid.slews) // 2]

@@ -41,6 +41,7 @@ from repro.core.isa import (
     EXEC_LATENCY_BY_CODE,
     PIPE_OCCUPANCY_BY_CODE,
 )
+from repro.runtime import telemetry
 from repro.runtime.log import get_logger
 
 logger = get_logger(__name__)
@@ -57,6 +58,11 @@ _C_SOURCE = """
 /* Cycle count of the greedy out-of-order schedule; a line-for-line
  * transliteration of the general loop in repro/core/superscalar.py
  * (_fast_cycles).  Scratch rings are allocated (zeroed) by the caller.
+ *
+ * stats (nullable, written on return):
+ *   [0] applied fetch redirects (mispredicted branches whose resolve
+ *       actually moved the fetch cursor) — same counting as the
+ *       Python loops' ipc.fetch_redirects.
  */
 long long repro_ipc_cycles(
     long long n,
@@ -67,8 +73,9 @@ long long repro_ipc_cycles(
     long long n_alu, long long code_load, long long code_branch,
     const long long *comp_add, const long long *occ, long long miss_extra,
     long long *retire_ring, long long *issue_ring, long long *mem_ring,
-    long long *alu_free)
+    long long *alu_free, long long *stats)
 {
+    long long redirects = 0;
     long long reg_ready[32] = {0};
     long long mem_free = 0, branch_free = 0;
     long long rp = 0, qp = 0, mp = 0;
@@ -118,7 +125,9 @@ long long repro_ipc_cycles(
             completion = issue + comp_add[code_branch];
             if (mflags[branch_idx]) {
                 long long redirect = completion + 1;
-                if (redirect > fetch_cycle) { fetch_cycle = redirect; fetch_fill = 0; }
+                if (redirect > fetch_cycle) {
+                    fetch_cycle = redirect; fetch_fill = 0; redirects++;
+                }
             }
             branch_idx += 1;
         }
@@ -142,6 +151,7 @@ long long repro_ipc_cycles(
         if (++rp == rob_size) rp = 0;
         if (++qp == iq_size) qp = 0;
     }
+    if (stats) stats[0] = redirects;
     return last_retire + 1;
 }
 """
@@ -220,7 +230,7 @@ def _bind(so_path: Path):
     fn.restype = ll
     fn.argtypes = [ll, p_i8, p_i8, p_i8, p_i8, p_u8, p_u8,
                    ll, ll, ll, ll, ll, ll, ll, ll,
-                   p_ll, p_ll, ll, p_ll, p_ll, p_ll, p_ll]
+                   p_ll, p_ll, ll, p_ll, p_ll, p_ll, p_ll, p_ll]
     return fn
 
 
@@ -287,8 +297,9 @@ def native_cycles(config, trace) -> int | None:
     issue_ring = np.zeros(config.iq_size, dtype=np.int64)
     mem_ring = np.zeros(config.lsq_size, dtype=np.int64)
     alu_free = np.zeros(config.alu_pipes, dtype=np.int64)
+    stats = np.zeros(1, dtype=np.int64)
 
-    return int(kernel(
+    cycles = int(kernel(
         len(codes),
         codes.ctypes.data_as(_P_I8), src0.ctypes.data_as(_P_I8),
         src1.ctypes.data_as(_P_I8), dsts.ctypes.data_as(_P_I8),
@@ -299,4 +310,8 @@ def native_cycles(config, trace) -> int | None:
         comp_add.ctypes.data_as(_P_LL), _OCC.ctypes.data_as(_P_LL),
         miss_extra,
         retire_ring.ctypes.data_as(_P_LL), issue_ring.ctypes.data_as(_P_LL),
-        mem_ring.ctypes.data_as(_P_LL), alu_free.ctypes.data_as(_P_LL)))
+        mem_ring.ctypes.data_as(_P_LL), alu_free.ctypes.data_as(_P_LL),
+        stats.ctypes.data_as(_P_LL)))
+    if telemetry.ENABLED and stats[0]:
+        telemetry.count("ipc.fetch_redirects", int(stats[0]))
+    return cycles

@@ -162,6 +162,7 @@ def _block_area(block: str, width: int, library: Library) -> float:
     if hit is not None:
         return hit
 
+    t0 = time.perf_counter() if profiling.ENABLED else 0.0
     cache = default_cache()
     cache_key = cache.key({
         "schema": 1,
@@ -170,15 +171,24 @@ def _block_area(block: str, width: int, library: Library) -> float:
         "width": width,
     })
     payload = cache.get("block_area", cache_key)
+    if profiling.ENABLED:
+        profiling.add("cache", time.perf_counter() - t0)
     if payload is not None:
         area = float(payload["area"])
         _AREA_CACHE[key] = area
         return area
 
-    counts = mapped_cell_counts(_generic_block(block, width))
+    nl = _generic_block(block, width)
+    t0 = time.perf_counter() if profiling.ENABLED else 0.0
+    counts = mapped_cell_counts(nl)
     area = sum(library.cell(cell).area * n
                for cell, n in sorted(counts.items()))
+    if profiling.ENABLED:
+        profiling.add("mapping", time.perf_counter() - t0)
+        t0 = time.perf_counter()
     cache.put("block_area", cache_key, {"area": area})
+    if profiling.ENABLED:
+        profiling.add("cache", time.perf_counter() - t0)
     _AREA_CACHE[key] = area
     return area
 
@@ -199,6 +209,7 @@ def _block_timing(block: str, width: int, library: Library,
     if hit is not None:
         return hit
 
+    t0 = time.perf_counter() if profiling.ENABLED else 0.0
     cache = default_cache()
     cache_key = cache.key({
         "schema": 2,
@@ -208,6 +219,8 @@ def _block_timing(block: str, width: int, library: Library,
         "wire": _wire_key(wire),
     })
     payload = cache.get("block_timing", cache_key)
+    if profiling.ENABLED:
+        profiling.add("cache", time.perf_counter() - t0)
     if payload is not None:
         result = (float(payload["delay"]), float(payload["area"]))
         _BLOCK_CACHE[key] = result
@@ -216,8 +229,11 @@ def _block_timing(block: str, width: int, library: Library,
     netlist = block_netlist(block, width)
     report = static_timing(netlist, library, wire)
     result = (report.max_delay, _block_area(block, width, library))
+    t0 = time.perf_counter() if profiling.ENABLED else 0.0
     cache.put("block_timing", cache_key,
               {"delay": result[0], "area": result[1]})
+    if profiling.ENABLED:
+        profiling.add("cache", time.perf_counter() - t0)
     _BLOCK_CACHE[key] = result
     return result
 
@@ -225,15 +241,22 @@ def _block_timing(block: str, width: int, library: Library,
 def region_logic_delays(config: CoreConfig, library: Library,
                         wire: WireModel) -> dict[str, float]:
     """Single-stage (unsplit) logic delay of each pipeline region."""
+    t0 = time.perf_counter() if profiling.ENABLED else 0.0
     sm = StructureModel(library, wire)
     fo4 = sm.fo4
+    if profiling.ENABLED:
+        profiling.add("structures", time.perf_counter() - t0)
     w = config.data_width
 
+    # Block synthesis/timing books its own netlist/mapping/sta/cache
+    # stages; only the structure-model arithmetic around it is timed
+    # here, so the two never double-count.
     adder_delay, _ = _block_timing("adder", w, library, wire)
     alu_delay, _ = _block_timing("alu", w, library, wire)
 
+    t0 = time.perf_counter() if profiling.ENABLED else 0.0
     mux_fanin = 1.0 + math.log2(max(config.front_width, 2))
-    return {
+    delays = {
         # Next-PC add and BTB lookup are parallel paths into the PC mux.
         "fetch": max(sm.btb_delay(config.front_width), adder_delay)
                  + mux_fanin * fo4,
@@ -249,22 +272,28 @@ def region_logic_delays(config: CoreConfig, library: Library,
         "retire": sm.rob_delay(config.rob_size, config.front_width)
                   + 2.0 * fo4,
     }
+    if profiling.ENABLED:
+        profiling.add("structures", time.perf_counter() - t0)
+    return delays
 
 
 def core_area(config: CoreConfig, library: Library,
               wire: WireModel) -> float:
     """Total core area from structure and datapath components."""
-    sm = StructureModel(library, wire)
     w = config.data_width
     fw, bw = config.front_width, config.back_width
 
     # Areas come from the counts-based path: the complex block in
     # particular is never mapped or timed (its delay is unused — the
     # pipeliner owns complex-ALU staging), which drops the single most
-    # expensive synthesis in a cold sweep.
+    # expensive synthesis in a cold sweep.  Block construction books
+    # its own stages; the array-model arithmetic below is "structures".
     alu_area = _block_area("alu", w, library)
     adder_area = _block_area("adder", w, library)
     complex_area = _block_area("complex", w, library)
+
+    t0 = time.perf_counter() if profiling.ENABLED else 0.0
+    sm = StructureModel(library, wire)
     nand_area = library.cell("nand2").area
 
     area = 0.0
@@ -291,6 +320,8 @@ def core_area(config: CoreConfig, library: Library,
     # wide latch bank per added stage per active way.
     extra_stages = max(config.depth - len(REGION_NAMES), 0)
     area += extra_stages * (fw + bw) * w * library.dff.area
+    if profiling.ENABLED:
+        profiling.add("structures", time.perf_counter() - t0)
     return area
 
 
@@ -299,6 +330,7 @@ def core_physical(config: CoreConfig, library: Library, wire: WireModel,
     """Clock period, frequency and area of one design point."""
     logic = region_logic_delays(config, library, wire)
     area = core_area(config, library, wire)
+    t0 = time.perf_counter() if profiling.ENABLED else 0.0
     fo4 = library.inverter_fo4_delay()
 
     span = math.sqrt(area)
@@ -316,6 +348,8 @@ def core_physical(config: CoreConfig, library: Library, wire: WireModel,
 
     critical_region = max(stage_delay, key=stage_delay.get)
     period = stage_delay[critical_region]
+    if profiling.ENABLED:
+        profiling.add("structures", time.perf_counter() - t0)
     return CorePhysical(
         config_name=config.name,
         process=library.process,

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.core import ipc_native
 from repro.core.branch import GsharePredictor
@@ -56,7 +57,7 @@ from repro.core.isa import (
 )
 from repro.core.trace import Trace
 from repro.errors import ConfigError, SimulationError
-from repro.runtime import telemetry
+from repro.runtime import profiling, telemetry
 
 #: Environment knob selecting the timing kernel.
 KERNEL_ENV = "REPRO_IPC_KERNEL"
@@ -96,6 +97,16 @@ def simulate(config: CoreConfig, trace: Trace,
     ``kernel`` (default: the ``REPRO_IPC_KERNEL`` environment variable,
     else ``'fast'``) picks the array kernel or the reference oracle.
     """
+    if profiling.ENABLED:
+        t0 = perf_counter()
+        result = _simulate(config, trace, kernel)
+        profiling.add("ipc", perf_counter() - t0)
+        return result
+    return _simulate(config, trace, kernel)
+
+
+def _simulate(config: CoreConfig, trace: Trace,
+              kernel: str | None = None) -> SimulationResult:
     if len(trace) == 0:
         raise SimulationError("empty trace")
     if _resolve_kernel(kernel) == "fast":
@@ -203,6 +214,7 @@ def _fast_cycles(config: CoreConfig, trace: Trace) -> int:
     retire_fill = 0
     retire_cycle = -1
     branch_idx = 0
+    redirects = 0
 
     for code, s0, s1, d, miss in zip(codes, src0, src1, dsts, load_miss):
         # ---- fetch / front end + occupancy windows ---------------------------
@@ -264,6 +276,7 @@ def _fast_cycles(config: CoreConfig, trace: Trace) -> int:
                 if redirect > fetch_cycle:
                     fetch_cycle = redirect
                     fetch_fill = 0
+                    redirects += 1
             branch_idx += 1
 
         if d >= 0:
@@ -292,6 +305,8 @@ def _fast_cycles(config: CoreConfig, trace: Trace) -> int:
         if qp == iq_size:
             qp = 0
 
+    if telemetry.ENABLED and redirects:
+        telemetry.count("ipc.fetch_redirects", redirects)
     return last_retire + 1
 
 
@@ -336,6 +351,7 @@ def _fast_cycles_w1(config: CoreConfig, trace: Trace) -> int:
     fetched = False         # fetch_cycle already holds an instruction
     last_retire = 0
     branch_idx = 0
+    redirects = 0
 
     for code, s0, s1, d, miss in zip(codes, src0, src1, dsts, load_miss):
         # ---- fetch / front end + occupancy windows ---------------------------
@@ -397,6 +413,7 @@ def _fast_cycles_w1(config: CoreConfig, trace: Trace) -> int:
                 if redirect > fetch_cycle:
                     fetch_cycle = redirect
                     fetched = False
+                    redirects += 1
             branch_idx += 1
 
         if d >= 0:
@@ -418,6 +435,8 @@ def _fast_cycles_w1(config: CoreConfig, trace: Trace) -> int:
         if qp == iq_size:
             qp = 0
 
+    if telemetry.ENABLED and redirects:
+        telemetry.count("ipc.fetch_redirects", redirects)
     return last_retire + 1
 
 
@@ -609,9 +628,13 @@ def simulate_cached(config: CoreConfig, trace: Trace,
         cache = default_cache()
     if not cache.enabled:
         return simulate(config, trace)
+    if profiling.ENABLED:
+        t0 = perf_counter()
     key = cache.key({"schema": 1, "config": _timing_signature(config),
                      "trace": trace.fingerprint()})
     hit = cache.get("simulation", key)
+    if profiling.ENABLED:
+        profiling.add("cache", perf_counter() - t0)
     if hit is not None:
         return SimulationResult(
             config_name=config.name,
@@ -624,6 +647,8 @@ def simulate_cached(config: CoreConfig, trace: Trace,
             l1_misses=int(hit["l1_misses"]),
         )
     result = simulate(config, trace)
+    if profiling.ENABLED:
+        t0 = perf_counter()
     cache.put("simulation", key, {
         "instructions": result.instructions,
         "cycles": result.cycles,
@@ -631,4 +656,6 @@ def simulate_cached(config: CoreConfig, trace: Trace,
         "mispredicts": result.mispredicts,
         "l1_misses": result.l1_misses,
     })
+    if profiling.ENABLED:
+        profiling.add("cache", perf_counter() - t0)
     return result

@@ -26,7 +26,7 @@ from repro.core.superscalar import simulate_cached
 from repro.core.trace import Trace
 from repro.core.workloads import WORKLOADS, generate_trace
 from repro.errors import ConfigError
-from repro.runtime import get_shared, parallel_map
+from repro.runtime import get_shared, parallel_map, telemetry
 from repro.synthesis.wires import WireModel
 
 #: Default dynamic instruction count per workload for the sweeps.  The
@@ -107,10 +107,14 @@ def _eval_config_task(config: CoreConfig):
     timing kernel entirely; disable with ``REPRO_CACHE=0``.
     """
     library, wire, traces = get_shared()
-    physical = core_physical(config, library, wire)
-    ipc = {name: simulate_cached(config, trace).ipc
-           for name, trace in traces.items()}
-    perf = {name: v * physical.frequency for name, v in ipc.items()}
+    # One span per sweep point: serial runs record it inline, pooled
+    # runs ship it back in the worker snapshot, so the trace exporter
+    # can lay sweep points out on per-worker tracks.
+    with telemetry.span("point", config=config.name):
+        physical = core_physical(config, library, wire)
+        ipc = {name: simulate_cached(config, trace).ipc
+               for name, trace in traces.items()}
+        perf = {name: v * physical.frequency for name, v in ipc.items()}
     return physical, ipc, perf
 
 

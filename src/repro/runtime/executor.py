@@ -43,7 +43,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.runtime import telemetry
+from repro.runtime import progress, telemetry
 from repro.runtime.log import get_logger
 
 _logger = get_logger(__name__)
@@ -146,7 +146,8 @@ def parallel_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
                  *, workers: int | None = None,
                  labels: Iterable[str] | None = None,
                  on_error: str = "raise",
-                 shared: Any = None) -> list[TaskResult]:
+                 shared: Any = None,
+                 phase: str | None = None) -> list[TaskResult]:
     """Apply *fn* to every task, possibly across worker processes.
 
     Parameters
@@ -171,6 +172,9 @@ def parallel_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
         instead of once per task; the mapped function reads it back with
         :func:`get_shared`.  Use this for large invariants (a characterised
         library, benchmark traces) shared by every task.
+    phase:
+        Optional :mod:`repro.runtime.progress` phase name for the
+        per-task heartbeat; defaults to the mapped function's name.
 
     Returns
     -------
@@ -185,6 +189,8 @@ def parallel_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
         raise ValueError("labels must match tasks in length")
 
     n_workers = resolve_workers(workers)
+    phase_name = phase or getattr(fn, "__name__", None) or getattr(
+        getattr(fn, "func", None), "__name__", None) or "parallel_map"
     outcomes: list[tuple[Any, BaseException | None, dict | None]] | None = None
     if n_workers > 1 and len(tasks) > 1:
         from repro.runtime import profiling
@@ -196,15 +202,26 @@ def parallel_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
                     max_workers=min(n_workers, len(tasks)),
                     initializer=_init_shared if shared is not None else None,
                     initargs=(shared,) if shared is not None else ()) as pool:
-                outcomes = list(pool.map(_run_one, [fn] * len(tasks), tasks,
-                                         [collect] * len(tasks)))
+                # pool.map yields results in task order as they complete;
+                # consuming lazily lets the parent heartbeat per task.
+                ph = progress.begin(phase_name, len(tasks)) \
+                    if progress.ENABLED else None
+                try:
+                    outcomes = []
+                    for outcome in pool.map(_run_one, [fn] * len(tasks),
+                                            tasks, [collect] * len(tasks)):
+                        outcomes.append(outcome)
+                        progress.update(ph)
+                finally:
+                    progress.end(ph)
             # Graft every task's metrics delta into this process, in task
             # order, under the span enclosing this parallel_map call.
             if collect is not None:
                 prefix = telemetry.current_path()
-                for _value, _error, snap in outcomes:
+                for i, (_value, _error, snap) in enumerate(outcomes):
                     if snap:
-                        telemetry.merge_snapshot(snap, prefix=prefix)
+                        telemetry.merge_snapshot(snap, prefix=prefix,
+                                                 task=i)
         except BrokenProcessPool as exc:
             # A worker process died mid-map (crash, OOM kill, os._exit).
             # The mapped functions are side-effect-free by contract, so
@@ -233,9 +250,15 @@ def parallel_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
         previous_shared = _SHARED
         if shared is not None:
             _init_shared(shared)
+        ph = progress.begin(phase_name, len(tasks)) \
+            if progress.ENABLED and len(tasks) > 1 else None
         try:
-            outcomes = [_run_one(fn, task) for task in tasks]
+            outcomes = []
+            for task in tasks:
+                outcomes.append(_run_one(fn, task))
+                progress.update(ph)
         finally:
+            progress.end(ph)
             _init_shared(previous_shared)
 
     results = [TaskResult(index=i, label=label_list[i], value=value, error=error)

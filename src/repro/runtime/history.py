@@ -1,0 +1,325 @@
+"""Run-history store and regression analytics over ``runs/`` reports.
+
+``BENCH_perf.json`` is a single published snapshot; this module is the
+run-over-run memory.  Every report :func:`repro.runtime.report.
+write_report` lands is summarised into an **append-only ndjson index**
+(one JSON object per line, ``history.ndjson`` next to the reports,
+``REPRO_HISTORY`` overrides the path), keyed by an **environment
+fingerprint hash** so wall-clock numbers are only ever compared within
+one machine identity (python x machine x cpu count x solver backend).
+
+On top of the index sit the ``python -m repro perf`` analytics:
+
+- ``list`` — recent runs (target, status, duration, env key);
+- ``diff A B`` — span/benchmark/duration deltas between two reports,
+  flagging rows beyond a relative threshold;
+- ``trend NAME`` — one benchmark's seconds across the index, env-keyed;
+- ``regress --baseline BENCH_perf.json`` — the CI perf gate: compares
+  a fresh benchmark-bearing run report against the published baseline
+  and exits nonzero on any seeded row slower than the tolerance, with
+  the same env-fingerprint self-skip the old ``run_bench --check``
+  gate had (cross-machine wall-clock comparison is meaningless).
+
+The index is a cache of the reports, not a source of truth: a missing
+or corrupt line degrades to reading the report JSONs themselves, and
+unparseable lines are skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.runtime import report as run_report
+
+__all__ = [
+    "HISTORY_ENV",
+    "append_entry",
+    "default_history_path",
+    "diff_reports",
+    "env_key",
+    "format_diff",
+    "index_entry",
+    "load_entries",
+    "regress_check",
+    "resolve_report",
+]
+
+#: Environment variable overriding where the ndjson index lives.
+HISTORY_ENV = "REPRO_HISTORY"
+
+#: Relative slowdown beyond which ``perf diff`` flags a row.
+DIFF_THRESHOLD = 0.10
+
+#: Absolute floor below which timing deltas are scheduler noise.
+MIN_SECONDS = 0.002
+
+
+def default_history_path() -> Path:
+    """``REPRO_HISTORY`` or ``history.ndjson`` beside the run reports."""
+    env = os.environ.get(HISTORY_ENV)
+    return Path(env) if env else run_report.default_runs_dir() / \
+        "history.ndjson"
+
+
+def env_key(env: dict) -> str:
+    """Short stable hash of the machine identity a report ran on.
+
+    Only fields that make wall-clock numbers comparable participate:
+    interpreter version, machine architecture, CPU count, and the
+    resolved solver backend.  Worker count and cache knobs deliberately
+    do not — those are per-run configuration, visible in the report.
+    """
+    identity = {
+        "python": env.get("python", "?"),
+        "machine": env.get("machine", "?"),
+        "cpu_count": env.get("cpu_count", "?"),
+        "backend": env.get("solver_backend", {}).get("resolved", "?"),
+    }
+    digest = hashlib.sha256(
+        json.dumps(identity, sort_keys=True).encode()).hexdigest()
+    return digest[:12]
+
+
+def index_entry(report: dict, path: str | Path) -> dict:
+    """The one-line index summary of a written report."""
+    env = report.get("env", {})
+    entry = {
+        "path": str(path),
+        "target": report.get("target", "?"),
+        "timestamp": report.get("timestamp"),
+        "status": report.get("status", "?"),
+        "env_key": env_key(env),
+        "workers": env.get("workers"),
+        "backend": env.get("solver_backend", {}).get("resolved"),
+        "schema": report.get("schema"),
+    }
+    if "duration_seconds" in report:
+        entry["duration_seconds"] = report["duration_seconds"]
+    benches = report.get("benchmarks")
+    if isinstance(benches, dict):
+        entry["benchmarks"] = {
+            name: cell.get("seconds") for name, cell in benches.items()
+            if isinstance(cell, dict) and cell.get("seconds") is not None}
+    return entry
+
+
+def append_entry(report: dict, path: str | Path,
+                 history_path: str | Path | None = None) -> Path | None:
+    """Append the report's index line; best-effort (None on failure)."""
+    hist = Path(history_path) if history_path is not None \
+        else default_history_path()
+    try:
+        hist.parent.mkdir(parents=True, exist_ok=True)
+        with open(hist, "a") as fh:
+            fh.write(json.dumps(index_entry(report, path),
+                                sort_keys=False) + "\n")
+    except OSError:
+        return None
+    return hist
+
+
+def load_entries(history_path: str | Path | None = None) -> list[dict]:
+    """All parseable index lines, oldest first (corrupt lines skipped)."""
+    hist = Path(history_path) if history_path is not None \
+        else default_history_path()
+    entries: list[dict] = []
+    try:
+        text = hist.read_text()
+    except OSError:
+        return entries
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict):
+            entries.append(entry)
+    return entries
+
+
+def resolve_report(ref: str,
+                   history_path: str | Path | None = None) -> tuple[Path, dict]:
+    """A report path + parsed dict from a path or a history reference.
+
+    *ref* may be a report JSON path, an index ordinal (``-1`` = most
+    recent entry, ``-2`` the one before, ...), or a substring matched
+    against indexed report paths (most recent match wins).
+    """
+    candidate = Path(ref)
+    if candidate.is_file():
+        return candidate, json.loads(candidate.read_text())
+    entries = load_entries(history_path)
+    try:
+        ordinal = int(ref)
+    except ValueError:
+        ordinal = None
+    if ordinal is not None and ordinal < 0 and len(entries) >= -ordinal:
+        path = Path(entries[ordinal]["path"])
+        return path, json.loads(path.read_text())
+    for entry in reversed(entries):
+        if ref in entry.get("path", ""):
+            path = Path(entry["path"])
+            return path, json.loads(path.read_text())
+    raise FileNotFoundError(
+        f"no report matches {ref!r} (not a file, ordinal, or indexed "
+        f"path substring; index: {Path(history_path) if history_path else default_history_path()})")
+
+
+# -- diff ---------------------------------------------------------------------
+
+def _bench_seconds(report: dict) -> dict[str, float]:
+    benches = report.get("benchmarks", {})
+    out = {}
+    if isinstance(benches, dict):
+        for name, cell in benches.items():
+            seconds = cell.get("seconds") if isinstance(cell, dict) else cell
+            if isinstance(seconds, (int, float)):
+                out[name] = float(seconds)
+    return out
+
+
+def _span_seconds(report: dict) -> dict[str, float]:
+    return {path: cell.get("seconds", 0.0)
+            for path, cell in report.get("span_totals", {}).items()}
+
+
+def diff_reports(a: dict, b: dict, threshold: float = DIFF_THRESHOLD,
+                 min_seconds: float = MIN_SECONDS) -> dict:
+    """Structured delta between two run reports (A = before, B = after).
+
+    Rows cover total duration, per-benchmark seconds, and per-path span
+    totals; a row is *flagged* when B is slower than A by more than
+    *threshold* (relative) **and** *min_seconds* (absolute).  Counter
+    deltas ride along unflagged — integers differ for structural
+    reasons, not perf noise.
+    """
+    rows: list[dict] = []
+
+    def add(kind: str, name: str, va: float | None, vb: float | None) -> None:
+        if va is None or vb is None:
+            rows.append({"kind": kind, "name": name, "a": va, "b": vb,
+                         "flagged": False, "note": "only in one run"})
+            return
+        delta = vb - va
+        ratio = vb / va if va else None
+        flagged = bool(delta > min_seconds and va > 0
+                       and delta / va > threshold)
+        rows.append({"kind": kind, "name": name, "a": round(va, 6),
+                     "b": round(vb, 6), "delta": round(delta, 6),
+                     "ratio": round(ratio, 4) if ratio is not None else None,
+                     "flagged": flagged})
+
+    da, db = a.get("duration_seconds"), b.get("duration_seconds")
+    if da is not None or db is not None:
+        add("duration", "total", da, db)
+    bench_a, bench_b = _bench_seconds(a), _bench_seconds(b)
+    for name in sorted(set(bench_a) | set(bench_b)):
+        add("benchmark", name, bench_a.get(name), bench_b.get(name))
+    span_a, span_b = _span_seconds(a), _span_seconds(b)
+    for name in sorted(set(span_a) | set(span_b)):
+        va, vb = span_a.get(name), span_b.get(name)
+        if (va or 0.0) < min_seconds and (vb or 0.0) < min_seconds:
+            continue                      # both below the noise floor
+        add("span", name, va, vb)
+
+    counters_a = a.get("metrics", {}).get("counters", {})
+    counters_b = b.get("metrics", {}).get("counters", {})
+    counter_deltas = {
+        name: counters_b.get(name, 0) - counters_a.get(name, 0)
+        for name in sorted(set(counters_a) | set(counters_b))
+        if counters_b.get(name, 0) != counters_a.get(name, 0)}
+
+    env_match = env_key(a.get("env", {})) == env_key(b.get("env", {}))
+    return {
+        "rows": rows,
+        "flags": [r for r in rows if r["flagged"]],
+        "counter_deltas": counter_deltas,
+        "env_match": env_match,
+        "threshold": threshold,
+    }
+
+
+def format_diff(diff: dict, verbose: bool = False) -> str:
+    """Human-readable rendering of :func:`diff_reports` output."""
+    lines: list[str] = []
+    if not diff["env_match"]:
+        lines.append("note: environment fingerprints differ — wall-clock "
+                     "deltas are not meaningful across machines")
+    shown = [r for r in diff["rows"]
+             if verbose or r["flagged"] or r["kind"] in ("duration",
+                                                         "benchmark")]
+    for row in shown:
+        if row.get("note"):
+            lines.append(f"  {row['kind']:<10} {row['name']}: "
+                         f"{row['a']} -> {row['b']} ({row['note']})")
+            continue
+        mark = "  ** FLAG" if row["flagged"] else ""
+        ratio = f" ({row['ratio']:.2f}x)" if row.get("ratio") else ""
+        lines.append(f"  {row['kind']:<10} {row['name']}: "
+                     f"{row['a']:.4f}s -> {row['b']:.4f}s{ratio}{mark}")
+    flags = diff["flags"]
+    if flags:
+        lines.append(f"{len(flags)} row(s) flagged beyond "
+                     f"{diff['threshold']:.0%} slowdown")
+    else:
+        lines.append("clean: no row slower beyond "
+                     f"{diff['threshold']:.0%}")
+    if verbose and diff["counter_deltas"]:
+        lines.append("counter deltas:")
+        for name, delta in diff["counter_deltas"].items():
+            lines.append(f"  {name}: {delta:+d}")
+    return "\n".join(lines)
+
+
+# -- regression gate ----------------------------------------------------------
+
+def regress_check(fresh_benchmarks: dict[str, float], baseline: dict,
+                  current_env: dict | None = None,
+                  tolerance: float = 0.25) -> tuple[int, list[str]]:
+    """The CI perf gate: (exit status, report lines).
+
+    *baseline* is a published ``BENCH_perf.json`` document.  Rows whose
+    recorded entry is missing or carries ``seed_seconds: null`` are not
+    gated; the gate self-skips (status 0, with a line saying so) when
+    the recorded environment fingerprint (machine / python / cpu count)
+    does not match *current_env*.
+    """
+    lines: list[str] = []
+    recorded_env = baseline.get("environment", {})
+    if current_env is None:
+        import platform
+        current_env = {"cpu_count": os.cpu_count(),
+                       "python": platform.python_version(),
+                       "machine": platform.machine()}
+    mismatch = {k: (recorded_env.get(k), v) for k, v in current_env.items()
+                if recorded_env.get(k) != v}
+    if mismatch:
+        lines.append(f"regress skipped: environment fingerprint mismatch "
+                     f"(recorded vs current): {mismatch}")
+        return 0, lines
+    failures = []
+    for name, entry in baseline.get("benchmarks", {}).items():
+        if entry.get("seed_seconds") is None:
+            continue                     # benchmark newer than the baseline
+        reference = entry.get("seconds")
+        fresh = fresh_benchmarks.get(name)
+        if not reference or fresh is None:
+            continue
+        limit = reference * (1.0 + tolerance)
+        if fresh > limit:
+            failures.append(f"{name}: {fresh:.4f}s vs recorded "
+                            f"{reference:.4f}s (limit {limit:.4f}s)")
+    if failures:
+        lines.append(f"regress FAILED ({len(failures)} regression(s) "
+                     f"beyond {tolerance:.0%}):")
+        lines.extend(f"  {line}" for line in failures)
+        return 1, lines
+    lines.append(f"regress passed: no seeded benchmark slower than "
+                 f"{tolerance:.0%} over baseline")
+    return 0, lines

@@ -90,6 +90,10 @@ def configure(level: str | int | None = None, verbose: int = 0,
     """
     logger = logging.getLogger(ROOT)
     logger.setLevel(_resolve_level(level, verbose))
+    # Progress heartbeats ride the same verbosity dial: INFO or finer
+    # turns the stderr status lines on (see repro.runtime.progress).
+    from repro.runtime import progress
+    progress.set_stderr(logger.level <= logging.INFO)
     handler = next((h for h in logger.handlers
                     if getattr(h, "_repro_handler", False)), None)
     if handler is not None and stream is not None:

@@ -49,7 +49,16 @@ Stages
 - ``mapping`` — technology mapping onto the library cells;
 - ``sta`` — static timing analysis (scalar, vector and incremental
   engines), timed at the :func:`repro.synthesis.sta.static_timing`
-  entry point only.
+  entry point only;
+- ``structures`` — the Palacharla-style structure-model arithmetic in
+  :mod:`repro.core.physical` (array/wakeup/regfile/ROB delay and area
+  models, NLDM lookups outside STA), timed in segments disjoint from
+  the nested netlist/mapping/sta/cache bookings;
+- ``ipc`` — the trace-driven core timing model
+  (:func:`repro.core.superscalar.simulate`, whichever kernel runs);
+  result-cache lookups around it (``simulate_cached``) land in
+  ``cache``, so warm sweep rows attribute their wall time instead of
+  leaking it into ``overhead``.
 
 The three synthesis stages never nest (generation, mapping and timing
 are sequential phases of a sweep point), so the
@@ -89,7 +98,7 @@ ENABLED = False
 
 _STAGES = ("stamp", "device_eval", "solve", "rhs", "probe",
            "step_control", "predict", "retry", "cache", "telemetry",
-           "netlist", "mapping", "sta")
+           "netlist", "mapping", "sta", "structures", "ipc")
 
 #: Registry timer names backing each stage.
 _TIMER = {stage: f"solver.{stage}" for stage in _STAGES}

@@ -1,0 +1,213 @@
+"""Live progress heartbeats: phase, completed/total units, ETA.
+
+Long runs — library characterisation (hundreds of arcs), Monte Carlo
+yield (thousands of samples), the 1008-point DSE grid — were silent
+until done.  This module is the streaming seam: drivers declare a
+*phase* with a unit total, tick it as units complete, and heartbeats
+flow to two sinks:
+
+- **stderr**, when library logging is at INFO or finer (the ``-v``
+  CLI flag) — one rewritten status line per phase
+  (``[dse] 412/1008 41% eta 0.8s``), throttled to a few per second;
+- an **ndjson stream file**, when ``REPRO_PROGRESS=PATH`` names one —
+  one JSON object per heartbeat (``{"event", "phase", "done",
+  "total", "eta_seconds", "elapsed_seconds", "t"}``), append-only so
+  a tail-following consumer (the future characterisation-as-a-service
+  daemon) can stream it live.
+
+Cost model matches :mod:`repro.runtime.telemetry`: every call site is
+one module-attribute load and branch while disabled, and heartbeats
+are rate-limited (``begin``/``end`` and the final unit always emit).
+Phases nest (a DSE combo inside the sweep); emission happens in the
+*parent* process only — workers tick nothing, the parent ticks once
+per completed task as results arrive — so the stream is append-ordered
+and free of interleaving.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator, TextIO
+
+__all__ = [
+    "ENABLED",
+    "PROGRESS_ENV",
+    "Phase",
+    "begin",
+    "end",
+    "phase",
+    "refresh",
+    "stream_path",
+    "update",
+]
+
+#: Hot-path guard: call sites only do work when this is True.  Kept in
+#: sync with the sinks by :func:`refresh`.
+ENABLED = False
+
+#: Environment variable naming the ndjson stream file.
+PROGRESS_ENV = "REPRO_PROGRESS"
+
+#: Minimum seconds between throttled heartbeats of one phase.
+_MIN_INTERVAL = 0.2
+
+_stderr_wanted = False          # set by repro.runtime.log.configure()
+_stream: TextIO | None = None
+_stream_failed = False
+_active: list["Phase"] = []
+
+
+def stream_path() -> str | None:
+    """The ndjson sink path (``REPRO_PROGRESS``), or None."""
+    return os.environ.get(PROGRESS_ENV) or None
+
+
+def set_stderr(wanted: bool) -> None:
+    """Ask for (or retract) stderr heartbeats; called by log.configure."""
+    global _stderr_wanted
+    _stderr_wanted = bool(wanted)
+    refresh()
+
+
+def refresh() -> None:
+    """Re-derive :data:`ENABLED` from the env knob and logging level."""
+    global ENABLED
+    ENABLED = _stderr_wanted or stream_path() is not None
+
+
+def _open_stream() -> TextIO | None:
+    global _stream, _stream_failed
+    path = stream_path()
+    if path is None or _stream_failed:
+        return None
+    if _stream is None or _stream.name != path:
+        if _stream is not None:
+            try:
+                _stream.close()
+            except OSError:                  # pragma: no cover - best effort
+                pass
+            _stream = None
+        try:
+            _stream = open(path, "a", buffering=1)
+        except OSError:
+            _stream_failed = True
+            return None
+    return _stream
+
+
+class Phase:
+    """One progress phase: a named unit counter with an optional total."""
+
+    __slots__ = ("name", "total", "done", "t0", "_last_emit", "_closed")
+
+    def __init__(self, name: str, total: int | None) -> None:
+        self.name = name
+        self.total = int(total) if total is not None else None
+        self.done = 0
+        self.t0 = time.perf_counter()
+        self._last_emit = 0.0
+        self._closed = False
+
+    # -- ticking -------------------------------------------------------------
+
+    def step(self, n: int = 1) -> None:
+        """Mark *n* more units complete and maybe emit a heartbeat."""
+        self.done += n
+        self._emit("tick")
+
+    def set_done(self, done: int) -> None:
+        """Set the absolute completed-unit count."""
+        self.done = int(done)
+        self._emit("tick")
+
+    # -- emission ------------------------------------------------------------
+
+    def _eta(self) -> float | None:
+        if not self.total or self.done <= 0:
+            return None
+        elapsed = time.perf_counter() - self.t0
+        remaining = max(0, self.total - self.done)
+        return elapsed / self.done * remaining
+
+    def _emit(self, event: str) -> None:
+        now = time.perf_counter()
+        final = (event != "tick"
+                 or (self.total is not None and self.done >= self.total))
+        if not final and now - self._last_emit < _MIN_INTERVAL:
+            return
+        self._last_emit = now
+        elapsed = now - self.t0
+        eta = self._eta()
+        if _stderr_wanted:
+            frac = (f" {100 * self.done // self.total:3d}%"
+                    if self.total else "")
+            eta_s = f" eta {eta:.1f}s" if eta is not None else ""
+            total_s = f"/{self.total}" if self.total is not None else ""
+            end_ch = "\n" if event == "end" else "\r"
+            try:
+                sys.stderr.write(f"[{self.name}] {self.done}{total_s}"
+                                 f"{frac}{eta_s}   {end_ch}")
+                sys.stderr.flush()
+            except OSError:                  # pragma: no cover - closed pipe
+                pass
+        stream = _open_stream()
+        if stream is not None:
+            record: dict = {
+                "event": event,
+                "phase": self.name,
+                "done": self.done,
+                "elapsed_seconds": round(elapsed, 4),
+                "t": round(time.time(), 3),
+            }
+            if self.total is not None:
+                record["total"] = self.total
+            if eta is not None:
+                record["eta_seconds"] = round(eta, 3)
+            try:
+                stream.write(json.dumps(record) + "\n")
+            except OSError:                  # pragma: no cover - full disk
+                pass
+
+
+def begin(name: str, total: int | None = None) -> Phase | None:
+    """Open a progress phase (None while disabled)."""
+    if not ENABLED:
+        return None
+    ph = Phase(name, total)
+    _active.append(ph)
+    ph._emit("begin")
+    return ph
+
+
+def update(ph: Phase | None, n: int = 1) -> None:
+    """Tick *n* completed units on *ph* (no-op for None)."""
+    if ph is not None:
+        ph.step(n)
+
+
+def end(ph: Phase | None) -> None:
+    """Close a phase, emitting the final heartbeat."""
+    if ph is None or ph._closed:
+        return
+    ph._closed = True
+    ph._emit("end")
+    if ph in _active:
+        _active.remove(ph)
+
+
+@contextmanager
+def phase(name: str, total: int | None = None) -> Iterator[Phase | None]:
+    """``with progress.phase("dse", total=n) as ph: ... ph.step()``."""
+    ph = begin(name, total)
+    try:
+        yield ph
+    finally:
+        end(ph)
+
+
+if stream_path() is not None:               # pragma: no cover - env driven
+    ENABLED = True

@@ -73,6 +73,8 @@ def env_fingerprint() -> dict:
     return {
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "packages": _package_versions(),
         "workers": resolve_workers(),
         "repro_env": {k: v for k, v in sorted(os.environ.items())
@@ -123,7 +125,9 @@ def write_report(report: dict, path: str | Path | None = None) -> Path:
     """Write *report* as JSON; default path is timestamped under ``runs/``.
 
     The default filename couples the target name with a wall-clock stamp
-    plus the PID, so concurrent runs never collide.
+    plus the PID, so concurrent runs never collide.  Every written
+    report is also summarised into the append-only run-history index
+    (:mod:`repro.runtime.history`), best-effort.
     """
     if path is None:
         stamp = time.strftime("%Y%m%d-%H%M%S")
@@ -132,6 +136,8 @@ def write_report(report: dict, path: str | Path | None = None) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    from repro.runtime import history
+    history.append_entry(report, path)
     return path
 
 

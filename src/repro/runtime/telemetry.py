@@ -110,6 +110,15 @@ class _Span:
             node["children"] = [c.to_dict() for c in self.children]
         return node
 
+    @classmethod
+    def from_dict(cls, node: dict) -> "_Span":
+        span = cls(str(node.get("name", "?")),
+                   float(node.get("t_start", 0.0)))
+        span.seconds = float(node.get("seconds", 0.0))
+        span.meta = dict(node.get("meta", {}))
+        span.children = [cls.from_dict(c) for c in node.get("children", ())]
+        return span
+
 
 class _Registry:
     """The per-process metric store.  One instance per process."""
@@ -273,11 +282,13 @@ def snapshot() -> dict:
         "timers": {k: list(v) for k, v in _REG.timers.items()},
         "dists": {k: list(v) for k, v in _REG.dists.items()},
         "span_totals": {k: list(v) for k, v in _REG.span_totals.items()},
+        "span_tree": [root.to_dict() for root in _REG.roots],
         "warnings": list(_REG.warnings),
     }
 
 
-def merge_snapshot(snap: dict, prefix: str | None = None) -> None:
+def merge_snapshot(snap: dict, prefix: str | None = None,
+                   task: int | None = None) -> None:
     """Fold a worker snapshot into this process's registry.
 
     Counters/timers/span totals add; distributions merge count/sum and
@@ -285,9 +296,24 @@ def merge_snapshot(snap: dict, prefix: str | None = None) -> None:
     order, so the merged totals are independent of worker scheduling.
     *prefix* (default: the caller's current span path) grafts the
     worker's span paths under the span that launched the workers.
+
+    The worker's completed **span tree** is grafted as child nodes of
+    the currently open span (or as new roots at top level), each tagged
+    ``meta["task"] = task`` so the trace exporter can reconstruct the
+    deterministic worker schedule.  Worker ``t_start`` values are
+    relative to the worker task's own epoch, not the parent's.
     """
     if prefix is None:
         prefix = _REG.span_path()
+    for node in snap.get("span_tree", ()):
+        span = _Span.from_dict(node)
+        if task is not None:
+            span.meta.setdefault("task", task)
+        span.meta.setdefault("worker_task", True)
+        if _REG.stack:
+            _REG.stack[-1].children.append(span)
+        else:
+            _REG.roots.append(span)
     for name, n in snap.get("counters", {}).items():
         _REG.count(name, n)
     for name, (seconds, calls) in snap.get("timers", {}).items():

@@ -371,7 +371,8 @@ long repro_ensemble_newton(
     double *cache_x, double *cache_jnl, double *cache_fnl,
     double *x,                  /* A*S, in/out */
     uint8_t *conv,              /* A, out */
-    int64_t *stats)             /* [0] frozen lane-steps, out */
+    int64_t *stats)             /* [0] frozen lane-steps, [1] total lane
+                                 * iterations, [2] singular lanes, out */
 {
     long ext = S + 1;
     double *gbase = malloc((size_t)(S * S) * sizeof(double));
@@ -384,6 +385,7 @@ long repro_ensemble_newton(
     double *rhs   = malloc((size_t)S * sizeof(double));
     long iters_max = 0;
     long frozen_steps = 0;
+    int64_t total_iters = 0, singular_n = 0;
     if (!gbase || !jmat || !jnl || !fnl || !xext || !beff || !fvec || !rhs) {
         iters_max = -1;
         goto done;
@@ -436,13 +438,21 @@ long repro_ensemble_newton(
         long iter = lane_newton(&c, m, G, beff, xl, frozen,
                                 max_iter[lane], max_step_v[lane], gmin, &ok);
         conv[lane] = (uint8_t)ok;
+        total_iters += iter;
+        /* A lane that stopped short of its budget unconverged hit the
+         * exact-zero-pivot break: that is the singular count. */
+        if (!ok && iter < max_iter[lane]) singular_n++;
         if (iter > iters_max) iters_max = iter;
     }
 
 done:
     free(gbase); free(jmat); free(jnl); free(fnl);
     free(xext); free(beff); free(fvec); free(rhs);
-    if (stats) stats[0] = frozen_steps;
+    if (stats) {
+        stats[0] = frozen_steps;
+        stats[1] = total_iters;
+        stats[2] = singular_n;
+    }
     return iters_max;
 }
 
@@ -463,7 +473,9 @@ done:
  * whatever the batch composition.  status[m]: 0 done, 1 bailed (dt
  * underflow or crossing-buffer overflow; state is at the last accepted
  * step).  stats: [0] accepted steps, [1] halvings, [2] LTE rejections,
- * [3] frozen (bypassed) lane-steps, [4] bailed lanes.  Returns 0, or
+ * [3] frozen (bypassed) lane-steps, [4] bailed lanes, [5] total lane
+ * Newton iterations (prediction + retry attempts, same counting as the
+ * per-lane reference), [6] probe crossings recorded.  Returns 0, or
  * -1 when scratch allocation fails (no state touched). */
 long repro_ensemble_timestep(
     long B, long S, long n_nodes,
@@ -520,6 +532,7 @@ long repro_ensemble_timestep(
                    cache_valid, cache_x, cache_jnl, cache_fnl,
                    jmat, jnl, fnl, xext, fvec, rhs };
     int64_t acc_n = 0, halv_n = 0, lte_n = 0, frozen_n = 0, bail_n = 0;
+    int64_t iter_n = 0, cross_count = 0;
 
     for (long m = 0; m < B; m++) {
         double *xl  = x + (size_t)m * S;
@@ -582,8 +595,8 @@ long repro_ensemble_timestep(
              * converged — a retried lane holds its step (NaN). */
             memcpy(xn, xpred, (size_t)S * sizeof(double));
             long ok;
-            lane_newton(&c, m, gbase, beff, xn, frozen,
-                        budget, step_cap, 0.0, &ok);
+            iter_n += lane_newton(&c, m, gbase, beff, xn, frozen,
+                                  budget, step_cap, 0.0, &ok);
             double pred_err = NAN;
             if (ok && hist) {
                 double mv = 0.0;
@@ -594,8 +607,8 @@ long repro_ensemble_timestep(
                 pred_err = mv;
             } else if (!ok && hist) {
                 memcpy(xn, xl, (size_t)S * sizeof(double));
-                lane_newton(&c, m, gbase, beff, xn, frozen,
-                            budget, step_cap, 0.0, &ok);
+                iter_n += lane_newton(&c, m, gbase, beff, xn, frozen,
+                                      budget, step_cap, 0.0, &ok);
             }
 
             if (!ok) {
@@ -652,6 +665,7 @@ long repro_ensemble_timestep(
                     size_t at = ((size_t)p * B + m) * cross_cap + k;
                     cross_t[at] = lane_t + frac * dt_step;
                     cross_rise[at] = v1 > v0;
+                    cross_count++;
                 }
             }
 
@@ -682,6 +696,7 @@ long repro_ensemble_timestep(
     free(beff); free(fvec); free(rhs); free(xpred); free(xn);
     stats[0] = acc_n; stats[1] = halv_n; stats[2] = lte_n;
     stats[3] = frozen_n; stats[4] = bail_n;
+    stats[5] = iter_n; stats[6] = cross_count;
     return 0;
 }
 """
@@ -975,7 +990,7 @@ class NativeBackend(NumpyBackend):
         G_lin = request.G_lin
         options = request.options
         conv = np.zeros(A, dtype=np.uint8)
-        stats = np.zeros(1, dtype=np.int64)
+        stats = np.zeros(3, dtype=np.int64)
         bypass = request.bypass
         (S, n_nodes, g_static_a, c_unit_a, dev_off_a, d_a, g_a, s_a,
          pol_a, par_a, n_slots, slots_a) = prep.static_args
@@ -1008,6 +1023,14 @@ class NativeBackend(NumpyBackend):
             if stats[0]:
                 telemetry.count("backend.native.bypassed_lane_steps",
                                 int(stats[0]))
+            # Parity counter with the NumPy reference loop: total
+            # per-lane Newton iterations (equal where the schedule is
+            # bit-identical; the counter-parity test pins this down).
+            telemetry.count("ensemble.newton_lane_iterations",
+                            int(stats[1]))
+            if stats[2]:
+                telemetry.count("backend.native.singular_lanes",
+                                int(stats[2]))
         return x, conv.view(np.bool_), int(iters)
 
     def ensemble_timestep(self, et) -> dict | None:
@@ -1046,7 +1069,7 @@ class NativeBackend(NumpyBackend):
         cross_rise = np.zeros((n_probes, B, CROSS_CAP), dtype=np.uint8)
         cross_n = np.zeros((n_probes, B), dtype=np.int64)
         status = np.zeros(B, dtype=np.uint8)
-        stats = np.zeros(5, dtype=np.int64)
+        stats = np.zeros(7, dtype=np.int64)
 
         ret = kernel.timestep(
             B, S, n_nodes,
@@ -1093,5 +1116,12 @@ class NativeBackend(NumpyBackend):
             if stats[4]:
                 telemetry.count("backend.native.timestep_bailouts",
                                 int(stats[4]))
+            # Parity counters with the reference sweep loop (see the
+            # counter-parity test): lane Newton iterations and recorded
+            # probe crossings.
+            telemetry.count("ensemble.newton_lane_iterations",
+                            int(stats[5]))
+            if stats[6]:
+                telemetry.count("ensemble.probe_crossings", int(stats[6]))
         return {"accepted": int(stats[0]), "halvings": int(stats[1]),
                 "lte_rejections": int(stats[2]), "bailed": int(stats[4])}

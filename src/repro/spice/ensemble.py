@@ -504,6 +504,7 @@ class EnsembleSystem:
         active = np.ones(A, dtype=bool)
         converged = np.zeros(A, dtype=bool)
         iteration = 0
+        lane_iters = 0
         budget = int(max_iterations.max())
         structure = self.structure
         while active.any() and iteration < budget:
@@ -568,21 +569,30 @@ class EnsembleSystem:
             converged[new_done] = True
             active[new_done] = False
             iteration += 1
+            lane_iters += len(act_idx)
             out_of_budget = active & (iteration >= max_iterations)
             active &= ~out_of_budget
-        self._flush_newton_batch(A, iteration, converged)
+        self._flush_newton_batch(A, iteration, converged, lane_iters)
         return x, converged
 
     @staticmethod
-    def _flush_newton_batch(A: int, iteration: int,
-                            converged: np.ndarray) -> None:
+    def _flush_newton_batch(A: int, iteration: int, converged: np.ndarray,
+                            lane_iterations: int | None = None) -> None:
         """One registry update per batched call; `iteration` is the
-        number of stacked assemble/solve rounds the batch took."""
+        number of stacked assemble/solve rounds the batch took.
+
+        *lane_iterations* is the per-lane Newton iteration total (each
+        round counts only the lanes still active after singular trim),
+        the counter the native kernels mirror bit-for-bit; ``None``
+        means the backend hook already flushed it."""
         if not telemetry.ENABLED:
             return
         telemetry.count("ensemble.newton_batches")
         telemetry.count("ensemble.newton_iterations", iteration)
         telemetry.observe("ensemble.batch_occupancy", A)
+        if lane_iterations is not None:
+            telemetry.count("ensemble.newton_lane_iterations",
+                            lane_iterations)
         unconverged = int(A - int(converged.sum()))
         if unconverged:
             telemetry.count("ensemble.newton_lane_failures", unconverged)
@@ -1115,6 +1125,9 @@ class EnsembleTransient:
         crossed = np.sign(v0) != np.sign(v1)
         if not crossed.any():
             return
+        if telemetry.ENABLED:
+            telemetry.count("ensemble.probe_crossings",
+                            int(crossed.sum()))
         for p, k in zip(*np.nonzero(crossed)):
             a, c = v0[p, k], v1[p, k]
             frac = -a / (c - a)

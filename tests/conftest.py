@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.characterization import organic_library, silicon_library
-from repro.runtime import telemetry
+from repro.runtime import progress, telemetry
 from repro.synthesis.wires import organic_wire_model, silicon_wire_model
 
 
@@ -23,6 +23,9 @@ def _observability_isolation(tmp_path, monkeypatch):
     yield
     telemetry.enable(False)
     telemetry.reset()
+    # CLI invocations with -v flip the stderr-progress latch; undo it so
+    # later tests see the documented disabled-by-default state.
+    progress.set_stderr(False)
 
 
 @pytest.fixture(scope="session")

@@ -310,6 +310,77 @@ class TestSingularLanes:
         assert np.all(np.isfinite(x))
 
 
+class TestCounterParity:
+    """The C kernels report the same solver counters as the numpy path.
+
+    The native backends marshal per-lane Newton iteration and probe
+    crossing counts out of the C kernels; the contract is *exact*
+    integer equality with the numpy reference loop (same schedule, same
+    arithmetic, same counts) — not just statistical agreement.  Probing
+    the ramping input guarantees every lane records a crossing, so the
+    crossing-counter comparison is never vacuous.
+    """
+
+    PARITY_KEYS = (
+        "ensemble.transient_steps",
+        "ensemble.transient_halvings",
+        "ensemble.lte_rejections",
+        "ensemble.newton_lane_iterations",
+        "ensemble.probe_crossings",
+    )
+
+    def _counted_run(self):
+        members, opts = [], []
+        for slew in (1e-4, 4e-4):
+            for load in (0.5e-12, 4e-12):
+                members.append(inverter_testbench(load=load, slew=slew))
+                dt = min(2e-3 / 400, slew / 8)
+                opts.append(TransientOptions(dt=dt, t_stop=2e-3,
+                                             dt_max=16 * dt,
+                                             lte_tol=5e-4 * VDD))
+        telemetry.reset()
+        telemetry.enable(True)
+        try:
+            ens = EnsembleTransient(members, opts,
+                                    [Probe("a", 0.5 * VDD)]).run()
+            metrics = telemetry.metrics_snapshot()
+        finally:
+            telemetry.enable(False)
+            telemetry.reset()
+        counters = dict(metrics.get("counters", metrics))
+        parity = {key: counters.get(key, 0) for key in self.PARITY_KEYS}
+        return ens.final_value("out"), parity, counters
+
+    def test_native_counters_match_numpy(self, monkeypatch):
+        _use(monkeypatch, "numpy")
+        ref_final, ref_parity, _ = self._counted_run()
+        assert ref_parity["ensemble.transient_steps"] > 0
+        assert ref_parity["ensemble.newton_lane_iterations"] > 0
+        assert ref_parity["ensemble.probe_crossings"] >= 4  # one per lane
+
+        backend = _use(monkeypatch, "native", REPRO_NATIVE_TIMESTEP="1")
+        if backend.name != "native":
+            pytest.skip("no C compiler on this machine")
+
+        # Whole-timestep C loop (stats marshalled from the sweep kernel).
+        final_ts, parity_ts, all_ts = self._counted_run()
+        assert all_ts.get("backend.native.timestep_calls", 0) > 0
+        assert parity_ts == ref_parity
+
+        # Per-iteration C Newton kernel (stats from the newton kernel).
+        monkeypatch.setenv("REPRO_NATIVE_TIMESTEP", "0")
+        reset_backend()
+        final_it, parity_it, all_it = self._counted_run()
+        assert all_it.get("backend.native.kernel_calls", 0) > 0
+        assert all_it.get("backend.native.timestep_calls", 0) == 0
+        assert parity_it == ref_parity
+
+        np.testing.assert_allclose(final_ts, ref_final,
+                                   rtol=1e-6, atol=1e-9)
+        np.testing.assert_allclose(final_it, ref_final,
+                                   rtol=1e-6, atol=1e-9)
+
+
 class TestDispatchAndDegradation:
     def test_forced_numpy(self, monkeypatch):
         assert _use(monkeypatch, "numpy").name == "numpy"

@@ -213,8 +213,15 @@ class TestCli:
         rc = main(["validate", "--only", "cache-warm-vs-cold",
                    "--report", str(out)])
         assert rc == 0
+        # --report now writes a full schema-v1 run report with the
+        # validation outcome embedded, so the history index covers
+        # validation runs alongside the experiments.
         payload = json.loads(out.read_text())
-        assert payload["ok"] and payload["n_checks"] == 1
+        assert payload["target"] == "validate"
+        assert payload["status"] == "ok"
+        assert "env" in payload and "span_tree" in payload
+        validation = payload["validation"]
+        assert validation["ok"] and validation["n_checks"] == 1
         assert "cache-warm-vs-cold" in capsys.readouterr().out
 
     def test_validate_command_fails_on_mismatch(self, monkeypatch,
