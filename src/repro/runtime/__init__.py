@@ -16,9 +16,12 @@ from repro.runtime.cache import ResultCache, default_cache, default_cache_root
 from repro.runtime.executor import (
     TaskError,
     TaskResult,
+    WorkerPool,
+    active_pool,
     get_shared,
     parallel_map,
     resolve_workers,
+    use_pool,
 )
 from repro.runtime.log import get_logger
 
@@ -49,6 +52,8 @@ __all__ = [
     "ResultCache",
     "TaskError",
     "TaskResult",
+    "WorkerPool",
+    "active_pool",
     "chunked",
     "default_cache",
     "default_cache_root",
@@ -60,4 +65,5 @@ __all__ = [
     "parallel_map",
     "resolve_workers",
     "telemetry",
+    "use_pool",
 ]

@@ -106,16 +106,45 @@ def index_entry(report: dict, path: str | Path) -> dict:
     return entry
 
 
+def _append_line(path: Path, line: bytes) -> None:
+    """Append *line* to *path* as one ``os.write`` on an ``O_APPEND`` fd.
+
+    Concurrent appenders (sweep workers and the service daemon all land
+    reports) must never interleave partial lines.  Buffered ``open(...,
+    "a")`` writes tear once an entry outgrows the IO buffer — the
+    flush splits it into several ``write(2)`` calls and another
+    process's line can land between them.  A single ``os.write`` on an
+    ``O_APPEND`` descriptor is atomic for regular files on every
+    platform we run on; where that guarantee is shaky (network
+    filesystems) the advisory lock below serialises writers, and is
+    quietly skipped where unsupported.
+    """
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o666)
+    try:
+        try:
+            import fcntl
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except (ImportError, OSError):
+            pass                       # O_APPEND atomicity is the fallback
+        os.write(fd, line)
+    finally:
+        os.close(fd)                   # also releases the advisory lock
+
+
 def append_entry(report: dict, path: str | Path,
                  history_path: str | Path | None = None) -> Path | None:
-    """Append the report's index line; best-effort (None on failure)."""
+    """Append the report's index line; best-effort (None on failure).
+
+    The line is emitted whole, via :func:`_append_line`, so index files
+    shared by concurrent processes stay parseable line-by-line.
+    """
     hist = Path(history_path) if history_path is not None \
         else default_history_path()
+    line = (json.dumps(index_entry(report, path), sort_keys=False)
+            + "\n").encode()
     try:
         hist.parent.mkdir(parents=True, exist_ok=True)
-        with open(hist, "a") as fh:
-            fh.write(json.dumps(index_entry(report, path),
-                                sort_keys=False) + "\n")
+        _append_line(hist, line)
     except OSError:
         return None
     return hist

@@ -26,21 +26,27 @@ and free of interleaving.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import sys
+import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator, TextIO
+from typing import Callable, Iterator
 
 __all__ = [
     "ENABLED",
     "PROGRESS_ENV",
     "Phase",
+    "add_sink",
     "begin",
     "end",
+    "get_context",
     "phase",
     "refresh",
+    "remove_sink",
+    "set_context",
     "stream_path",
     "update",
 ]
@@ -56,9 +62,21 @@ PROGRESS_ENV = "REPRO_PROGRESS"
 _MIN_INTERVAL = 0.2
 
 _stderr_wanted = False          # set by repro.runtime.log.configure()
-_stream: TextIO | None = None
+_stream: io.IOBase | None = None
+_stream_pid: int | None = None
 _stream_failed = False
 _active: list["Phase"] = []
+
+#: In-process subscribers: callables receiving each heartbeat record
+#: (a dict).  The service scheduler registers one to route ticks to the
+#: jobs that produced them (see :func:`set_context`).  A raising sink is
+#: never allowed to break the instrumented computation.
+_sinks: list[Callable[[dict], None]] = []
+
+#: Thread-local context label stamped on every record emitted by this
+#: thread (as ``"ctx"``), so a multiplexed stream — several service jobs
+#: heartbeating concurrently — can be demultiplexed per job.
+_ctx_tls = threading.local()
 
 
 def stream_path() -> str | None:
@@ -74,28 +92,71 @@ def set_stderr(wanted: bool) -> None:
 
 
 def refresh() -> None:
-    """Re-derive :data:`ENABLED` from the env knob and logging level."""
+    """Re-derive :data:`ENABLED` from the env knob, logging level and sinks."""
     global ENABLED
-    ENABLED = _stderr_wanted or stream_path() is not None
+    ENABLED = _stderr_wanted or stream_path() is not None or bool(_sinks)
 
 
-def _open_stream() -> TextIO | None:
-    global _stream, _stream_failed
+def add_sink(fn: Callable[[dict], None]) -> None:
+    """Subscribe *fn* to every heartbeat record emitted in this process."""
+    if fn not in _sinks:
+        _sinks.append(fn)
+    refresh()
+
+
+def remove_sink(fn: Callable[[dict], None]) -> None:
+    """Unsubscribe a sink added with :func:`add_sink` (no-op if absent)."""
+    if fn in _sinks:
+        _sinks.remove(fn)
+    refresh()
+
+
+def set_context(label: str | None) -> str | None:
+    """Set this thread's context label; returns the previous one.
+
+    While set, every record emitted by this thread carries it as
+    ``"ctx"`` — the seam that lets the service scheduler attribute
+    heartbeats from concurrent jobs to the right client.
+    """
+    previous = get_context()
+    _ctx_tls.value = label
+    return previous
+
+
+def get_context() -> str | None:
+    """This thread's context label, or None."""
+    return getattr(_ctx_tls, "value", None)
+
+
+def _open_stream() -> io.IOBase | None:
+    """The ndjson stream fd, (re)opened per process.
+
+    A forked pool worker inherits the parent's open file *object*,
+    including its userspace buffer: writes from both processes through
+    that shared buffer interleave mid-record and duplicate whatever was
+    buffered at fork time.  Keying the stream on ``os.getpid()`` makes
+    each process open its own ``O_APPEND`` fd, and records are written
+    unbuffered, one :func:`os.write` per line, so concurrent emitters
+    only ever interleave *whole* lines.
+    """
+    global _stream, _stream_pid, _stream_failed
     path = stream_path()
     if path is None or _stream_failed:
         return None
-    if _stream is None or _stream.name != path:
-        if _stream is not None:
+    pid = os.getpid()
+    if _stream is None or _stream.name != path or _stream_pid != pid:
+        if _stream is not None and _stream_pid == pid:
             try:
                 _stream.close()
             except OSError:                  # pragma: no cover - best effort
                 pass
-            _stream = None
+        _stream = None
         try:
-            _stream = open(path, "a", buffering=1)
+            _stream = open(path, "ab", buffering=0)
         except OSError:
             _stream_failed = True
             return None
+        _stream_pid = pid
     return _stream
 
 
@@ -155,7 +216,7 @@ class Phase:
             except OSError:                  # pragma: no cover - closed pipe
                 pass
         stream = _open_stream()
-        if stream is not None:
+        if stream is not None or _sinks:
             record: dict = {
                 "event": event,
                 "phase": self.name,
@@ -167,10 +228,22 @@ class Phase:
                 record["total"] = self.total
             if eta is not None:
                 record["eta_seconds"] = round(eta, 3)
-            try:
-                stream.write(json.dumps(record) + "\n")
-            except OSError:                  # pragma: no cover - full disk
-                pass
+            ctx = get_context()
+            if ctx is not None:
+                record["ctx"] = ctx
+            if stream is not None:
+                record["pid"] = os.getpid()
+                try:
+                    # One os.write per record (the fd is unbuffered and
+                    # O_APPEND): lines from concurrent processes never tear.
+                    stream.write((json.dumps(record) + "\n").encode())
+                except OSError:              # pragma: no cover - full disk
+                    pass
+            for sink in list(_sinks):
+                try:
+                    sink(record)
+                except Exception:            # noqa: BLE001 - sinks must not
+                    pass                     # break the instrumented run
 
 
 def begin(name: str, total: int | None = None) -> Phase | None:

@@ -42,6 +42,7 @@ default collection is off until a driver — the ``python -m repro`` CLI,
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Iterator
@@ -128,10 +129,24 @@ class _Registry:
         self.timers: dict[str, list[float]] = {}   # name -> [seconds, calls]
         self.dists: dict[str, list[float]] = {}    # name -> [n, sum, min, max]
         self.roots: list[_Span] = []
-        self.stack: list[_Span] = []
+        self._stack_tls = threading.local()
         self.span_totals: dict[str, list[float]] = {}  # path -> [count, secs]
         self.warnings: list[str] = []
         self.epoch = time.perf_counter()
+
+    @property
+    def stack(self) -> list[_Span]:
+        """This thread's open-span stack.
+
+        Thread-local so concurrent service jobs (scheduler threads) each
+        build their own span hierarchy instead of corrupting one shared
+        stack; counters/timers/roots stay registry-wide (their updates
+        are associative and append-only).
+        """
+        stack = getattr(self._stack_tls, "value", None)
+        if stack is None:
+            stack = self._stack_tls.value = []
+        return stack
 
     # -- instruments --------------------------------------------------------
 

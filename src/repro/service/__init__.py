@@ -1,0 +1,35 @@
+"""Characterization-as-a-service: daemon, scheduler, job store, client.
+
+The batch CLI answers one question per process; the ROADMAP's north
+star — serve a million design-point requests a day — needs a
+long-running service.  This package hosts it:
+
+- :mod:`repro.service.jobs` — job kinds (characterize / sweep / sta /
+  dse), request normalisation, content-addressed fingerprints, and the
+  runners that produce JSON-safe results bit-identical to the one-shot
+  CLI path;
+- :mod:`repro.service.store` — in-memory job records plus the
+  persistent-result seam (completed jobs land in the shared
+  :mod:`repro.runtime.cache`, so repeat traffic is served warm);
+- :mod:`repro.service.scheduler` — job slots over a persistent
+  :class:`repro.runtime.executor.WorkerPool`, in-flight deduplication
+  by fingerprint, per-job progress routing;
+- :mod:`repro.service.daemon` — the asyncio ndjson-over-socket front
+  end (``python -m repro serve``);
+- :mod:`repro.service.client` — a small synchronous client
+  (``python -m repro submit``).
+"""
+
+from repro.service.jobs import JobError, JobSpec, normalize_request, run_job
+from repro.service.scheduler import Scheduler
+from repro.service.store import JobRecord, JobStore
+
+__all__ = [
+    "JobError",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "Scheduler",
+    "normalize_request",
+    "run_job",
+]

@@ -1,0 +1,115 @@
+"""Synchronous ndjson client for the characterization service.
+
+The daemon speaks one-JSON-object-per-line (:mod:`repro.service.daemon`);
+this client wraps a socket in that framing for scripts, tests, the CI
+smoke leg, and ``python -m repro submit``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Callable
+
+__all__ = ["ServiceClient", "parse_address"]
+
+
+def parse_address(address: str) -> tuple[str, int] | str:
+    """``"host:port"`` -> tuple; anything else is a unix socket path."""
+    host, sep, port = address.rpartition(":")
+    if sep and port.isdigit() and "/" not in address:
+        return (host or "127.0.0.1", int(port))
+    return address
+
+
+class ServiceClient:
+    """One connection to the daemon; requests are sequential."""
+
+    def __init__(self, address: tuple[str, int] | str,
+                 timeout: float | None = None) -> None:
+        if isinstance(address, str):
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(address)
+        else:
+            self._sock = socket.create_connection(address, timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- framing --------------------------------------------------------------
+
+    def _send(self, obj: dict) -> None:
+        self._file.write((json.dumps(obj) + "\n").encode())
+        self._file.flush()
+
+    def _recv(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line)
+
+    def request(self, obj: dict) -> dict:
+        """One request, one reply."""
+        self._send(obj)
+        return self._recv()
+
+    # -- ops ------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def submit(self, job: dict, wait: bool = True, stream: bool = False,
+               on_progress: Callable[[dict], None] | None = None
+               ) -> dict[str, Any]:
+        """Submit a job; with *wait* (default) return the ``done`` reply.
+
+        The ``accepted`` event's dedup/cached flags are merged into the
+        returned dict.  *on_progress* receives each ``progress`` event
+        when *stream* is set.
+        """
+        self._send({"op": "submit", "job": job, "wait": wait,
+                    "stream": stream or on_progress is not None})
+        accepted = self._recv()
+        if not accepted.get("ok"):
+            return accepted
+        if not wait:
+            return accepted
+        while True:
+            event = self._recv()
+            if event.get("event") == "done":
+                event.setdefault("dedup", accepted.get("dedup"))
+                event["accepted_cached"] = accepted.get("cached")
+                return event
+            if event.get("event") == "progress" and on_progress is not None:
+                on_progress(event.get("progress", {}))
+
+    def status(self, job_id: str) -> dict:
+        return self.request({"op": "status", "id": job_id})
+
+    def result(self, job_id: str, timeout: float | None = None) -> dict:
+        msg: dict[str, Any] = {"op": "result", "id": job_id}
+        if timeout is not None:
+            msg["timeout"] = timeout
+        return self.request(msg)
+
+    def jobs(self) -> dict:
+        return self.request({"op": "jobs"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

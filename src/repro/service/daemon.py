@@ -1,0 +1,231 @@
+"""The asyncio front end: ndjson request/response over a local socket.
+
+Protocol: one JSON object per line, in both directions.  Each request
+carries an ``"op"``; replies carry ``"ok"`` plus op-specific fields.
+A connection is sequential (one request at a time); concurrent clients
+open concurrent connections — the scheduler behind the daemon is the
+shared, thread-safe part.
+
+Ops:
+
+- ``ping`` — liveness probe;
+- ``submit`` — ``{"op": "submit", "job": {"kind", "params"},
+  "wait": bool, "stream": bool}``.  Replies first with an ``accepted``
+  event (job id, fingerprint, whether it deduplicated onto an in-flight
+  job or was served from the warm cache); with ``wait`` (default) the
+  connection then carries optional ``progress`` events (``stream``)
+  and finally one ``done`` event embedding the result or error;
+- ``status`` — a job's current record (no result);
+- ``result`` — block until a job is terminal, reply with the result;
+- ``jobs`` — all retained records;
+- ``stats`` — scheduler + cache counters;
+- ``shutdown`` — reply ``bye``, drain running jobs, exit the daemon.
+
+The daemon thread is the only asyncio party; scheduler callbacks from
+job threads are bridged onto the loop with ``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any
+
+from repro.runtime.log import get_logger
+from repro.service.jobs import JobError, job_kinds
+from repro.service.scheduler import Scheduler
+
+__all__ = ["ServiceDaemon"]
+
+_logger = get_logger(__name__)
+
+#: Bound on one request line (a job request is tiny; results are large
+#: but flow daemon->client, unlimited).
+MAX_REQUEST_BYTES = 1 << 20
+
+
+class ServiceDaemon:
+    """Serve a :class:`Scheduler` over TCP (localhost) or a unix socket."""
+
+    def __init__(self, scheduler: Scheduler, host: str = "127.0.0.1",
+                 port: int = 0, socket_path: str | None = None) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.bound: tuple[str, int] | str | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown: asyncio.Event | None = None
+
+    # -- wire helpers ---------------------------------------------------------
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, obj: dict) -> None:
+        writer.write((json.dumps(obj) + "\n").encode())
+        await writer.drain()
+
+    # -- request handlers -----------------------------------------------------
+
+    async def _handle_submit(self, msg: dict,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            record, created = self.scheduler.submit(msg.get("job"))
+        except JobError as exc:
+            await self._send(writer, {"ok": False, "error": str(exc),
+                                      "kinds": job_kinds()})
+            return
+        accepted = {
+            "ok": True,
+            "event": "accepted",
+            "id": record.id,
+            "fingerprint": record.fingerprint,
+            "state": record.state,
+            "dedup": not created,
+            "cached": record.cached,
+        }
+        wait = bool(msg.get("wait", True))
+        stream = bool(msg.get("stream", False))
+        if not wait:
+            await self._send(writer, accepted)
+            return
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue[dict] = asyncio.Queue()
+
+        def relay(event: dict) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, event)
+
+        # Subscribe before acknowledging, so a client that acts on the
+        # accepted event can never miss a progress record.
+        self.scheduler.subscribe(record.id, relay)
+        await self._send(writer, accepted)
+        try:
+            while True:
+                event = await queue.get()
+                if event.get("event") == "done":
+                    break
+                if stream:
+                    await self._send(writer, {"ok": True, **event})
+        finally:
+            self.scheduler.unsubscribe(record.id, relay)
+        reply = {"ok": record.state == "done", "event": "done",
+                 "dedup": not created}
+        reply.update(record.describe(with_result=True))
+        await self._send(writer, reply)
+
+    async def _handle_result(self, msg: dict,
+                             writer: asyncio.StreamWriter) -> None:
+        job_id = str(msg.get("id", ""))
+        record = self.scheduler.store.get(job_id)
+        if record is None:
+            await self._send(writer, {"ok": False,
+                                      "error": f"unknown job {job_id!r}"})
+            return
+        timeout = msg.get("timeout")
+        await asyncio.get_running_loop().run_in_executor(
+            None, record.done.wait,
+            float(timeout) if timeout is not None else None)
+        reply = {"ok": record.state == "done", "event": "done"}
+        reply.update(record.describe(with_result=True))
+        await self._send(writer, reply)
+
+    async def _handle_one(self, msg: dict,
+                          writer: asyncio.StreamWriter) -> bool:
+        """Dispatch one request; True asks the daemon to shut down."""
+        op = msg.get("op")
+        if op == "ping":
+            await self._send(writer, {"ok": True, "op": "pong",
+                                      "kinds": job_kinds()})
+        elif op == "submit":
+            await self._handle_submit(msg, writer)
+        elif op == "status":
+            record = self.scheduler.store.get(str(msg.get("id", "")))
+            if record is None:
+                await self._send(writer, {"ok": False,
+                                          "error": "unknown job"})
+            else:
+                await self._send(writer, {"ok": True,
+                                          **record.describe()})
+        elif op == "result":
+            await self._handle_result(msg, writer)
+        elif op == "jobs":
+            await self._send(writer, {
+                "ok": True,
+                "jobs": [r.describe() for r in self.scheduler.store.jobs()]})
+        elif op == "stats":
+            await self._send(writer, {"ok": True,
+                                      **self.scheduler.stats_snapshot()})
+        elif op == "shutdown":
+            await self._send(writer, {"ok": True, "op": "bye"})
+            return True
+        else:
+            await self._send(writer, {
+                "ok": False,
+                "error": f"unknown op {op!r}; expected one of ping/submit/"
+                         f"status/result/jobs/stats/shutdown"})
+        return False
+
+    async def _client(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                try:
+                    msg = json.loads(line)
+                    if not isinstance(msg, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    await self._send(writer, {"ok": False,
+                                              "error": f"bad request: {exc}"})
+                    continue
+                if await self._handle_one(msg, writer):
+                    assert self._shutdown is not None
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass                             # client went away mid-reply
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def _serve(self, ready: threading.Event | None) -> None:
+        self._shutdown = asyncio.Event()
+        if self.socket_path:
+            self._server = await asyncio.start_unix_server(
+                self._client, path=self.socket_path,
+                limit=MAX_REQUEST_BYTES)
+            self.bound = self.socket_path
+        else:
+            self._server = await asyncio.start_server(
+                self._client, host=self.host, port=self.port,
+                limit=MAX_REQUEST_BYTES)
+            sock = self._server.sockets[0].getsockname()
+            self.bound = (sock[0], sock[1])
+        _logger.info("service: serving on %s", self.bound)
+        print(f"serving on {self.bound}", flush=True)
+        if ready is not None:
+            ready.set()
+        async with self._server:
+            await self._shutdown.wait()
+        # Drain: running jobs finish, queued jobs execute, workers stop.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.scheduler.close)
+
+    def run(self, ready: threading.Event | None = None) -> None:
+        """Serve until a ``shutdown`` request arrives (blocking).
+
+        *ready* (if given) is set once the socket is listening — the
+        seam tests and the CI smoke leg use to start the daemon on a
+        background thread and know when to connect.
+        """
+        asyncio.run(self._serve(ready))

@@ -1,0 +1,382 @@
+"""Service job kinds: normalisation, fingerprints, and runners.
+
+A *job* is a small JSON request (``{"kind": ..., "params": {...}}``)
+naming one of the batch entry points the CLI already exposes.  This
+module is the contract between the wire and the engine:
+
+- :func:`normalize_request` validates a request and canonicalises its
+  parameters (defaults filled in, unknown keys rejected, lists sorted
+  into tuples) so that *equivalent* requests produce the **same**
+  :class:`JobSpec` — and therefore the same fingerprint, which is what
+  in-flight dedup and the warm-result cache key on;
+- :meth:`JobSpec.fingerprint` is the content-addressed identity of a
+  job (schema-versioned, via :meth:`ResultCache.key`);
+- :func:`run_job` executes a spec by calling the *same* library entry
+  points as the one-shot CLI, then projects the result onto plain
+  JSON-safe data.  JSON floats round-trip exactly, so a daemon response
+  is bit-identical to running the job locally.
+
+Thread-safety: the synthesis layer memoises shared structure
+(:func:`map_cached` netlists, STA sessions, the generic-netlist cache)
+in plain dicts that are *not* safe under concurrent mutation, so every
+runner that touches synthesis serialises on :data:`SYNTHESIS_LOCK`.
+Characterisation is transistor-level (no synthesis state) and runs
+unlocked.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.runtime.cache import ResultCache
+
+__all__ = [
+    "JOB_SCHEMA",
+    "JobError",
+    "JobSpec",
+    "SYNTHESIS_LOCK",
+    "job_kinds",
+    "normalize_request",
+    "register_kind",
+    "run_job",
+]
+
+#: Version of the job request/result layout, folded into fingerprints so
+#: a payload-shape change can never serve stale cached results.
+JOB_SCHEMA = 1
+
+#: Serialises every runner that touches the synthesis layer's shared
+#: in-process memos (mapped netlists, STA sessions, generic blocks).
+SYNTHESIS_LOCK = threading.RLock()
+
+
+class JobError(ValueError):
+    """A malformed or unsupported job request."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated, canonical job: kind plus sorted parameter pairs."""
+
+    kind: str
+    params: tuple[tuple[str, Any], ...]
+
+    def param_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def fingerprint(self) -> str:
+        """Content-addressed identity; equal specs share it."""
+        return ResultCache.key({"schema": JOB_SCHEMA, "kind": self.kind,
+                                "params": self.param_dict()})
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": self.param_dict()}
+
+
+# -- parameter validation helpers ---------------------------------------------
+
+def _choice(params: dict, name: str, choices: tuple[str, ...],
+            default: str | None = None) -> str:
+    value = params.get(name, default)
+    if value not in choices:
+        raise JobError(f"param {name!r} must be one of {list(choices)}, "
+                       f"got {value!r}")
+    return value
+
+
+def _int(params: dict, name: str, default: int, lo: int, hi: int) -> int:
+    value = params.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise JobError(f"param {name!r} must be an integer, got {value!r}")
+    if not lo <= value <= hi:
+        raise JobError(f"param {name!r} out of range [{lo}, {hi}]: {value}")
+    return value
+
+
+def _bool(params: dict, name: str, default: bool) -> bool:
+    value = params.get(name, default)
+    if not isinstance(value, bool):
+        raise JobError(f"param {name!r} must be a boolean, got {value!r}")
+    return value
+
+
+def _int_list(params: dict, name: str, default: tuple[int, ...],
+              lo: int, hi: int) -> tuple[int, ...]:
+    value = params.get(name, list(default))
+    if (not isinstance(value, (list, tuple)) or not value
+            or any(isinstance(v, bool) or not isinstance(v, int)
+                   for v in value)):
+        raise JobError(f"param {name!r} must be a non-empty integer list, "
+                       f"got {value!r}")
+    if any(not lo <= v <= hi for v in value):
+        raise JobError(f"param {name!r} values out of range [{lo}, {hi}]: "
+                       f"{list(value)}")
+    return tuple(value)
+
+
+def _workloads(params: dict, name: str = "workloads") -> tuple[str, ...]:
+    from repro.core.workloads import WORKLOADS
+    value = params.get(name, ["gzip"])
+    if (not isinstance(value, (list, tuple)) or not value
+            or any(not isinstance(v, str) for v in value)):
+        raise JobError(f"param {name!r} must be a non-empty string list, "
+                       f"got {value!r}")
+    unknown = sorted(set(value) - set(WORKLOADS))
+    if unknown:
+        raise JobError(f"unknown workloads {unknown}; "
+                       f"available: {sorted(WORKLOADS)}")
+    return tuple(value)
+
+
+def _reject_unknown(params: dict, known: set[str]) -> None:
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise JobError(f"unknown params {unknown}; expected a subset of "
+                       f"{sorted(known)}")
+
+
+# -- result projection --------------------------------------------------------
+
+def _physical_dict(physical) -> dict[str, Any]:
+    return {
+        "config_name": physical.config_name,
+        "process": physical.process,
+        "period": physical.period,
+        "frequency": physical.frequency,
+        "area": physical.area,
+        "critical_region": physical.critical_region,
+        "overhead": physical.overhead,
+    }
+
+
+def _sweep_point_dict(point) -> dict[str, Any]:
+    out = {
+        "config": point.config.name,
+        "depth": point.config.depth,
+        "physical": _physical_dict(point.physical),
+        "ipc": {k: point.ipc[k] for k in sorted(point.ipc)},
+        "performance": {k: point.performance[k]
+                        for k in sorted(point.performance)},
+        "mean_performance": point.mean_performance(),
+    }
+    for attr in ("front_width", "back_width"):
+        if hasattr(point, attr):
+            out[attr] = getattr(point, attr)
+    return out
+
+
+# -- libraries / wires --------------------------------------------------------
+
+def _process_pair(process: str, wire: bool = True,
+                  workers: int | None = None):
+    from repro.characterization import organic_library, silicon_library
+    from repro.synthesis.wires import organic_wire_model, silicon_wire_model
+    if process == "organic":
+        library, wire_model = (organic_library(workers=workers),
+                               organic_wire_model())
+    else:
+        library, wire_model = (silicon_library(workers=workers),
+                               silicon_wire_model())
+    if not wire:
+        wire_model = wire_model.scaled(0.0)
+    return library, wire_model
+
+
+# -- job kinds ----------------------------------------------------------------
+
+def _normalize_characterize(params: dict) -> dict:
+    _reject_unknown(params, {"process"})
+    return {"process": _choice(params, "process", ("organic", "silicon"),
+                               "organic")}
+
+
+def _run_characterize(params: dict, workers: int | None) -> dict:
+    library, _ = _process_pair(params["process"], workers=workers)
+    return library.to_dict()
+
+
+def _normalize_sweep(params: dict) -> dict:
+    axis = _choice(params, "axis", ("depth", "width"), "depth")
+    out = {
+        "axis": axis,
+        "process": _choice(params, "process", ("organic", "silicon"),
+                           "organic"),
+        "workloads": list(_workloads(params)),
+        "n_instructions": _int(params, "n_instructions", 2000, 100, 200_000),
+    }
+    if axis == "depth":
+        _reject_unknown(params, {"axis", "process", "workloads",
+                                 "n_instructions", "max_depth"})
+        out["max_depth"] = _int(params, "max_depth", 12, 9, 17)
+    else:
+        _reject_unknown(params, {"axis", "process", "workloads",
+                                 "n_instructions", "front_widths",
+                                 "back_widths"})
+        out["front_widths"] = list(_int_list(params, "front_widths",
+                                             (1, 2, 3), 1, 8))
+        out["back_widths"] = list(_int_list(params, "back_widths",
+                                            (3, 4, 5), 3, 10))
+    return out
+
+
+def _run_sweep(params: dict, workers: int | None) -> dict:
+    from repro.core.tradeoffs import depth_sweep, make_traces, width_sweep
+    library, wire = _process_pair(params["process"], workers=workers)
+    traces = make_traces(workloads=list(params["workloads"]),
+                         n_instructions=params["n_instructions"])
+    with SYNTHESIS_LOCK:
+        if params["axis"] == "depth":
+            points = depth_sweep(library, wire,
+                                 max_depth=params["max_depth"],
+                                 traces=traces, workers=workers)
+        else:
+            points = width_sweep(library, wire,
+                                 front_widths=list(params["front_widths"]),
+                                 back_widths=list(params["back_widths"]),
+                                 traces=traces, workers=workers)
+    return {"axis": params["axis"], "process": params["process"],
+            "points": [_sweep_point_dict(p) for p in points]}
+
+
+_STA_BLOCKS = ("adder", "multiplier", "alu", "complex_alu")
+
+
+def _normalize_sta(params: dict) -> dict:
+    _reject_unknown(params, {"process", "block", "width", "wire"})
+    return {
+        "process": _choice(params, "process", ("organic", "silicon"),
+                           "organic"),
+        "block": _choice(params, "block", _STA_BLOCKS, "adder"),
+        "width": _int(params, "width", 16, 2, 64),
+        "wire": _bool(params, "wire", True),
+    }
+
+
+def _run_sta(params: dict, workers: int | None) -> dict:
+    from repro.synthesis import generators
+    from repro.synthesis.mapping import map_cached
+    from repro.synthesis.sta import static_timing
+    library, wire = _process_pair(params["process"], wire=params["wire"],
+                                  workers=workers)
+    width = params["width"]
+    builders = {
+        "adder": lambda: generators.carry_select_adder(width=width),
+        "multiplier": lambda: generators.array_multiplier(width=width),
+        "alu": lambda: generators.simple_alu(width=width),
+        "complex_alu": lambda: generators.complex_alu(width=width),
+    }
+    with SYNTHESIS_LOCK:
+        mapped = map_cached(builders[params["block"]]())
+        report = static_timing(mapped, library, wire)
+        gates = len(mapped.gates)
+    return {
+        "netlist": report.netlist_name,
+        "gates": gates,
+        "max_delay": report.max_delay,
+        "critical_path": list(report.critical_path),
+        "critical_length": report.critical_length,
+    }
+
+
+def _normalize_dse(params: dict) -> dict:
+    _reject_unknown(params, {"quick"})
+    return {"quick": _bool(params, "quick", True)}
+
+
+def _run_dse(params: dict, workers: int | None) -> dict:
+    from repro.analysis.dse import dse_sweep
+    with SYNTHESIS_LOCK:
+        if params["quick"]:
+            # Mirrors the CLI's --quick grid exactly.
+            result = dse_sweep(widths=(8, 16), width_pairs=((2, 4), (3, 5)),
+                               max_depth=11, workers=workers)
+        else:
+            result = dse_sweep(workers=workers)
+    best = result.best()
+    return {
+        "quick": params["quick"],
+        "combos": list(result.combos),
+        "n_points": len(result),
+        "best": {
+            "combo": best.combo,
+            "config": best.config.name,
+            "depth": best.config.depth,
+            "data_width": best.config.data_width,
+            "mean_performance": best.mean_performance(),
+            "frequency": best.physical.frequency,
+            "area": best.physical.area,
+        },
+        "best_per_combo": {
+            combo: {
+                "config": p.config.name,
+                "depth": p.config.depth,
+                "data_width": p.config.data_width,
+                "mean_performance": p.mean_performance(),
+            }
+            for combo in result.combos
+            for p in [result.best(combo)]
+        },
+    }
+
+
+#: kind -> (normalize(params) -> canonical params, run(params, workers))
+_KINDS: dict[str, tuple[Callable[[dict], dict],
+                        Callable[[dict, int | None], Any]]] = {
+    "characterize": (_normalize_characterize, _run_characterize),
+    "sweep": (_normalize_sweep, _run_sweep),
+    "sta": (_normalize_sta, _run_sta),
+    "dse": (_normalize_dse, _run_dse),
+}
+
+
+def job_kinds() -> list[str]:
+    """The registered job kinds, sorted."""
+    return sorted(_KINDS)
+
+
+def register_kind(kind: str,
+                  normalize: Callable[[dict], dict],
+                  run: Callable[[dict, int | None], Any]) -> None:
+    """Register (or replace) a job kind — the test seam for synthetic
+    jobs with controlled timing."""
+    _KINDS[str(kind)] = (normalize, run)
+
+
+def normalize_request(request: Any) -> JobSpec:
+    """Validate a wire request into a canonical :class:`JobSpec`.
+
+    Raises :class:`JobError` on anything malformed.  Two requests that
+    mean the same job normalise to the same spec (and fingerprint).
+    """
+    if not isinstance(request, dict):
+        raise JobError(f"job request must be an object, got "
+                       f"{type(request).__name__}")
+    _reject_unknown(request, {"kind", "params"})
+    kind = request.get("kind")
+    if not isinstance(kind, str) or kind not in _KINDS:
+        raise JobError(f"unknown job kind {kind!r}; "
+                       f"available: {job_kinds()}")
+    params = request.get("params", {})
+    if not isinstance(params, dict):
+        raise JobError(f"params must be an object, got "
+                       f"{type(params).__name__}")
+    normalize, _run = _KINDS[kind]
+    canonical = normalize(dict(params))
+    return JobSpec(kind=kind,
+                   params=tuple(sorted(canonical.items())))
+
+
+def run_job(spec: JobSpec, workers: int | None = None) -> Any:
+    """Execute *spec* and return its JSON-safe result payload.
+
+    This is the single compute path: the daemon's scheduler and the
+    ``python -m repro submit --local`` one-shot both land here, which is
+    what makes service responses bit-identical to local runs.
+    """
+    entry = _KINDS.get(spec.kind)
+    if entry is None:
+        raise JobError(f"unknown job kind {spec.kind!r}")
+    _normalize, run = entry
+    return run(spec.param_dict(), workers)

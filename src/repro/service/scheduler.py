@@ -1,0 +1,227 @@
+"""Job scheduler: slots, persistent workers, in-flight dedup.
+
+Two tiers of concurrency:
+
+- **job slots** — a small thread pool (``slots``) running whole jobs
+  concurrently; threads spend their time waiting on worker processes,
+  so a handful of slots keeps the pool saturated without oversubscribing
+  the machine;
+- one **persistent** :class:`repro.runtime.executor.WorkerPool` shared
+  by every slot: each job runs inside ``use_pool``, so all the
+  ``parallel_map`` fan-outs it performs (characterisation arcs, sweep
+  configs, DSE grid points) shard onto the same warm worker processes
+  instead of paying pool start-up per map.
+
+Deduplication happens at two levels, both keyed on the job fingerprint:
+
+1. **in-flight** — a duplicate of a queued/running job attaches to the
+   existing record as an extra waiter (compute once, fan the result to
+   every waiter);
+2. **warm** — a job whose fingerprint has a persistent cache entry is
+   answered immediately without touching a slot.
+
+Progress: each slot stamps its thread with ``progress.set_context(job
+id)`` and the scheduler registers one progress sink, so heartbeat
+records emitted anywhere under a job (phase begin/tick/end from nested
+``parallel_map`` calls) are routed to that job's record ring and to any
+streaming subscribers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.runtime import executor, progress, telemetry
+from repro.runtime.cache import ResultCache
+from repro.runtime.log import get_logger
+from repro.service.jobs import JobSpec, normalize_request, run_job
+from repro.service.store import JobRecord, JobStore
+
+__all__ = ["Scheduler"]
+
+_logger = get_logger(__name__)
+
+
+class Scheduler:
+    """Accept specs, dedup, execute on slots over a persistent pool."""
+
+    def __init__(self, slots: int = 2, workers: int | None = None,
+                 cache: ResultCache | None = None,
+                 use_cache: bool = True) -> None:
+        self.slots = max(1, int(slots))
+        self.store = JobStore(cache=cache, use_cache=use_cache)
+        self.pool = executor.WorkerPool(workers)
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.slots, thread_name_prefix="repro-job")
+        self._lock = threading.RLock()
+        self._inflight: dict[str, str] = {}      # fingerprint -> job id
+        self._subscribers: dict[str, list[Callable[[dict], None]]] = {}
+        self._closed = False
+        self.stats = {"submitted": 0, "deduped": 0, "cached": 0,
+                      "computed": 0, "failed": 0}
+        progress.add_sink(self._progress_sink)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, request: Any) -> tuple[JobRecord, bool]:
+        """Normalise and accept a request.
+
+        Returns ``(record, created)``: *created* is False when the
+        request deduplicated onto an in-flight job's record.  Raises
+        :class:`repro.service.jobs.JobError` on a malformed request.
+        """
+        spec = normalize_request(request)
+        return self.submit_spec(spec)
+
+    def submit_spec(self, spec: JobSpec) -> tuple[JobRecord, bool]:
+        fingerprint = spec.fingerprint()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            self.stats["submitted"] += 1
+            telemetry.count("service.jobs.submitted")
+            # 1. In-flight dedup: attach to the live record.
+            live_id = self._inflight.get(fingerprint)
+            if live_id is not None:
+                record = self.store.get(live_id)
+                if record is not None and not record.terminal:
+                    record.waiters += 1
+                    self.stats["deduped"] += 1
+                    telemetry.count("service.jobs.deduped")
+                    return record, False
+            # 2. Warm path: answer from the persistent cache.
+            hit, result = self.store.lookup_cached(fingerprint)
+            if hit:
+                record = self.store.create(spec, fingerprint)
+                record.state = "done"
+                record.result = result
+                record.cached = True
+                record.finished_at = time.time()
+                record.done.set()
+                self.stats["cached"] += 1
+                telemetry.count("service.jobs.cached")
+                self._notify(record.id, {"event": "done", "id": record.id})
+                return record, True
+            # 3. Cold path: new record, queue for a slot.
+            record = self.store.create(spec, fingerprint)
+            self._inflight[fingerprint] = record.id
+        self._threads.submit(self._execute, record)
+        return record, True
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, record: JobRecord) -> None:
+        record.state = "running"
+        record.started_at = time.time()
+        previous_ctx = progress.set_context(record.id)
+        try:
+            with executor.use_pool(self.pool):
+                with telemetry.span(f"job:{record.spec.kind}", job=record.id):
+                    result = run_job(record.spec, workers=self.pool.workers)
+            record.result = result
+            record.state = "done"
+            self.stats["computed"] += 1
+            telemetry.count("service.jobs.computed")
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            record.error = f"{type(exc).__name__}: {exc}"
+            record.state = "failed"
+            self.stats["failed"] += 1
+            telemetry.count("service.jobs.failed")
+            _logger.warning("job %s (%s) failed: %s", record.id,
+                            record.spec.kind, record.error)
+        finally:
+            progress.set_context(previous_ctx)
+            record.finished_at = time.time()
+            self.store.store_result(record)
+            with self._lock:
+                if self._inflight.get(record.fingerprint) == record.id:
+                    del self._inflight[record.fingerprint]
+            record.done.set()
+            self._notify(record.id, {"event": "done", "id": record.id})
+
+    # -- progress routing -----------------------------------------------------
+
+    def _progress_sink(self, rec: dict) -> None:
+        job_id = rec.get("ctx")
+        if not job_id:
+            return
+        record = self.store.get(job_id)
+        if record is not None:
+            record.progress.append(dict(rec))
+        self._notify(job_id, {"event": "progress", "id": job_id,
+                              "progress": dict(rec)})
+
+    def subscribe(self, job_id: str,
+                  fn: Callable[[dict], None]) -> None:
+        """Stream progress/done events for *job_id* to *fn*.
+
+        Subscribing to an already-terminal job fires the done event
+        immediately (no missed wakeups).
+        """
+        record = self.store.get(job_id)
+        with self._lock:
+            self._subscribers.setdefault(job_id, []).append(fn)
+        if record is not None and record.terminal:
+            fn({"event": "done", "id": job_id})
+
+    def unsubscribe(self, job_id: str,
+                    fn: Callable[[dict], None]) -> None:
+        with self._lock:
+            subs = self._subscribers.get(job_id, [])
+            if fn in subs:
+                subs.remove(fn)
+            if not subs:
+                self._subscribers.pop(job_id, None)
+
+    def _notify(self, job_id: str, event: dict) -> None:
+        with self._lock:
+            subs = list(self._subscribers.get(job_id, ()))
+        for fn in subs:
+            try:
+                fn(event)
+            except Exception:                # noqa: BLE001 - subscriber bug
+                pass                         # must not break the job
+
+    # -- queries --------------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float | None = None
+             ) -> JobRecord | None:
+        """Block until *job_id* is terminal (or *timeout*); its record."""
+        record = self.store.get(job_id)
+        if record is None:
+            return None
+        record.done.wait(timeout)
+        return record
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "jobs": dict(self.stats),
+                "inflight": len(self._inflight),
+                "slots": self.slots,
+                "workers": self.pool.workers,
+                "cache": {"enabled": self.store.use_cache,
+                          "hits": self.store.cache.hits,
+                          "misses": self.store.cache.misses},
+            }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain queued jobs, stop the slots, shut the worker pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        progress.remove_sink(self._progress_sink)
+        self._threads.shutdown(wait=True)
+        self.pool.close()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

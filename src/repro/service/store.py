@@ -1,0 +1,153 @@
+"""In-memory job records plus the persistent warm-result seam.
+
+A :class:`JobRecord` is the unit everything else points at: the
+scheduler mutates it as the job progresses, the daemon serialises it to
+clients, duplicate submissions attach to it as extra waiters.  The
+:class:`JobStore` owns the records (bounded, oldest-terminal evicted
+first) and fronts the shared :class:`repro.runtime.cache.ResultCache`
+under the ``service_jobs`` category, so a result computed once — by
+this daemon or an earlier one — serves every later identical request
+without recomputation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any
+
+from repro.runtime.cache import ResultCache, default_cache
+from repro.service.jobs import JOB_SCHEMA, JobSpec
+
+__all__ = ["CACHE_CATEGORY", "JobRecord", "JobStore"]
+
+#: Persistent-cache category for completed job results.
+CACHE_CATEGORY = "service_jobs"
+
+#: Retained terminal records (running/queued records are never evicted).
+DEFAULT_KEEP = 256
+
+#: Progress heartbeats retained per job for late status queries.
+PROGRESS_KEEP = 32
+
+
+class JobRecord:
+    """One submitted job's full lifecycle."""
+
+    __slots__ = ("id", "spec", "fingerprint", "state", "submitted_at",
+                 "started_at", "finished_at", "result", "error", "cached",
+                 "waiters", "progress", "done")
+
+    def __init__(self, job_id: str, spec: JobSpec, fingerprint: str) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self.state = "queued"           # queued | running | done | failed
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.result: Any = None
+        self.error: str | None = None
+        self.cached = False             # served from the persistent cache
+        self.waiters = 1                # clients attached (dedup fan-out)
+        self.progress: deque[dict] = deque(maxlen=PROGRESS_KEEP)
+        self.done = threading.Event()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def describe(self, with_result: bool = False) -> dict[str, Any]:
+        """JSON-safe status view (optionally embedding the result)."""
+        out: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "cached": self.cached,
+            "waiters": self.waiters,
+            "submitted_at": round(self.submitted_at, 3),
+        }
+        if self.started_at is not None:
+            out["started_at"] = round(self.started_at, 3)
+        if self.finished_at is not None:
+            out["finished_at"] = round(self.finished_at, 3)
+            out["elapsed_seconds"] = round(
+                self.finished_at - (self.started_at or self.submitted_at), 4)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.progress:
+            out["progress"] = self.progress[-1]
+        if with_result and self.state == "done":
+            out["result"] = self.result
+        return out
+
+
+class JobStore:
+    """Thread-safe record registry + persistent result cache front."""
+
+    def __init__(self, cache: ResultCache | None = None,
+                 use_cache: bool = True, keep: int = DEFAULT_KEEP) -> None:
+        self.cache = cache if cache is not None else default_cache()
+        self.use_cache = bool(use_cache) and self.cache.enabled
+        self.keep = max(1, int(keep))
+        self._records: OrderedDict[str, JobRecord] = OrderedDict()
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    # -- records --------------------------------------------------------------
+
+    def create(self, spec: JobSpec, fingerprint: str) -> JobRecord:
+        with self._lock:
+            self._counter += 1
+            job_id = f"job-{self._counter}-{fingerprint[:8]}"
+            record = JobRecord(job_id, spec, fingerprint)
+            self._records[job_id] = record
+            self._evict_locked()
+            return record
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def jobs(self) -> list[JobRecord]:
+        """All retained records, oldest first."""
+        with self._lock:
+            return list(self._records.values())
+
+    def _evict_locked(self) -> None:
+        # Drop oldest *terminal* records past the retention bound; live
+        # records (queued/running) are load-bearing and never evicted.
+        excess = len(self._records) - self.keep
+        if excess <= 0:
+            return
+        for job_id in [jid for jid, rec in self._records.items()
+                       if rec.terminal][:excess]:
+            del self._records[job_id]
+
+    # -- persistent results ---------------------------------------------------
+
+    def lookup_cached(self, fingerprint: str) -> tuple[bool, Any]:
+        """(hit, result) from the persistent cache for *fingerprint*."""
+        if not self.use_cache:
+            return False, None
+        entry = self.cache.get(CACHE_CATEGORY, fingerprint)
+        if (isinstance(entry, dict) and entry.get("schema") == JOB_SCHEMA
+                and "result" in entry):
+            return True, entry["result"]
+        return False, None
+
+    def store_result(self, record: JobRecord) -> None:
+        """Persist a completed job's result for future warm serving."""
+        if not self.use_cache or record.state != "done":
+            return
+        try:
+            self.cache.put(CACHE_CATEGORY, record.fingerprint, {
+                "schema": JOB_SCHEMA,
+                "kind": record.spec.kind,
+                "params": record.spec.param_dict(),
+                "result": record.result,
+            })
+        except OSError:                      # pragma: no cover - disk full
+            pass

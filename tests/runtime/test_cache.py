@@ -254,3 +254,57 @@ def test_cache_stats_cli(tmp_path, monkeypatch, capsys):
     out = capsys.readouterr().out
     assert str(tmp_path) in out
     assert "library" in out and "entries" in out
+
+
+# -- concurrent same-key writers (the dedup layer's invariant) ---------------
+
+def _racing_writer(root: str, key: str, rounds: int, tag: int,
+                   out_path: str) -> None:
+    """Hammer one cache entry with put+get and report stats as JSON."""
+    cache = ResultCache(root=root, enabled=True)
+    corrupt = 0
+    for i in range(rounds):
+        cache.put("race", key, {"tag": tag, "round": i,
+                                "pad": list(range(400))})
+        entry = cache.get("race", key)
+        # Any outcome must be a complete payload from *some* writer —
+        # a torn/corrupt entry reads back as None (get drops it).
+        if entry is None or len(entry.get("pad", ())) != 400:
+            corrupt += 1
+    with open(out_path, "w") as fh:
+        json.dump({"hits": cache.hits, "misses": cache.misses,
+                   "corrupt": corrupt}, fh)
+
+
+def test_concurrent_same_key_writers_leave_readable_entry(tmp_path):
+    """Two processes racing tmp+rename on one entry: every read during
+    the race sees a complete payload (atomic os.replace publication),
+    counters stay consistent, and the final entry is readable."""
+    import multiprocessing
+
+    key = ResultCache.key({"race": True})
+    rounds = 50
+    outs = [tmp_path / f"stats-{tag}.json" for tag in range(2)]
+    procs = [multiprocessing.Process(
+                target=_racing_writer,
+                args=(str(tmp_path / "cache"), key, rounds, tag, str(out)))
+             for tag, out in enumerate(outs)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(60)
+        assert proc.exitcode == 0
+
+    for out in outs:
+        stats = json.loads(out.read_text())
+        # Every get after a put must hit: os.replace guarantees the
+        # entry exists and is complete from the first put onwards.
+        assert stats == {"hits": rounds, "misses": 0, "corrupt": 0}
+
+    cache = ResultCache(root=tmp_path / "cache", enabled=True)
+    final = cache.get("race", key)
+    assert final is not None and len(final["pad"]) == 400
+    assert final["tag"] in (0, 1) and final["round"] == rounds - 1
+    # Exactly one published file, no leftover tmp droppings.
+    entries = list((tmp_path / "cache" / "race").iterdir())
+    assert [e.name for e in entries] == [f"{key}.json"]

@@ -269,3 +269,62 @@ class TestPerfCli:
                    str(tmp_path / "absent.json")])
         assert rc == 2
         assert "cannot read baseline" in capsys.readouterr().out
+
+
+# -- concurrent appends -------------------------------------------------------
+
+def _big_report(tag: str) -> dict:
+    """A report whose index line is far larger than the stdio buffer
+    (~8 KiB), so a torn buffered append would corrupt the ndjson."""
+    report = {
+        "schema": 1,
+        "target": f"bench-{tag}",
+        "timestamp": "2026-01-01T00:00:00",
+        "status": "ok",
+        "duration_seconds": 1.0,
+        "env": {"python": "3", "machine": "x", "cpu_count": 1},
+        "benchmarks": {f"bench_{tag}_{i:04d}": {"seconds": float(i)}
+                       for i in range(1500)},
+    }
+    return report
+
+
+def _append_worker(hist: str, tag: str, count: int) -> None:
+    report = _big_report(tag)
+    for i in range(count):
+        out = history.append_entry(report, f"/runs/{tag}-{i}.json",
+                                   history_path=hist)
+        assert out is not None
+
+
+class TestConcurrentAppends:
+    def test_parallel_writers_never_tear_lines(self, tmp_path):
+        """Regression: pre-fix append_entry used a buffered write in
+        append mode, so two processes landing >8 KiB index lines at the
+        same time interleaved partial lines.  Post-fix every entry is
+        one os.write on an O_APPEND fd."""
+        import multiprocessing
+
+        hist = tmp_path / "history.ndjson"
+        n_procs, per_proc = 4, 25
+        procs = [multiprocessing.Process(
+                    target=_append_worker,
+                    args=(str(hist), f"p{p}", per_proc))
+                 for p in range(n_procs)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(60)
+            assert proc.exitcode == 0
+
+        lines = hist.read_bytes().splitlines()
+        assert len(lines) == n_procs * per_proc
+        entries = [json.loads(line) for line in lines]   # every line parses
+        per_tag: dict[str, int] = {}
+        for entry in entries:
+            assert len(entry["benchmarks"]) == 1500
+            tag = entry["target"].split("-", 1)[1]
+            per_tag[tag] = per_tag.get(tag, 0) + 1
+        assert per_tag == {f"p{p}": per_proc for p in range(n_procs)}
+        # load_entries sees the same thing (nothing skipped as corrupt).
+        assert len(history.load_entries(hist)) == n_procs * per_proc

@@ -116,3 +116,106 @@ def test_parallel_map_phase_defaults_to_function_name(stream):
     parallel_map(_square, [1, 2], workers=1)
     phases = {r["phase"] for r in _records(stream)}
     assert any("_square" in name for name in phases)
+
+
+# -- fork inheritance: per-pid stream reopen ---------------------------------
+
+def _noisy_task(i: int) -> int:
+    """Emits its own heartbeats from inside a pool worker (the pattern a
+    characterisation arc inside a sweep produces)."""
+    with progress.phase(f"inner[{i}]", total=4) as ph:
+        for _ in range(4):
+            progress.update(ph)
+    return i
+
+
+def test_forked_workers_emit_well_formed_ndjson(stream):
+    """Regression: forked pool workers inherited the parent's open
+    stream object; worker-side emission through that shared handle
+    could interleave records and duplicate buffered bytes.  Each
+    process must (re)open its own O_APPEND fd, keyed on pid."""
+    results = parallel_map(_noisy_task, list(range(6)), workers=3)
+    assert [r.value for r in results] == list(range(6))
+
+    records = _records(stream)               # every line parses
+    pids = {r["pid"] for r in records}
+    assert len(pids) >= 2                    # parent + >=1 worker wrote
+    # Parent's phase is complete: begin, final tick, end.
+    outer = [r for r in records if r["phase"] == "_noisy_task"]
+    assert outer[0]["event"] == "begin"
+    assert outer[-1]["event"] == "end"
+    assert outer[-1]["done"] == 6
+    # Worker phases all reached their final tick.
+    for i in range(6):
+        inner = [r for r in records if r["phase"] == f"inner[{i}]"]
+        assert inner[-1]["event"] == "end"
+        assert inner[-1]["done"] == 4
+
+
+def test_stream_reopened_after_pid_change(stream, monkeypatch):
+    with progress.phase("warm", total=1) as ph:
+        progress.update(ph)
+    first = progress._stream
+    assert first is not None
+    # Simulate being on the forked side: same module state, new pid.
+    monkeypatch.setattr(progress, "_stream_pid", progress._stream_pid - 1)
+    with progress.phase("after-fork", total=1) as ph:
+        progress.update(ph)
+    assert progress._stream is not first     # reopened, not shared
+    assert len({r["phase"] for r in _records(stream)}) == 2
+
+
+# -- sinks and context labels -------------------------------------------------
+
+def test_sink_receives_records_and_enables_progress(tmp_path, monkeypatch):
+    monkeypatch.delenv(progress.PROGRESS_ENV, raising=False)
+    monkeypatch.setattr(progress, "_stderr_wanted", False)
+    progress.refresh()
+    assert not progress.ENABLED
+    got: list[dict] = []
+    progress.add_sink(got.append)
+    try:
+        assert progress.ENABLED              # a sink alone enables emission
+        with progress.phase("sinky", total=2) as ph:
+            progress.update(ph, 2)
+    finally:
+        progress.remove_sink(got.append)
+    assert not progress.ENABLED
+    assert [r["event"] for r in got] == ["begin", "tick", "end"]
+    assert all(r["phase"] == "sinky" for r in got)
+
+
+def test_raising_sink_does_not_break_emission(stream):
+    def bad_sink(_rec):
+        raise RuntimeError("subscriber bug")
+
+    progress.add_sink(bad_sink)
+    try:
+        with progress.phase("robust", total=1) as ph:
+            progress.update(ph)
+    finally:
+        progress.remove_sink(bad_sink)
+    assert [r["event"] for r in _records(stream)] == ["begin", "tick", "end"]
+
+
+def test_context_label_stamped_and_thread_local(stream):
+    import threading
+
+    previous = progress.set_context("job-1")
+    try:
+        with progress.phase("labelled", total=1) as ph:
+            progress.update(ph)
+        other: list = []
+
+        def worker():
+            other.append(progress.get_context())
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join(10)
+        assert other == [None]               # label is per-thread
+    finally:
+        progress.set_context(previous)
+    assert progress.get_context() is None
+    records = _records(stream)
+    assert all(r["ctx"] == "job-1" for r in records)

@@ -1,0 +1,109 @@
+"""Job normalisation, fingerprints, and runner bit-identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import jobs
+from repro.service.jobs import JobError, normalize_request, run_job
+
+
+class TestNormalize:
+    def test_defaults_filled_in(self):
+        spec = normalize_request({"kind": "sta"})
+        assert spec.param_dict() == {"process": "organic", "block": "adder",
+                                     "width": 16, "wire": True}
+
+    def test_equivalent_requests_share_fingerprint(self):
+        explicit = normalize_request({"kind": "sta", "params": {
+            "process": "organic", "block": "adder", "width": 16,
+            "wire": True}})
+        defaulted = normalize_request({"kind": "sta"})
+        assert explicit == defaulted
+        assert explicit.fingerprint() == defaulted.fingerprint()
+
+    def test_different_params_different_fingerprint(self):
+        a = normalize_request({"kind": "sta", "params": {"width": 8}})
+        b = normalize_request({"kind": "sta", "params": {"width": 12}})
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_kind_is_part_of_fingerprint(self):
+        a = normalize_request({"kind": "characterize"})
+        b = normalize_request({"kind": "dse"})
+        assert a.fingerprint() != b.fingerprint()
+
+    @pytest.mark.parametrize("bad", [
+        None,
+        [],
+        {"kind": "nope"},
+        {"kind": "sta", "params": {"bogus": 1}},
+        {"kind": "sta", "params": {"width": "wide"}},
+        {"kind": "sta", "params": {"width": 1000}},
+        {"kind": "sta", "params": {"block": "fpu"}},
+        {"kind": "sweep", "params": {"axis": "diagonal"}},
+        {"kind": "sweep", "params": {"workloads": ["quake"]}},
+        {"kind": "sweep", "params": {"workloads": []}},
+        {"kind": "sweep", "params": {"axis": "depth", "front_widths": [2]}},
+        {"kind": "characterize", "params": {"process": "gallium"}},
+        {"kind": "dse", "params": {"quick": "yes"}},
+        {"kind": "sta", "extra": 1},
+    ])
+    def test_malformed_requests_rejected(self, bad):
+        with pytest.raises(JobError):
+            normalize_request(bad)
+
+    def test_sweep_axes_get_axis_specific_defaults(self):
+        depth = normalize_request({"kind": "sweep"}).param_dict()
+        assert depth["axis"] == "depth" and depth["max_depth"] == 12
+        width = normalize_request(
+            {"kind": "sweep", "params": {"axis": "width"}}).param_dict()
+        assert width["front_widths"] == [1, 2, 3]
+        assert "max_depth" not in width
+
+    def test_job_kinds_listing(self):
+        assert {"characterize", "sweep", "sta", "dse"} <= set(
+            jobs.job_kinds())
+
+
+class TestRunners:
+    def test_sta_result_is_json_safe_and_deterministic(self):
+        spec = normalize_request({"kind": "sta", "params": {"width": 8}})
+        first = run_job(spec)
+        second = run_job(spec)
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+        assert first["netlist"] == "csa8_mapped"
+        assert first["max_delay"] > 0
+        assert first["critical_length"] == len(first["critical_path"])
+
+    def test_sta_wire_flag_changes_delay(self):
+        with_wire = run_job(normalize_request(
+            {"kind": "sta", "params": {"width": 8}}))
+        without = run_job(normalize_request(
+            {"kind": "sta", "params": {"width": 8, "wire": False}}))
+        assert without["max_delay"] < with_wire["max_delay"]
+
+    def test_characterize_matches_direct_library(self, organic_lib):
+        spec = normalize_request({"kind": "characterize"})
+        result = run_job(spec)
+        assert json.dumps(result, sort_keys=True) == \
+            json.dumps(organic_lib.to_dict(), sort_keys=True)
+
+    def test_sweep_depth_small(self, organic_lib):
+        spec = normalize_request({"kind": "sweep", "params": {
+            "max_depth": 10, "n_instructions": 300}})
+        result = run_job(spec)
+        points = result["points"]
+        assert [p["depth"] for p in points] == [9, 10]
+        for p in points:
+            assert set(p["ipc"]) == {"gzip"}
+            assert p["physical"]["frequency"] > 0
+            assert p["mean_performance"] > 0
+
+    def test_unknown_kind_run_rejected(self):
+        from repro.service.jobs import JobSpec
+
+        with pytest.raises(JobError):
+            run_job(JobSpec(kind="nope", params=()))

@@ -1,0 +1,181 @@
+"""Scheduler: in-flight dedup, warm cache, progress routing, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime import progress
+from repro.runtime.cache import ResultCache
+from repro.service import jobs as jobs_mod
+from repro.service.jobs import JobError
+from repro.service.scheduler import Scheduler
+
+# -- a controllable synthetic job kind ---------------------------------------
+
+#: gate name -> Event the runner blocks on (module-level: job slots are
+#: threads of this process).
+_GATES: dict[str, threading.Event] = {}
+
+
+def _normalize_gated(params: dict) -> dict:
+    return {"gate": str(params.get("gate", "default")),
+            "payload": params.get("payload", 0)}
+
+
+def _run_gated(params: dict, workers):
+    event = _GATES.get(params["gate"])
+    if event is not None:
+        assert event.wait(timeout=30)
+    return {"payload": params["payload"], "gate": params["gate"]}
+
+
+def _run_emitting(params: dict, workers):
+    with progress.phase("gated-work", total=2) as ph:
+        progress.update(ph, 2)
+    return _run_gated(params, workers)
+
+
+@pytest.fixture()
+def gated_kind():
+    jobs_mod.register_kind("testgate", _normalize_gated, _run_gated)
+    jobs_mod.register_kind("testemit", _normalize_gated, _run_emitting)
+    _GATES.clear()
+    yield
+    jobs_mod._KINDS.pop("testgate", None)
+    jobs_mod._KINDS.pop("testemit", None)
+    _GATES.clear()
+
+
+@pytest.fixture()
+def scheduler(tmp_path, gated_kind):
+    sched = Scheduler(slots=1, workers=1,
+                      cache=ResultCache(root=tmp_path / "svc", enabled=True))
+    yield sched
+    for event in _GATES.values():
+        event.set()
+    sched.close()
+
+
+def _submit(sched, gate="default", payload=0, kind="testgate"):
+    return sched.submit({"kind": kind,
+                         "params": {"gate": gate, "payload": payload}})
+
+
+class TestDedup:
+    def test_identical_inflight_requests_compute_once(self, scheduler):
+        _GATES["g"] = threading.Event()
+        first, created = _submit(scheduler, gate="g", payload=7)
+        assert created
+        # While the job holds the only slot, identical requests attach.
+        dup1, created1 = _submit(scheduler, gate="g", payload=7)
+        dup2, created2 = _submit(scheduler, gate="g", payload=7)
+        assert (created1, created2) == (False, False)
+        assert dup1 is first and dup2 is first
+        assert first.waiters == 3
+        _GATES["g"].set()
+        record = scheduler.wait(first.id, timeout=30)
+        assert record.state == "done"
+        assert record.result == {"payload": 7, "gate": "g"}
+        assert scheduler.stats["computed"] == 1
+        assert scheduler.stats["deduped"] == 2
+
+    def test_different_params_are_not_deduped(self, scheduler):
+        a, _ = _submit(scheduler, payload=1)
+        b, _ = _submit(scheduler, payload=2)
+        assert a.id != b.id
+        assert scheduler.wait(a.id, 30).result["payload"] == 1
+        assert scheduler.wait(b.id, 30).result["payload"] == 2
+        assert scheduler.stats["deduped"] == 0
+
+    def test_completed_job_serves_warm_from_cache(self, scheduler):
+        first, _ = _submit(scheduler, payload=5)
+        scheduler.wait(first.id, 30)
+        again, created = _submit(scheduler, payload=5)
+        assert created and again.id != first.id
+        assert again.state == "done" and again.cached
+        assert again.result == first.result
+        assert scheduler.stats == {"submitted": 2, "deduped": 0,
+                                   "cached": 1, "computed": 1, "failed": 0}
+
+    def test_warm_result_survives_scheduler_restart(self, tmp_path,
+                                                    gated_kind):
+        cache = ResultCache(root=tmp_path / "svc", enabled=True)
+        with Scheduler(slots=1, workers=1, cache=cache) as sched:
+            record, _ = _submit(sched, payload=9)
+            sched.wait(record.id, 30)
+        with Scheduler(slots=1, workers=1, cache=cache) as sched:
+            warm, _ = _submit(sched, payload=9)
+            assert warm.cached and warm.result == {"payload": 9,
+                                                   "gate": "default"}
+            assert sched.stats["computed"] == 0
+
+
+class TestLifecycle:
+    def test_failed_job_reports_error_and_is_not_cached(self, scheduler):
+        def boom(params, workers):
+            raise RuntimeError("kaput")
+
+        jobs_mod.register_kind("testboom", _normalize_gated, boom)
+        try:
+            record, _ = _submit(scheduler, kind="testboom")
+            scheduler.wait(record.id, 30)
+            assert record.state == "failed"
+            assert "kaput" in record.error
+            assert scheduler.stats["failed"] == 1
+            # A retry recomputes (failures are never served warm).
+            retry, created = _submit(scheduler, kind="testboom")
+            assert created and not retry.cached
+        finally:
+            jobs_mod._KINDS.pop("testboom", None)
+
+    def test_malformed_request_raises_before_any_record(self, scheduler):
+        with pytest.raises(JobError):
+            scheduler.submit({"kind": "no-such-kind"})
+        assert scheduler.stats["submitted"] == 0
+
+    def test_close_drains_queued_jobs(self, tmp_path, gated_kind):
+        sched = Scheduler(slots=1, workers=1,
+                          cache=ResultCache(root=tmp_path / "svc",
+                                            enabled=True))
+        records = [_submit(sched, payload=i)[0] for i in range(4)]
+        sched.close()                        # waits for all four
+        assert [r.result["payload"] for r in records] == [0, 1, 2, 3]
+        with pytest.raises(RuntimeError):
+            _submit(sched, payload=9)
+
+    def test_stats_snapshot_shape(self, scheduler):
+        snap = scheduler.stats_snapshot()
+        assert snap["slots"] == 1 and snap["workers"] == 1
+        assert set(snap["jobs"]) == {"submitted", "deduped", "cached",
+                                     "computed", "failed"}
+        assert snap["cache"]["enabled"]
+
+
+class TestProgressRouting:
+    def test_job_heartbeats_land_on_its_record(self, scheduler):
+        record, _ = _submit(scheduler, kind="testemit", payload=3)
+        scheduler.wait(record.id, 30)
+        events = [(r["phase"], r["event"]) for r in record.progress]
+        assert ("gated-work", "begin") in events
+        assert ("gated-work", "end") in events
+        assert all(r["ctx"] == record.id for r in record.progress)
+
+    def test_subscriber_streams_progress_then_done(self, scheduler):
+        _GATES["s"] = threading.Event()
+        record, _ = _submit(scheduler, kind="testemit", gate="s")
+        got: list[dict] = []
+        scheduler.subscribe(record.id, got.append)
+        _GATES["s"].set()
+        scheduler.wait(record.id, 30)
+        scheduler.unsubscribe(record.id, got.append)
+        assert got[-1]["event"] == "done"
+
+    def test_subscribing_to_terminal_job_fires_immediately(self, scheduler):
+        record, _ = _submit(scheduler, payload=1)
+        scheduler.wait(record.id, 30)
+        got: list[dict] = []
+        scheduler.subscribe(record.id, got.append)
+        assert got and got[0]["event"] == "done"
+        scheduler.unsubscribe(record.id, got.append)
